@@ -1,0 +1,34 @@
+// Algorithm factory implementing the paper's head-to-head configuration
+// rules (Section VI-A "Implementation"):
+//   * same total byte budget for every contender,
+//   * HeavyKeeper: d = 2, 16-bit fingerprint + 16-bit counter, k-entry store,
+//   * CM sketch: 3 arrays + k-entry heap,
+//   * SS / LC / Frequent: m from the pointer-based entry cost,
+//   * CSS: m from the 4-byte compact entry cost,
+//   * Elastic / Cold Filter / Counter Tree: the splits in DESIGN.md.
+#ifndef HK_BENCH_COMMON_ALGORITHMS_H_
+#define HK_BENCH_COMMON_ALGORITHMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flow_key.h"
+#include "sketch/topk_algorithm.h"
+
+namespace hk::bench {
+
+// Known names: "HK" (= Parallel), "HK-Basic", "HK-Parallel", "HK-Minimum",
+// "SS", "LC", "CSS", "CM", "CountSketch", "Frequent", "Elastic",
+// "ColdFilter", "CounterTree", "HeavyGuardian". Aborts on unknown names.
+std::unique_ptr<TopKAlgorithm> MakeAlgorithm(const std::string& name, size_t memory_bytes,
+                                             size_t k, KeyKind key_kind, uint64_t seed = 1);
+
+// The paper's default contender sets.
+const std::vector<std::string>& ClassicContenders();  // Figs 4-19: SS LC CSS CM HK
+const std::vector<std::string>& RecentContenders();   // Figs 20-22: CT CF Elastic HK
+const std::vector<std::string>& VersionContenders();  // Figs 23-31: Parallel vs Minimum
+
+}  // namespace hk::bench
+
+#endif  // HK_BENCH_COMMON_ALGORITHMS_H_

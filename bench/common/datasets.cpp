@@ -1,0 +1,54 @@
+#include "common/datasets.h"
+
+#include <cstdio>
+#include <map>
+
+#include "common/env.h"
+#include "trace/generators.h"
+
+namespace hk::bench {
+
+std::string Dataset::Describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s: %llu packets, %llu flows (%s keys)",
+                trace.name.c_str(), static_cast<unsigned long long>(trace.num_packets()),
+                static_cast<unsigned long long>(trace.num_flows),
+                KeyKindName(trace.key_kind));
+  return buf;
+}
+
+namespace {
+
+Dataset Build(Trace trace) {
+  Dataset ds;
+  ds.trace = std::move(trace);
+  ds.oracle.AddTrace(ds.trace);
+  return ds;
+}
+
+}  // namespace
+
+const Dataset& Campus() {
+  static const Dataset ds = Build(MakeCampusTrace(BenchScale::FromEnv().trace_packets, 1));
+  return ds;
+}
+
+const Dataset& Caida() {
+  static const Dataset ds = Build(MakeCaidaTrace(BenchScale::FromEnv().trace_packets, 1));
+  return ds;
+}
+
+const Dataset& Synthetic(double skew) {
+  static std::map<int, Dataset> cache;  // keyed by skew*100
+  const int key = static_cast<int>(skew * 100 + 0.5);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(key,
+                      Build(MakeSyntheticTrace(BenchScale::FromEnv().synth_packets, skew, 1)))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace hk::bench

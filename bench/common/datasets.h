@@ -1,0 +1,31 @@
+// Dataset cache shared by the figure benches: each process builds a trace
+// (and its oracle) once per workload, at the scale given by env.h.
+#ifndef HK_BENCH_COMMON_DATASETS_H_
+#define HK_BENCH_COMMON_DATASETS_H_
+
+#include <string>
+
+#include "trace/oracle.h"
+#include "trace/trace.h"
+
+namespace hk::bench {
+
+struct Dataset {
+  Trace trace;
+  Oracle oracle;
+
+  std::string Describe() const;
+};
+
+// Campus-like trace (Section VI-A dataset 1) at env scale.
+const Dataset& Campus();
+
+// CAIDA-like trace (dataset 2) at env scale.
+const Dataset& Caida();
+
+// Synthetic Zipf trace (dataset 3) at env scale; cached per skew value.
+const Dataset& Synthetic(double skew);
+
+}  // namespace hk::bench
+
+#endif  // HK_BENCH_COMMON_DATASETS_H_

@@ -1,0 +1,45 @@
+// Bench scaling knobs.
+//
+// Every figure binary runs with no arguments. By default the workloads are
+// scaled-down versions of the paper's traces (2M packets instead of 10-32M)
+// so the full suite finishes in minutes while preserving every curve shape
+// (flow counts scale proportionally with packets). Environment overrides:
+//
+//   HK_BENCH_SCALE=<packets>  base packet count (default 2000000)
+//   HK_BENCH_FULL=1           paper scale (10M campus/CAIDA, 32M synthetic,
+//                             100M for Figure 32)
+#ifndef HK_BENCH_COMMON_ENV_H_
+#define HK_BENCH_COMMON_ENV_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace hk::bench {
+
+struct BenchScale {
+  uint64_t trace_packets = 2'000'000;  // campus / CAIDA stand-ins
+  uint64_t synth_packets = 2'000'000;  // the paper uses 32M for synthetic
+  bool full = false;
+
+  static BenchScale FromEnv() {
+    BenchScale scale;
+    if (const char* full = std::getenv("HK_BENCH_FULL"); full != nullptr && full[0] == '1') {
+      scale.full = true;
+      scale.trace_packets = 10'000'000;
+      scale.synth_packets = 32'000'000;
+      return scale;
+    }
+    if (const char* s = std::getenv("HK_BENCH_SCALE"); s != nullptr) {
+      const uint64_t v = std::strtoull(s, nullptr, 10);
+      if (v > 0) {
+        scale.trace_packets = v;
+        scale.synth_packets = v;
+      }
+    }
+    return scale;
+  }
+};
+
+}  // namespace hk::bench
+
+#endif  // HK_BENCH_COMMON_ENV_H_

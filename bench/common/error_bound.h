@@ -1,0 +1,83 @@
+// Shared driver for the (epsilon, delta)-counting validation experiments
+// (Figures 35-36, Appendix C): empirical probability that a reported
+// elephant flow's under-estimate exceeds ceil(epsilon*N) under the Basic
+// top-k pipeline, against the Theorem 5 bound
+//     delta_i = 1 / (epsilon * w * n_i * (b-1)).
+// The measured estimate is the pipeline's reported size (as in the paper's
+// "estimated flow size n-hat"), so it includes both decay losses and
+// admission lag. An avg_under column reports the mean under-estimate of the
+// elephants for scale.
+#ifndef HK_BENCH_COMMON_ERROR_BOUND_H_
+#define HK_BENCH_COMMON_ERROR_BOUND_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/datasets.h"
+#include "core/hk_topk.h"
+#include "metrics/report.h"
+
+namespace hk::bench {
+
+inline void RunErrorBoundFigure(const char* figure, double epsilon) {
+  const Dataset& ds = Campus();
+  char workload[160];
+  std::snprintf(workload, sizeof(workload), "%s, epsilon=2^%d, top-100 elephant flows",
+                ds.Describe().c_str(), static_cast<int>(std::log2(epsilon)));
+  PrintFigureHeader(figure, "Theoretical bound vs empirical error probability (Basic)",
+                    workload, "empirical probability always below the Theorem 5 bound");
+
+  const double n_total = static_cast<double>(ds.trace.num_packets());
+  const uint64_t threshold = static_cast<uint64_t>(std::ceil(epsilon * n_total));
+  const auto elephants = ds.oracle.TopK(100);
+  constexpr int kTrials = 3;
+  constexpr size_t kK = 512;  // generous store so admission lag, not store
+                              // capacity, is the measured effect
+
+  ResultTable table("memory_KB", {"empirical", "theory_bound", "avg_under"});
+  for (const size_t kb : {20, 40, 60, 80, 100}) {
+    double violations = 0;
+    double measured = 0;
+    double under_sum = 0;
+    size_t w = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      HeavyKeeperConfig config = HeavyKeeperConfig::FromMemory(kb * 1024, 2, trial + 1);
+      config.counter_bits = 32;  // Theorem 5 has no saturation term
+      w = config.w;
+      HeavyKeeperTopK<> pipeline(HkVersion::kBasic, config, kK, 13);
+      for (const FlowId id : ds.trace.packets) {
+        pipeline.Insert(id);
+      }
+      std::unordered_map<FlowId, uint64_t> reported;
+      for (const auto& fc : pipeline.TopK(kK)) {
+        reported[fc.id] = fc.count;
+      }
+      for (const auto& fc : elephants) {
+        const auto it = reported.find(fc.id);
+        const uint64_t estimate = it == reported.end() ? 0 : it->second;
+        const uint64_t error = fc.count > estimate ? fc.count - estimate : 0;
+        if (error >= threshold) {
+          violations += 1;
+        }
+        under_sum += static_cast<double>(error);
+        measured += 1;
+      }
+    }
+    const double empirical = violations / measured;
+    double bound = 0.0;
+    for (const auto& fc : elephants) {
+      bound += std::min(
+          1.0, 1.0 / (epsilon * static_cast<double>(w) * static_cast<double>(fc.count) *
+                      (HeavyKeeperConfig().b - 1.0)));
+    }
+    bound /= static_cast<double>(elephants.size());
+    table.AddRow(static_cast<double>(kb), {empirical, bound, under_sum / measured});
+  }
+  table.Print(5);
+}
+
+}  // namespace hk::bench
+
+#endif  // HK_BENCH_COMMON_ERROR_BOUND_H_

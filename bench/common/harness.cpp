@@ -1,0 +1,106 @@
+#include "common/harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/algorithms.h"
+
+namespace hk::bench {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kPrecision:
+      return "precision";
+    case Metric::kLog10Are:
+      return "log10(ARE)";
+    case Metric::kLog10Aae:
+      return "log10(AAE)";
+  }
+  return "?";
+}
+
+double MetricValue(Metric metric, const AccuracyReport& report) {
+  switch (metric) {
+    case Metric::kPrecision:
+      return report.precision;
+    case Metric::kLog10Are:
+      return std::log10(std::max(report.are, 1e-9));
+    case Metric::kLog10Aae:
+      return std::log10(std::max(report.aae, 1e-9));
+  }
+  return 0.0;
+}
+
+AccuracyReport RunOnce(const std::string& algo_name, const Dataset& dataset,
+                       size_t memory_bytes, size_t k, uint64_t seed) {
+  auto algo = MakeAlgorithm(algo_name, memory_bytes, k, dataset.trace.key_kind, seed);
+  for (const FlowId id : dataset.trace.packets) {
+    algo->Insert(id);
+  }
+  return EvaluateTopK(algo->TopK(k), dataset.oracle, k);
+}
+
+ResultTable MemorySweep(const Dataset& dataset, const std::vector<std::string>& names,
+                        const std::vector<size_t>& memory_kb, size_t k, Metric metric) {
+  ResultTable table("memory_KB", names);
+  for (const size_t kb : memory_kb) {
+    std::vector<double> row;
+    row.reserve(names.size());
+    for (const auto& name : names) {
+      row.push_back(MetricValue(metric, RunOnce(name, dataset, kb * 1024, k)));
+    }
+    table.AddRow(static_cast<double>(kb), row);
+  }
+  return table;
+}
+
+ResultTable KSweep(const Dataset& dataset, const std::vector<std::string>& names,
+                   const std::vector<size_t>& ks, size_t memory_bytes, Metric metric) {
+  ResultTable table("k", names);
+  for (const size_t k : ks) {
+    std::vector<double> row;
+    row.reserve(names.size());
+    for (const auto& name : names) {
+      row.push_back(MetricValue(metric, RunOnce(name, dataset, memory_bytes, k)));
+    }
+    table.AddRow(static_cast<double>(k), row);
+  }
+  return table;
+}
+
+ResultTable SkewSweep(const std::vector<std::string>& names, const std::vector<double>& skews,
+                      size_t memory_bytes, size_t k, Metric metric) {
+  ResultTable table("skew", names);
+  for (const double skew : skews) {
+    const Dataset& dataset = Synthetic(skew);
+    std::vector<double> row;
+    row.reserve(names.size());
+    for (const auto& name : names) {
+      row.push_back(MetricValue(metric, RunOnce(name, dataset, memory_bytes, k)));
+    }
+    table.AddRow(skew, row);
+  }
+  return table;
+}
+
+const std::vector<size_t>& PaperMemoriesKb() {
+  static const std::vector<size_t> v = {10, 20, 30, 40, 50};
+  return v;
+}
+
+const std::vector<size_t>& PaperKs() {
+  static const std::vector<size_t> v = {200, 400, 600, 800, 1000};
+  return v;
+}
+
+const std::vector<size_t>& PaperSmallKs() {
+  static const std::vector<size_t> v = {100, 200, 300, 400, 500};
+  return v;
+}
+
+const std::vector<double>& PaperSkews() {
+  static const std::vector<double> v = {0.6, 1.2, 1.8, 2.4, 3.0};
+  return v;
+}
+
+}  // namespace hk::bench

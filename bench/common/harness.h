@@ -1,0 +1,51 @@
+// Sweep harness shared by the figure benches: run a list of contenders over
+// a workload while varying memory / k / skew, score against ground truth,
+// and print a paper-figure-shaped table.
+#ifndef HK_BENCH_COMMON_HARNESS_H_
+#define HK_BENCH_COMMON_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/datasets.h"
+#include "metrics/accuracy.h"
+#include "metrics/report.h"
+
+namespace hk::bench {
+
+enum class Metric {
+  kPrecision,
+  kLog10Are,  // the paper plots log10(ARE); values clamped at 1e-9
+  kLog10Aae,
+};
+
+const char* MetricName(Metric metric);
+
+// Extract the metric from an accuracy report.
+double MetricValue(Metric metric, const AccuracyReport& report);
+
+// One full run: stream the trace through a fresh algorithm, score top-k.
+AccuracyReport RunOnce(const std::string& algo_name, const Dataset& dataset,
+                       size_t memory_bytes, size_t k, uint64_t seed = 1);
+
+// x = memory in KB.
+ResultTable MemorySweep(const Dataset& dataset, const std::vector<std::string>& names,
+                        const std::vector<size_t>& memory_kb, size_t k, Metric metric);
+
+// x = k.
+ResultTable KSweep(const Dataset& dataset, const std::vector<std::string>& names,
+                   const std::vector<size_t>& ks, size_t memory_bytes, Metric metric);
+
+// x = skew; datasets built/cached per skew.
+ResultTable SkewSweep(const std::vector<std::string>& names, const std::vector<double>& skews,
+                      size_t memory_bytes, size_t k, Metric metric);
+
+// The paper's standard sweep axes.
+const std::vector<size_t>& PaperMemoriesKb();   // 10..50 KB
+const std::vector<size_t>& PaperKs();           // 200..1000
+const std::vector<size_t>& PaperSmallKs();      // 100..500 (Figs 26-28)
+const std::vector<double>& PaperSkews();        // 0.6..3.0
+
+}  // namespace hk::bench
+
+#endif  // HK_BENCH_COMMON_HARNESS_H_

@@ -1,0 +1,18 @@
+// Figure 9 of the HeavyKeeper paper: ARE vs memory size (Campus).
+//
+// Regenerates the figure's series with the Section VI-A configuration:
+// identical byte budgets per contender, k-entry candidate stores, and the
+// scaled workload described in DESIGN.md.
+#include "common/algorithms.h"
+#include "common/datasets.h"
+#include "common/harness.h"
+
+int main() {
+  using namespace hk;
+  using namespace hk::bench;
+  const Dataset& ds = Campus();
+  PrintFigureHeader("Figure 9", "ARE vs memory size (Campus)", ds.Describe(),
+                    "HK log10(ARE) < -2 above 20KB; baselines stay around 10^2");
+  MemorySweep(ds, ClassicContenders(), PaperMemoriesKb(), 100, Metric::kLog10Are).Print(4);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 12 of the HeavyKeeper paper: ARE vs k (Campus).
+//
+// Regenerates the figure's series with the Section VI-A configuration:
+// identical byte budgets per contender, k-entry candidate stores, and the
+// scaled workload described in DESIGN.md.
+#include "common/algorithms.h"
+#include "common/datasets.h"
+#include "common/harness.h"
+
+int main() {
+  using namespace hk;
+  using namespace hk::bench;
+  const Dataset& ds = Campus();
+  PrintFigureHeader("Figure 12", "ARE vs k (Campus)", ds.Describe(),
+                    "HK hundreds to tens of thousands of times smaller ARE");
+  KSweep(ds, ClassicContenders(), PaperKs(), 100 * 1024, Metric::kLog10Are).Print(4);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 13 of the HeavyKeeper paper: ARE vs k (CAIDA).
+//
+// Regenerates the figure's series with the Section VI-A configuration:
+// identical byte budgets per contender, k-entry candidate stores, and the
+// scaled workload described in DESIGN.md.
+#include "common/algorithms.h"
+#include "common/datasets.h"
+#include "common/harness.h"
+
+int main() {
+  using namespace hk;
+  using namespace hk::bench;
+  const Dataset& ds = Caida();
+  PrintFigureHeader("Figure 13", "ARE vs k (CAIDA)", ds.Describe(),
+                    "HK 66x-120000x smaller ARE than the baselines");
+  KSweep(ds, ClassicContenders(), PaperKs(), 100 * 1024, Metric::kLog10Are).Print(4);
+  return 0;
+}

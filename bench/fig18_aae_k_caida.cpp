@@ -1,0 +1,18 @@
+// Figure 18 of the HeavyKeeper paper: AAE vs k (CAIDA).
+//
+// Regenerates the figure's series with the Section VI-A configuration:
+// identical byte budgets per contender, k-entry candidate stores, and the
+// scaled workload described in DESIGN.md.
+#include "common/algorithms.h"
+#include "common/datasets.h"
+#include "common/harness.h"
+
+int main() {
+  using namespace hk;
+  using namespace hk::bench;
+  const Dataset& ds = Caida();
+  PrintFigureHeader("Figure 18", "AAE vs k (CAIDA)", ds.Describe(),
+                    "HK AAE 67x-694x smaller than the baselines");
+  KSweep(ds, ClassicContenders(), PaperKs(), 100 * 1024, Metric::kLog10Aae).Print(4);
+  return 0;
+}

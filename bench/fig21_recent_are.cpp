@@ -1,0 +1,16 @@
+// Figure 21 of the HeavyKeeper paper: ARE vs memory size (recent works) - comparison against the
+// "recent works" (Counter Tree, Cold Filter, Elastic sketch) on the campus
+// workload with k = 100 (Section VI-E).
+#include "common/algorithms.h"
+#include "common/datasets.h"
+#include "common/harness.h"
+
+int main() {
+  using namespace hk;
+  using namespace hk::bench;
+  const Dataset& ds = Campus();
+  PrintFigureHeader("Figure 21", "ARE vs memory size (recent works)", ds.Describe(),
+                    "HK smallest ARE; CT/CF around 10^3 at 10KB; Elastic in between");
+  MemorySweep(ds, RecentContenders(), PaperMemoriesKb(), 100, Metric::kLog10Are).Print(4);
+  return 0;
+}

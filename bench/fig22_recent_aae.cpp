@@ -1,0 +1,16 @@
+// Figure 22 of the HeavyKeeper paper: AAE vs memory size (recent works) - comparison against the
+// "recent works" (Counter Tree, Cold Filter, Elastic sketch) on the campus
+// workload with k = 100 (Section VI-E).
+#include "common/algorithms.h"
+#include "common/datasets.h"
+#include "common/harness.h"
+
+int main() {
+  using namespace hk;
+  using namespace hk::bench;
+  const Dataset& ds = Campus();
+  PrintFigureHeader("Figure 22", "AAE vs memory size (recent works)", ds.Describe(),
+                    "HK smallest AAE at every memory size");
+  MemorySweep(ds, RecentContenders(), PaperMemoriesKb(), 100, Metric::kLog10Aae).Print(4);
+  return 0;
+}

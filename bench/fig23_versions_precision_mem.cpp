@@ -1,0 +1,16 @@
+// Figure 23 of the HeavyKeeper paper: Precision vs memory size (Parallel vs Minimum) - Hardware Parallel version vs
+// Software Minimum version (Section VI-G). Deliberately tight memory makes
+// the difference visible, as in the paper.
+#include "common/algorithms.h"
+#include "common/datasets.h"
+#include "common/harness.h"
+
+int main() {
+  using namespace hk;
+  using namespace hk::bench;
+  const Dataset& ds = Campus();
+  PrintFigureHeader("Figure 23", "Precision vs memory size (Parallel vs Minimum)", ds.Describe(),
+                    "Minimum far ahead under 6-8KB (no duplicate copies per flow)");
+  MemorySweep(ds, VersionContenders(), {6, 7, 8, 9, 10}, 100, Metric::kPrecision).Print(4);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 25 of the HeavyKeeper paper: AAE vs memory size (Parallel vs Minimum) - Hardware Parallel version vs
+// Software Minimum version (Section VI-G). Deliberately tight memory makes
+// the difference visible, as in the paper.
+#include "common/algorithms.h"
+#include "common/datasets.h"
+#include "common/harness.h"
+
+int main() {
+  using namespace hk;
+  using namespace hk::bench;
+  const Dataset& ds = Campus();
+  PrintFigureHeader("Figure 25", "AAE vs memory size (Parallel vs Minimum)", ds.Describe(),
+                    "Minimum's AAE smaller at every memory size");
+  MemorySweep(ds, VersionContenders(), {6, 7, 8, 9, 10}, 100, Metric::kLog10Aae).Print(4);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 26 of the HeavyKeeper paper: Precision vs k (Parallel vs Minimum) - Hardware Parallel version vs
+// Software Minimum version (Section VI-G). Deliberately tight memory makes
+// the difference visible, as in the paper.
+#include "common/algorithms.h"
+#include "common/datasets.h"
+#include "common/harness.h"
+
+int main() {
+  using namespace hk;
+  using namespace hk::bench;
+  const Dataset& ds = Campus();
+  PrintFigureHeader("Figure 26", "Precision vs k (Parallel vs Minimum)", ds.Describe(),
+                    "Parallel decays sharply as k grows; Minimum degrades gracefully");
+  KSweep(ds, VersionContenders(), PaperSmallKs(), 30 * 1024, Metric::kPrecision).Print(4);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 28 of the HeavyKeeper paper: AAE vs k (Parallel vs Minimum) - Hardware Parallel version vs
+// Software Minimum version (Section VI-G). Deliberately tight memory makes
+// the difference visible, as in the paper.
+#include "common/algorithms.h"
+#include "common/datasets.h"
+#include "common/harness.h"
+
+int main() {
+  using namespace hk;
+  using namespace hk::bench;
+  const Dataset& ds = Campus();
+  PrintFigureHeader("Figure 28", "AAE vs k (Parallel vs Minimum)", ds.Describe(),
+                    "Minimum's AAE smaller for every k");
+  KSweep(ds, VersionContenders(), PaperSmallKs(), 30 * 1024, Metric::kLog10Aae).Print(4);
+  return 0;
+}

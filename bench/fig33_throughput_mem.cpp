@@ -1,0 +1,32 @@
+// Figure 33 of the HeavyKeeper paper: insertion throughput (millions of
+// packets per second) vs memory size on the campus workload, k = 100
+// (Section VI-H). Absolute numbers depend on the host; the reproduced shape
+// is the ordering: both HeavyKeeper versions above SS / LC / CM, with the
+// Parallel version slightly ahead of Minimum.
+#include "common/algorithms.h"
+#include "common/datasets.h"
+#include "common/harness.h"
+#include "metrics/throughput.h"
+
+int main() {
+  using namespace hk;
+  using namespace hk::bench;
+
+  const Dataset& ds = Campus();
+  PrintFigureHeader("Figure 33", "Throughput (Mps) vs memory size (Campus)", ds.Describe(),
+                    "HK-Parallel ~15.5 > HK-Minimum ~15.3 > CM ~12.7 > SS ~12.2 > LC ~11.3 "
+                    "(paper's machine; ordering is the reproduced shape)");
+
+  const std::vector<std::string> names = {"SS", "LC", "CM", "HK-Parallel", "HK-Minimum"};
+  ResultTable table("memory_KB", names);
+  for (const size_t kb : PaperMemoriesKb()) {
+    std::vector<double> row;
+    for (const auto& name : names) {
+      auto algo = MakeAlgorithm(name, kb * 1024, 100, ds.trace.key_kind, 1);
+      row.push_back(MeasureThroughput(*algo, ds.trace).mps);
+    }
+    table.AddRow(static_cast<double>(kb), row);
+  }
+  table.Print(2);
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 35 of the HeavyKeeper paper: theoretical (epsilon,delta) bound vs
+// empirical error probability for the Basic version, epsilon = 2^-16.
+#include "common/error_bound.h"
+
+int main() {
+  hk::bench::RunErrorBoundFigure("Figure 35", 0x1.0p-16);
+  return 0;
+}

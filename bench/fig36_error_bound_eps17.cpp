@@ -1,0 +1,8 @@
+// Figure 36 of the HeavyKeeper paper: theoretical (epsilon,delta) bound vs
+// empirical error probability for the Basic version, epsilon = 2^-17.
+#include "common/error_bound.h"
+
+int main() {
+  hk::bench::RunErrorBoundFigure("Figure 36", 0x1.0p-17);
+  return 0;
+}

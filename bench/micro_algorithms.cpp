@@ -1,0 +1,54 @@
+// Per-insert microbenchmarks for every top-k algorithm at the paper's 50 KB
+// working point, streaming a pre-generated campus-like packet buffer.
+// Complements Figure 33 (whole-trace throughput) with steady-state per-op
+// cost under the google-benchmark harness.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/algorithms.h"
+#include "trace/generators.h"
+
+namespace {
+
+using namespace hk;
+using namespace hk::bench;
+
+const Trace& PacketBuffer() {
+  static const Trace trace = MakeCampusTrace(500000, 7);
+  return trace;
+}
+
+void BM_AlgorithmInsert(benchmark::State& state, const std::string& name) {
+  const Trace& trace = PacketBuffer();
+  auto algo = MakeAlgorithm(name, 50 * 1024, 100, trace.key_kind, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    algo->Insert(trace.packets[i]);
+    if (++i == trace.packets.size()) {
+      i = 0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> names = {"HK-Parallel", "HK-Minimum",  "HK-Basic", "SS",
+                                          "LC",          "CSS",         "CM",       "CountSketch",
+                                          "Frequent",    "Elastic",     "ColdFilter",
+                                          "HeavyGuardian"};
+  for (const auto& name : names) {
+    benchmark::RegisterBenchmark(("insert/" + name).c_str(),
+                                 [name](benchmark::State& state) {
+                                   BM_AlgorithmInsert(state, name);
+                                 });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Microbenchmarks for the per-packet primitives: hashing, decay coin flips,
+// RNG, Zipf sampling. These bound the cost floor of every algorithm in the
+// library.
+#include <benchmark/benchmark.h>
+
+#include "common/decay.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace {
+
+using namespace hk;
+
+void BM_Mix64(benchmark::State& state) {
+  uint64_t x = 0x12345;
+  for (auto _ : state) {
+    x = Mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_HashU64(benchmark::State& state) {
+  uint64_t x = 0x9e3779b9;
+  for (auto _ : state) {
+    x = HashU64(x, 42);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_HashU64);
+
+void BM_HashBytes13(benchmark::State& state) {
+  uint8_t tuple[13] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    seed = HashBytes(tuple, sizeof(tuple), seed);
+    benchmark::DoNotOptimize(seed);
+  }
+}
+BENCHMARK(BM_HashBytes13);
+
+void BM_TwoWiseIndex(benchmark::State& state) {
+  const TwoWiseHash h = TwoWiseHash::FromSeed(7);
+  uint64_t x = 1;
+  for (auto _ : state) {
+    x += h.Index(x, 65536);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_TwoWiseIndex);
+
+void BM_Fingerprint(benchmark::State& state) {
+  const Fingerprinter fp(16, 99);
+  uint64_t x = 1;
+  for (auto _ : state) {
+    x += fp(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Fingerprint);
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_DecayCoin(benchmark::State& state) {
+  const DecayTable table(DecayFunction::kExponential, 1.08);
+  Rng rng(5);
+  uint32_t c = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.ShouldDecay(c, rng));
+  }
+}
+BENCHMARK(BM_DecayCoin)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfDistribution dist(static_cast<size_t>(state.range(0)), 1.0);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// DDoS-style anomaly detection with HeavyKeeper (one of the paper's
+// motivating applications: anomaly detection via heavy hitters).
+//
+//   $ ./ddos_detector
+//
+// Simulates epochs of benign background traffic keyed by source address;
+// mid-run, a set of attack sources starts hammering one victim. A fresh
+// HeavyKeeper pipeline per epoch reports the top talkers. Persistent heavy
+// talkers are normal, so the detector alerts on *change*: a source whose
+// epoch share exceeds a threshold AND grew several-fold over its share in
+// the baseline epoch. Alerts are scored against the planted attackers.
+#include <cstdio>
+#include <set>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "core/hk_topk.h"
+
+namespace {
+
+using namespace hk;
+
+constexpr uint64_t kEpochPackets = 200'000;
+constexpr size_t kEpochs = 6;
+constexpr size_t kAttackStartEpoch = 3;  // attack begins here (0-based)
+constexpr size_t kAttackers = 4;
+constexpr double kAlertShare = 0.02;   // >2% of epoch traffic from one source
+constexpr double kGrowthFactor = 3.0;  // and at least 3x its baseline share
+
+FlowId SourceId(uint32_t src_ip) {
+  AddrPair p;
+  p.src_ip = src_ip;
+  p.dst_ip = 0;  // keyed by source only
+  return p.Id();
+}
+
+std::unordered_map<FlowId, double> EpochShares(const HeavyKeeperTopK<>& topk) {
+  std::unordered_map<FlowId, double> shares;
+  for (const auto& fc : topk.TopK(50)) {
+    shares[fc.id] = static_cast<double>(fc.count) / kEpochPackets;
+  }
+  return shares;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(7);
+  ZipfDistribution background(50'000, 1.0);  // benign source popularity
+
+  std::set<uint32_t> attackers;
+  while (attackers.size() < kAttackers) {
+    attackers.insert(0xc0000000u + static_cast<uint32_t>(rng.NextBounded(1 << 16)));
+  }
+  std::set<FlowId> attacker_ids;
+  for (const uint32_t a : attackers) {
+    attacker_ids.insert(SourceId(a));
+  }
+
+  std::printf("monitoring %llu packets/epoch; alert = share > %.1f%% and > %.0fx baseline\n\n",
+              static_cast<unsigned long long>(kEpochPackets), kAlertShare * 100,
+              kGrowthFactor);
+
+  std::unordered_map<FlowId, double> baseline;
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t expected_alerts = 0;
+
+  for (size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    const bool under_attack = epoch >= kAttackStartEpoch;
+    // Fresh sketch per epoch: 64 KB, track top-50 sources.
+    auto topk = HeavyKeeperTopK<>::FromMemory(HkVersion::kMinimum, 64 * 1024, 50, 8,
+                                              /*seed=*/epoch + 1);
+
+    for (uint64_t p = 0; p < kEpochPackets; ++p) {
+      uint32_t src;
+      if (under_attack && rng.NextBounded(100) < 20) {
+        // 20% of epoch traffic comes from the attackers (5% each).
+        auto it = attackers.begin();
+        std::advance(it, rng.NextBounded(attackers.size()));
+        src = *it;
+      } else {
+        src = static_cast<uint32_t>(background.Sample(rng));
+      }
+      topk->Insert(SourceId(src));
+    }
+
+    const auto shares = EpochShares(*topk);
+    if (epoch == 0) {
+      baseline = shares;  // training epoch: learn who is normally heavy
+      std::printf("epoch 0: baseline learned (%zu heavy sources)\n", baseline.size());
+      continue;
+    }
+
+    std::printf("epoch %zu%s:\n", epoch, under_attack ? "  [attack active]" : "");
+    if (under_attack) {
+      expected_alerts += kAttackers;
+    }
+    for (const auto& [id, share] : shares) {
+      if (share < kAlertShare) {
+        continue;
+      }
+      const auto it = baseline.find(id);
+      const double base_share = it == baseline.end() ? 0.0 : it->second;
+      if (share < kGrowthFactor * base_share) {
+        continue;  // persistently heavy source: normal
+      }
+      const bool is_attacker = attacker_ids.count(id) != 0;
+      std::printf("  ALERT source=%llx  share=%.1f%% (baseline %.1f%%)  %s\n",
+                  static_cast<unsigned long long>(id), share * 100, base_share * 100,
+                  is_attacker ? "TRUE POSITIVE" : "false positive");
+      (is_attacker ? true_positives : false_positives) += 1;
+    }
+  }
+
+  std::printf("\ndetected %zu/%zu attacker-epochs, %zu false alerts\n", true_positives,
+              expected_alerts, false_positives);
+  return true_positives == expected_alerts && false_positives == 0 ? 0 : 1;
+}

@@ -1,0 +1,168 @@
+// hk_cli - command-line front end for the library.
+//
+//   hk_cli generate --out t.trace [--packets N] [--kind campus|caida|zipf]
+//                   [--skew S] [--seed X]
+//   hk_cli topk     --trace t.trace [--algo HK] [--memory-kb 50] [--k 20]
+//   hk_cli evaluate --trace t.trace [--algo HK] [--memory-kb 50] [--k 100]
+//   hk_cli bench    --trace t.trace [--algo HK] [--memory-kb 50] [--k 100]
+//
+// `--algo` accepts any factory name from bench/common/algorithms.h (HK,
+// HK-Minimum, SS, LC, CSS, CM, Elastic, ColdFilter, CounterTree, ...).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/algorithms.h"
+#include "metrics/accuracy.h"
+#include "metrics/throughput.h"
+#include "trace/generators.h"
+#include "trace/oracle.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace hk;
+using namespace hk::bench;
+
+struct Options {
+  std::string command;
+  std::string trace_path;
+  std::string out_path;
+  std::string kind = "campus";
+  std::string algo = "HK";
+  uint64_t packets = 1'000'000;
+  double skew = 1.0;
+  uint64_t seed = 1;
+  size_t memory_kb = 50;
+  size_t k = 100;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hk_cli <generate|topk|evaluate|bench> [options]\n"
+               "  generate --out FILE [--packets N] [--kind campus|caida|zipf]\n"
+               "           [--skew S] [--seed X]\n"
+               "  topk     --trace FILE [--algo NAME] [--memory-kb KB] [--k K]\n"
+               "  evaluate --trace FILE [--algo NAME] [--memory-kb KB] [--k K]\n"
+               "  bench    --trace FILE [--algo NAME] [--memory-kb KB] [--k K]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  if (argc < 2) {
+    return false;
+  }
+  opts->command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--trace") {
+      opts->trace_path = value;
+    } else if (flag == "--out") {
+      opts->out_path = value;
+    } else if (flag == "--kind") {
+      opts->kind = value;
+    } else if (flag == "--algo") {
+      opts->algo = value;
+    } else if (flag == "--packets") {
+      opts->packets = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--skew") {
+      opts->skew = std::strtod(value.c_str(), nullptr);
+    } else if (flag == "--seed") {
+      opts->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--memory-kb") {
+      opts->memory_kb = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--k") {
+      opts->k = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Generate(const Options& opts) {
+  if (opts.out_path.empty()) {
+    std::fprintf(stderr, "generate requires --out\n");
+    return 2;
+  }
+  Trace trace;
+  if (opts.kind == "campus") {
+    trace = MakeCampusTrace(opts.packets, opts.seed);
+  } else if (opts.kind == "caida") {
+    trace = MakeCaidaTrace(opts.packets, opts.seed);
+  } else if (opts.kind == "zipf") {
+    trace = MakeSyntheticTrace(opts.packets, opts.skew, opts.seed);
+  } else {
+    std::fprintf(stderr, "unknown kind: %s\n", opts.kind.c_str());
+    return 2;
+  }
+  if (!trace.Save(opts.out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", opts.out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %llu packets, %llu flows (%s)\n", opts.out_path.c_str(),
+              static_cast<unsigned long long>(trace.num_packets()),
+              static_cast<unsigned long long>(trace.num_flows), KeyKindName(trace.key_kind));
+  return 0;
+}
+
+int RunWithTrace(const Options& opts) {
+  Trace trace;
+  if (opts.trace_path.empty() || !Trace::Load(opts.trace_path, &trace)) {
+    std::fprintf(stderr, "failed to load trace %s\n", opts.trace_path.c_str());
+    return 1;
+  }
+  auto algo =
+      MakeAlgorithm(opts.algo, opts.memory_kb * 1024, opts.k, trace.key_kind, opts.seed);
+
+  if (opts.command == "bench") {
+    const auto result = MeasureThroughput(*algo, trace);
+    std::printf("%s: %llu packets in %.3fs -> %.2f Mps (%zu KB, k=%zu)\n",
+                algo->name().c_str(), static_cast<unsigned long long>(result.packets),
+                result.seconds, result.mps, opts.memory_kb, opts.k);
+    return 0;
+  }
+
+  for (const FlowId id : trace.packets) {
+    algo->Insert(id);
+  }
+
+  if (opts.command == "topk") {
+    std::printf("%-6s%-20s%12s\n", "rank", "flow id", "estimate");
+    const auto top = algo->TopK(opts.k);
+    for (size_t i = 0; i < top.size(); ++i) {
+      std::printf("%-6zu%-20llx%12llu\n", i + 1,
+                  static_cast<unsigned long long>(top[i].id),
+                  static_cast<unsigned long long>(top[i].count));
+    }
+    return 0;
+  }
+
+  // evaluate
+  const Oracle oracle(trace);
+  const auto report = EvaluateTopK(algo->TopK(opts.k), oracle, opts.k);
+  std::printf("%s on %s (%zu KB, k=%zu):\n", algo->name().c_str(), trace.name.c_str(),
+              opts.memory_kb, opts.k);
+  std::printf("  precision %.4f  recall %.4f  ARE %.6f  AAE %.2f\n", report.precision,
+              report.recall, report.are, report.aae);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    return Usage();
+  }
+  if (opts.command == "generate") {
+    return Generate(opts);
+  }
+  if (opts.command == "topk" || opts.command == "evaluate" || opts.command == "bench") {
+    return RunWithTrace(opts);
+  }
+  return Usage();
+}

@@ -1,0 +1,68 @@
+#include "common/decay.h"
+
+#include <cmath>
+
+namespace hk {
+namespace {
+
+// Probability below which decay is treated as impossible. The paper (Section
+// III-B) argues b^-C ~ 0 for C >= 50 with b = 1.08 (b^-50 ~ 0.02; in practice
+// the authors' released code also truncates); we keep far more head-room so
+// truncation never shows up in the error-bound experiments (Figs 35-36).
+constexpr double kZeroProbability = 0x1.0p-40;
+
+double RawProbability(DecayFunction f, double base, uint32_t c) {
+  if (c == 0) {
+    return 1.0;  // an empty bucket is always claimable
+  }
+  switch (f) {
+    case DecayFunction::kExponential:
+      return std::pow(base, -static_cast<double>(c));
+    case DecayFunction::kPolynomial:
+      return std::min(1.0, std::pow(static_cast<double>(c), -base));
+    case DecayFunction::kSigmoid:
+      return std::min(1.0, 2.0 / (1.0 + std::exp((base - 1.0) * static_cast<double>(c))));
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const char* DecayFunctionName(DecayFunction f) {
+  switch (f) {
+    case DecayFunction::kExponential:
+      return "exponential(b^-C)";
+    case DecayFunction::kPolynomial:
+      return "polynomial(C^-b)";
+    case DecayFunction::kSigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+DecayTable::DecayTable(DecayFunction f, double base) : function_(f), base_(base) {
+  thresholds_.reserve(256);
+  for (uint32_t c = 0; c < kMaxTableSize; ++c) {
+    const double p = RawProbability(f, base, c);
+    if (p < kZeroProbability) {
+      break;
+    }
+    if (p >= 1.0) {
+      thresholds_.push_back(~0ULL);
+    } else {
+      thresholds_.push_back(static_cast<uint64_t>(p * 0x1.0p64));
+    }
+  }
+}
+
+double DecayTable::Probability(uint32_t c) const {
+  if (c >= thresholds_.size()) {
+    return 0.0;
+  }
+  if (thresholds_[c] == ~0ULL) {
+    return 1.0;
+  }
+  return static_cast<double>(thresholds_[c]) * 0x1.0p-64;
+}
+
+}  // namespace hk

@@ -1,0 +1,63 @@
+// Exponential-weakening decay (Section III-B).
+//
+// The core probabilistic primitive of HeavyKeeper: a bucket holding another
+// flow's fingerprint is decremented with probability Pdecay = b^-C where C is
+// the current counter value. The paper also notes that other monotonically
+// decreasing functions (C^-b, a sigmoid) perform similarly; all three are
+// implemented here so the decay-function ablation bench can compare them.
+//
+// Probabilities are precomputed into a fixed-point table: decay happens iff
+// rng.NextU64() < table[C]. Beyond a cutoff the probability is below 2^-40
+// and is treated as exactly zero, matching the paper's observation that large
+// counters are effectively immune (and making the hot path branch-cheap).
+#ifndef HK_COMMON_DECAY_H_
+#define HK_COMMON_DECAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hk {
+
+enum class DecayFunction {
+  kExponential,  // b^-C        (the paper's choice, b ~ 1.08)
+  kPolynomial,   // C^-b        (Section III-B alternative)
+  kSigmoid,      // 2/(1+e^(b-1)C) (Section III-B alternative, decreasing form)
+};
+
+const char* DecayFunctionName(DecayFunction f);
+
+class DecayTable {
+ public:
+  static constexpr uint32_t kMaxTableSize = 4096;
+
+  DecayTable() : DecayTable(DecayFunction::kExponential, 1.08) {}
+  DecayTable(DecayFunction f, double base);
+
+  DecayFunction function() const { return function_; }
+  double base() const { return base_; }
+
+  // Exact probability this table encodes for counter value c.
+  double Probability(uint32_t c) const;
+
+  // One decay coin flip for counter value c.
+  bool ShouldDecay(uint32_t c, Rng& rng) const {
+    if (c >= thresholds_.size()) {
+      return false;  // probability below 2^-40: treated as zero
+    }
+    return rng.NextU64() < thresholds_[c];
+  }
+
+  // First counter value whose decay probability is treated as zero.
+  uint32_t cutoff() const { return static_cast<uint32_t>(thresholds_.size()); }
+
+ private:
+  DecayFunction function_;
+  double base_;
+  std::vector<uint64_t> thresholds_;
+};
+
+}  // namespace hk
+
+#endif  // HK_COMMON_DECAY_H_

@@ -1,0 +1,62 @@
+#include "common/flow_key.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace hk {
+namespace {
+
+constexpr uint64_t kIdSeed = 0x68656176796b6565ULL;  // "heavykee"
+
+std::string Ipv4ToString(uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+}  // namespace
+
+const char* KeyKindName(KeyKind kind) {
+  switch (kind) {
+    case KeyKind::kSynthetic4B:
+      return "synthetic-4B";
+    case KeyKind::kAddrPair8B:
+      return "addr-pair-8B";
+    case KeyKind::kFiveTuple13B:
+      return "five-tuple-13B";
+  }
+  return "?";
+}
+
+FlowId FiveTuple::Id() const {
+  uint8_t buf[13];
+  std::memcpy(buf, &src_ip, 4);
+  std::memcpy(buf + 4, &dst_ip, 4);
+  std::memcpy(buf + 8, &src_port, 2);
+  std::memcpy(buf + 10, &dst_port, 2);
+  buf[12] = proto;
+  return HashBytes(buf, sizeof(buf), kIdSeed);
+}
+
+std::string FiveTuple::ToString() const {
+  std::string s = Ipv4ToString(src_ip);
+  s += ":" + std::to_string(src_port) + " -> " + Ipv4ToString(dst_ip) + ":" +
+       std::to_string(dst_port) + " proto=" + std::to_string(proto);
+  return s;
+}
+
+FlowId AddrPair::Id() const {
+  uint8_t buf[8];
+  std::memcpy(buf, &src_ip, 4);
+  std::memcpy(buf + 4, &dst_ip, 4);
+  return HashBytes(buf, sizeof(buf), kIdSeed);
+}
+
+std::string AddrPair::ToString() const {
+  return Ipv4ToString(src_ip) + " -> " + Ipv4ToString(dst_ip);
+}
+
+}  // namespace hk

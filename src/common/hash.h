@@ -1,0 +1,118 @@
+// Hash primitives used by every sketch in the library.
+//
+// The paper requires d 2-way-independent hash functions per sketch plus an
+// independent fingerprint hash (Section III-B). We provide:
+//   * Mix64/HashU64   - fast seeded 64-bit mixers for the hot path,
+//   * HashBytes       - a from-scratch xxHash64-style byte hash for raw keys,
+//   * TwoWiseHash     - a provably 2-universal multiply-shift family,
+//   * HashFamily      - d independently seeded index functions,
+//   * Fingerprinter   - fixed-width non-zero fingerprints (0 = empty bucket).
+#ifndef HK_COMMON_HASH_H_
+#define HK_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hk {
+
+// Strong 64-bit finalizer (xxh3-style avalanche). Bijective.
+constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 32;
+  x *= 0xd6e8feb86659fd93ULL;
+  x ^= x >> 32;
+  x *= 0xd6e8feb86659fd93ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+// Seeded hash of a 64-bit key. One 128-bit multiply + fold (wyhash core).
+inline uint64_t HashU64(uint64_t key, uint64_t seed) {
+  const __uint128_t m =
+      static_cast<__uint128_t>(key ^ 0xa0761d6478bd642fULL) * (seed ^ 0xe7037ed1a0b428dbULL);
+  return Mix64(static_cast<uint64_t>(m) ^ static_cast<uint64_t>(m >> 64));
+}
+
+// Seeded hash of an arbitrary byte string (xxHash64-style construction,
+// implemented from scratch). Used for raw 5-tuples and string keys.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed);
+
+// 2-universal multiply-shift family over 64-bit keys:
+//   h(x) = (a*x + b) >> (64 - out_bits), a odd.
+// Dietzfelbinger et al.; exactly the "2-way independent" family the paper's
+// analysis assumes.
+class TwoWiseHash {
+ public:
+  TwoWiseHash() : a_(0x9e3779b97f4a7c15ULL | 1), b_(0) {}
+  TwoWiseHash(uint64_t a, uint64_t b) : a_(a | 1), b_(b) {}
+
+  static TwoWiseHash FromSeed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    return TwoWiseHash(sm.Next(), sm.Next());
+  }
+
+  // Full 64-bit hash value.
+  uint64_t operator()(uint64_t x) const { return a_ * x + b_; }
+
+  // Index in [0, w). Multiply-shift high bits then Lemire reduction.
+  uint64_t Index(uint64_t x, uint64_t w) const {
+    return static_cast<uint64_t>((static_cast<__uint128_t>((*this)(x)) * w) >> 64);
+  }
+
+ private:
+  uint64_t a_;
+  uint64_t b_;
+};
+
+// d independently seeded index functions, one per sketch array.
+class HashFamily {
+ public:
+  HashFamily() = default;
+  HashFamily(size_t d, uint64_t seed) { Reset(d, seed); }
+
+  void Reset(size_t d, uint64_t seed) {
+    fns_.clear();
+    fns_.reserve(d);
+    SplitMix64 sm(seed);
+    for (size_t j = 0; j < d; ++j) {
+      fns_.push_back(TwoWiseHash(sm.Next(), sm.Next()));
+    }
+  }
+
+  // Grow the family by one function (Section III-F dynamic expansion).
+  void Add(uint64_t seed) { fns_.push_back(TwoWiseHash::FromSeed(seed)); }
+
+  size_t size() const { return fns_.size(); }
+
+  uint64_t Index(size_t j, uint64_t key, uint64_t w) const { return fns_[j].Index(key, w); }
+  uint64_t Value(size_t j, uint64_t key) const { return fns_[j](key); }
+
+ private:
+  std::vector<TwoWiseHash> fns_;
+};
+
+// Fixed-width fingerprints. A fingerprint of 0 is reserved to mean "empty
+// bucket", so hash values that land on 0 are remapped to 1; the resulting
+// bias is 2^-bits and is covered by the fingerprint-collision tests.
+class Fingerprinter {
+ public:
+  Fingerprinter() : Fingerprinter(16, 0x5bd1e995) {}
+  Fingerprinter(uint32_t bits, uint64_t seed) : bits_(bits), seed_(seed) {}
+
+  uint32_t bits() const { return bits_; }
+
+  uint32_t operator()(uint64_t key) const {
+    uint32_t fp = static_cast<uint32_t>(HashU64(key, seed_) >> (64 - bits_));
+    return fp == 0 ? 1u : fp;
+  }
+
+ private:
+  uint32_t bits_;
+  uint64_t seed_;
+};
+
+}  // namespace hk
+
+#endif  // HK_COMMON_HASH_H_

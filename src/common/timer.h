@@ -1,0 +1,36 @@
+// Wall-clock timing for the throughput experiments (Section VI-B:
+// throughput = N / T, reported in millions of insertions per second).
+#ifndef HK_COMMON_TIMER_H_
+#define HK_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hk {
+
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Millions of operations per second.
+inline double Mps(uint64_t ops, double seconds) {
+  if (seconds <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(ops) / seconds / 1e6;
+}
+
+}  // namespace hk
+
+#endif  // HK_COMMON_TIMER_H_

@@ -1,0 +1,37 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hk {
+
+ZipfDistribution::ZipfDistribution(size_t m, double skew) : skew_(skew) {
+  cdf_.resize(m);
+  double total = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -skew);
+    cdf_[i] = total;
+  }
+  const double inv = 1.0 / total;
+  for (auto& v : cdf_) {
+    v *= inv;
+  }
+  if (!cdf_.empty()) {
+    cdf_.back() = 1.0;  // guard against rounding shortfall
+  }
+}
+
+double ZipfDistribution::Pmf(size_t i) const {
+  if (i >= cdf_.size()) {
+    return 0.0;
+  }
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1 : static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace hk

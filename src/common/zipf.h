@@ -1,0 +1,41 @@
+// Zipf flow-size distribution (Section VI-A, synthetic datasets).
+//
+// The paper's synthetic traces follow the Web-Polygraph Zipf model: with M
+// distinct flows and skew gamma, flow of rank i receives a share
+//     f_i = N / (i^gamma * delta(gamma)),   delta(gamma) = sum_j 1/j^gamma.
+// Sampling inverts the CDF with binary search, so a trace is a sequence of
+// i.i.d. rank draws (the "uniformly distributed packets" assumption used in
+// the paper's analysis).
+#ifndef HK_COMMON_ZIPF_H_
+#define HK_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hk {
+
+class ZipfDistribution {
+ public:
+  // m: number of distinct flows (ranks). skew: gamma >= 0.
+  ZipfDistribution(size_t m, double skew);
+
+  size_t num_ranks() const { return cdf_.size(); }
+  double skew() const { return skew_; }
+
+  // Probability mass of rank i (0-based; rank 0 is the largest flow).
+  double Pmf(size_t i) const;
+
+  // Draw one rank in [0, num_ranks).
+  size_t Sample(Rng& rng) const;
+
+ private:
+  double skew_;
+  std::vector<double> cdf_;  // inclusive prefix sums, cdf_.back() == 1.0
+};
+
+}  // namespace hk
+
+#endif  // HK_COMMON_ZIPF_H_

@@ -1,0 +1,42 @@
+#include "core/collector.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hk {
+
+std::vector<FlowCount> CombineReports(const std::vector<std::vector<FlowCount>>& reports,
+                                      size_t k, CombinePolicy policy) {
+  std::unordered_map<FlowId, uint64_t> combined;
+  for (const auto& report : reports) {
+    for (const auto& fc : report) {
+      uint64_t& slot = combined[fc.id];
+      switch (policy) {
+        case CombinePolicy::kSum:
+          slot += fc.count;
+          break;
+        case CombinePolicy::kMax:
+          slot = std::max(slot, fc.count);
+          break;
+      }
+    }
+  }
+
+  std::vector<FlowCount> all;
+  all.reserve(combined.size());
+  for (const auto& [id, count] : combined) {
+    all.push_back({id, count});
+  }
+  const auto cmp = [](const FlowCount& a, const FlowCount& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.id < b.id;
+  };
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(), cmp);
+  all.resize(take);
+  return all;
+}
+
+}  // namespace hk

@@ -1,0 +1,35 @@
+// Network-wide collection of per-switch top-k reports.
+//
+// In the paper's deployment model every switch runs its own HeavyKeeper and
+// periodically ships its report (or serialized sketch) to a collector. The
+// collector must combine per-vantage-point reports into one network-wide
+// top-k. Two combination policies cover the two standard telemetry setups:
+//
+//   kSum - vantage points observe *disjoint* traffic (e.g. per-port
+//          sketches): a flow's network-wide size is the sum of its
+//          per-switch estimates.
+//   kMax - vantage points observe *overlapping* traffic (e.g. every switch
+//          on the path sees the same packets): the best estimate is the
+//          maximum, mirroring HeavyKeeper's own multi-bucket query rule.
+#ifndef HK_CORE_COLLECTOR_H_
+#define HK_CORE_COLLECTOR_H_
+
+#include <vector>
+
+#include "common/flow_key.h"
+
+namespace hk {
+
+enum class CombinePolicy {
+  kSum,
+  kMax,
+};
+
+// Merge per-switch reports into a single top-k, ordered by
+// (combined estimate desc, id asc).
+std::vector<FlowCount> CombineReports(const std::vector<std::vector<FlowCount>>& reports,
+                                      size_t k, CombinePolicy policy);
+
+}  // namespace hk
+
+#endif  // HK_CORE_COLLECTOR_H_

@@ -1,0 +1,75 @@
+// Epoch-based monitoring.
+//
+// Real deployments (Section VI-A footnote 2) measure in short windows - "each
+// period is often small, for example, 10M packets" - then report and reset.
+// EpochMonitor wraps any TopKAlgorithm factory, rotates the instance every
+// `epoch_packets` insertions, and retains the previous epoch's report so a
+// collector can always read a complete window while the next one fills.
+#ifndef HK_CORE_EPOCH_MONITOR_H_
+#define HK_CORE_EPOCH_MONITOR_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sketch/topk_algorithm.h"
+
+namespace hk {
+
+class EpochMonitor {
+ public:
+  using Factory = std::function<std::unique_ptr<TopKAlgorithm>(uint64_t epoch)>;
+  // Called with each completed epoch's report before the rotation.
+  using EpochCallback = std::function<void(uint64_t epoch, std::vector<FlowCount> report)>;
+
+  EpochMonitor(Factory factory, uint64_t epoch_packets, size_t k,
+               EpochCallback on_epoch = nullptr)
+      : factory_(std::move(factory)),
+        epoch_packets_(epoch_packets),
+        k_(k),
+        on_epoch_(std::move(on_epoch)),
+        current_(factory_(0)) {}
+
+  void Insert(FlowId id) {
+    current_->Insert(id);
+    if (++in_epoch_ >= epoch_packets_) {
+      Rotate();
+    }
+  }
+
+  // Report of the last *completed* epoch (empty until one completes).
+  const std::vector<FlowCount>& LastReport() const { return last_report_; }
+
+  // Live view of the epoch currently filling.
+  std::vector<FlowCount> CurrentTopK() const { return current_->TopK(k_); }
+
+  uint64_t completed_epochs() const { return epoch_; }
+  uint64_t packets_in_current_epoch() const { return in_epoch_; }
+  const TopKAlgorithm& current() const { return *current_; }
+
+  // Force an early rotation (e.g., on a timer rather than a packet count).
+  void Rotate() {
+    last_report_ = current_->TopK(k_);
+    if (on_epoch_) {
+      on_epoch_(epoch_, last_report_);
+    }
+    ++epoch_;
+    in_epoch_ = 0;
+    current_ = factory_(epoch_);
+  }
+
+ private:
+  Factory factory_;
+  uint64_t epoch_packets_;
+  size_t k_;
+  EpochCallback on_epoch_;
+  std::unique_ptr<TopKAlgorithm> current_;
+  uint64_t epoch_ = 0;
+  uint64_t in_epoch_ = 0;
+  std::vector<FlowCount> last_report_;
+};
+
+}  // namespace hk
+
+#endif  // HK_CORE_EPOCH_MONITOR_H_

@@ -1,0 +1,222 @@
+#include "core/heavykeeper.h"
+
+#include <algorithm>
+
+namespace hk {
+
+HeavyKeeperConfig HeavyKeeperConfig::FromMemory(size_t bytes, size_t d, uint64_t seed) {
+  HeavyKeeperConfig config;
+  config.d = d;
+  config.seed = seed;
+  config.w = std::max<size_t>(bytes / (config.BucketBytes() * d), 1);
+  return config;
+}
+
+HeavyKeeper::HeavyKeeper(const HeavyKeeperConfig& config)
+    : config_(config),
+      counter_max_(config.counter_bits >= 32 ? ~0u : ((1u << config.counter_bits) - 1)),
+      decay_(config.decay_function, config.b),
+      hashes_(config.d, config.seed),
+      fingerprint_(config.fingerprint_bits, Mix64(config.seed ^ 0xf1e2d3c4b5a69788ULL)),
+      rng_(config.seed ^ 0xdeca1decaf00dULL) {
+  arrays_.assign(config_.d, std::vector<Bucket>(config_.w));
+  SplitMix64 sm(config_.seed ^ 0xa88a0eedULL);
+  next_array_seed_ = sm.Next();
+}
+
+HeavyKeeper HeavyKeeper::Restore(const HeavyKeeperConfig& config,
+                                 std::vector<std::vector<Bucket>> arrays,
+                                 uint64_t stuck_events, uint64_t expansions) {
+  HeavyKeeper sketch(config);
+  // Replay the expansion seed chain so added arrays hash identically.
+  for (uint64_t e = 0; e < expansions; ++e) {
+    sketch.hashes_.Add(sketch.next_array_seed_);
+    sketch.next_array_seed_ = Mix64(sketch.next_array_seed_ + 1);
+  }
+  sketch.arrays_ = std::move(arrays);
+  sketch.stuck_events_ = stuck_events;
+  sketch.expansions_ = expansions;
+  return sketch;
+}
+
+void HeavyKeeper::NoteStuck() {
+  ++stuck_events_;
+  if (config_.expansion_threshold == 0 || arrays_.size() >= config_.max_arrays) {
+    return;
+  }
+  if (stuck_events_ >= config_.expansion_threshold) {
+    stuck_events_ = 0;
+    ++expansions_;
+    hashes_.Add(next_array_seed_);
+    next_array_seed_ = Mix64(next_array_seed_ + 1);
+    arrays_.emplace_back(config_.w);
+  }
+}
+
+uint32_t HeavyKeeper::InsertBasic(FlowId id) {
+  // Basic = Parallel with the Optimization-II gate disabled.
+  return InsertParallel(id, /*monitored=*/true, /*nmin=*/0);
+}
+
+uint32_t HeavyKeeper::InsertParallel(FlowId id, bool monitored, uint64_t nmin) {
+  const uint32_t fp = fingerprint_(id);
+  uint32_t estimate = 0;
+  size_t immovable = 0;  // mapped buckets beyond the decay cutoff (Section III-F)
+
+  const size_t d = arrays_.size();
+  for (size_t j = 0; j < d; ++j) {
+    Bucket& bucket = At(j, id);
+    if (bucket.c == 0) {
+      // Case 1: empty bucket; the flow claims it.
+      bucket.fp = fp;
+      bucket.c = 1;
+      estimate = std::max(estimate, 1u);
+    } else if (bucket.fp == fp) {
+      // Case 2, gated by Optimization II (Algorithm 1, lines 11-14): an
+      // unmonitored flow may grow its counter up to nmin + 1 (so Theorem 1
+      // admission at exactly nmin + 1 can fire) but no further.
+      if (monitored || bucket.c <= nmin) {
+        if (bucket.c < counter_max_) {
+          ++bucket.c;
+        }
+        estimate = std::max(estimate, bucket.c);
+      }
+    } else {
+      // Case 3: exponential-weakening decay.
+      if (bucket.c >= decay_.cutoff()) {
+        ++immovable;
+      } else if (decay_.ShouldDecay(bucket.c, rng_)) {
+        if (--bucket.c == 0) {
+          bucket.fp = fp;
+          bucket.c = 1;
+          estimate = std::max(estimate, 1u);
+        }
+      }
+    }
+  }
+
+  if (estimate == 0 && immovable == d) {
+    NoteStuck();
+  }
+  return estimate;
+}
+
+uint32_t HeavyKeeper::InsertBasicWeighted(FlowId id, uint32_t weight) {
+  if (weight == 0) {
+    return Query(id);
+  }
+  const uint32_t fp = fingerprint_(id);
+  uint32_t estimate = 0;
+  size_t immovable = 0;
+
+  const size_t d = arrays_.size();
+  for (size_t j = 0; j < d; ++j) {
+    Bucket& bucket = At(j, id);
+    if (bucket.c > 0 && bucket.fp != fp) {
+      // Case 3, unit by unit: each of the `weight` units flips one decay
+      // coin at the *current* counter value, exactly as unit insertions
+      // would. Beyond the cutoff nothing can move (and never will, since
+      // the counter only shrinks below it through these same coins).
+      if (bucket.c >= decay_.cutoff()) {
+        ++immovable;
+        continue;
+      }
+      uint32_t remaining = weight;
+      while (remaining > 0 && bucket.c > 0) {
+        --remaining;
+        if (decay_.ShouldDecay(bucket.c, rng_) && --bucket.c == 0) {
+          break;
+        }
+      }
+      if (bucket.c > 0) {
+        continue;  // survived the whole weight
+      }
+      // The flow claims the bucket; the rest of the weight counts for it.
+      bucket.fp = fp;
+      bucket.c = std::min<uint64_t>(remaining + 1, counter_max_);
+      estimate = std::max(estimate, bucket.c);
+      continue;
+    }
+    // Cases 1 and 2 collapse: an empty or matching bucket absorbs the whole
+    // weight at once.
+    bucket.fp = fp;
+    bucket.c = static_cast<uint32_t>(
+        std::min<uint64_t>(static_cast<uint64_t>(bucket.c) + weight, counter_max_));
+    estimate = std::max(estimate, bucket.c);
+  }
+
+  if (estimate == 0 && immovable == d) {
+    NoteStuck();
+  }
+  return estimate;
+}
+
+uint32_t HeavyKeeper::InsertMinimum(FlowId id, bool monitored, uint64_t nmin) {
+  const uint32_t fp = fingerprint_(id);
+  const size_t d = arrays_.size();
+
+  // Situation 1 (Algorithm 2, lines 10-15): a mapped bucket already holds
+  // this fingerprint and may be incremented.
+  int first_empty = -1;
+  int min_j = -1;
+  uint32_t min_count = 0;
+  for (size_t j = 0; j < d; ++j) {
+    Bucket& bucket = At(j, id);
+    if (bucket.c > 0 && bucket.fp == fp) {
+      if (monitored || bucket.c <= nmin) {
+        if (bucket.c < counter_max_) {
+          ++bucket.c;
+        }
+        return bucket.c;
+      }
+      // Optimization II blocks this bucket; it is neither an empty slot nor
+      // a decay candidate (Algorithm 2 leaves it untouched).
+    } else if (bucket.c == 0) {
+      if (first_empty < 0) {
+        first_empty = static_cast<int>(j);
+      }
+    } else if (min_j < 0 || bucket.c < min_count) {
+      min_j = static_cast<int>(j);
+      min_count = bucket.c;
+    }
+  }
+
+  // Situation 2 (lines 25-28): claim the first empty mapped bucket.
+  if (first_empty >= 0) {
+    Bucket& bucket = At(static_cast<size_t>(first_empty), id);
+    bucket.fp = fp;
+    bucket.c = 1;
+    return 1;
+  }
+
+  // Situation 3 (lines 30-35): minimum decay on the first smallest counter.
+  if (min_j >= 0) {
+    Bucket& bucket = At(static_cast<size_t>(min_j), id);
+    if (bucket.c >= decay_.cutoff()) {
+      NoteStuck();
+      return 0;
+    }
+    if (decay_.ShouldDecay(bucket.c, rng_)) {
+      if (--bucket.c == 0) {
+        bucket.fp = fp;
+        bucket.c = 1;
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+uint32_t HeavyKeeper::Query(FlowId id) const {
+  const uint32_t fp = fingerprint_(id);
+  uint32_t best = 0;
+  for (size_t j = 0; j < arrays_.size(); ++j) {
+    const Bucket& bucket = At(j, id);
+    if (bucket.c > 0 && bucket.fp == fp) {
+      best = std::max(best, bucket.c);
+    }
+  }
+  return best;
+}
+
+}  // namespace hk

@@ -1,0 +1,155 @@
+// HeavyKeeper: the paper's core data structure (Section III).
+//
+// d arrays of w buckets; each bucket holds a fingerprint field (FP) and a
+// counter field (C). Per-packet behaviour for a mapped bucket (Figure 2):
+//
+//   Case 1  C == 0            -> claim the bucket: FP = Fi, C = 1
+//   Case 2  C > 0, FP == Fi   -> C += 1
+//   Case 3  C > 0, FP != Fi   -> decay C by 1 with probability b^-C; if C
+//                                reaches 0, the new flow claims the bucket
+//
+// Three insertion disciplines are provided:
+//   * InsertBasic    (Section III-B/C): apply the three cases to all d
+//     mapped buckets.
+//   * InsertParallel (Section III-E, Algorithm 1): Basic plus Optimization
+//     II (selective increment - a matching bucket is only incremented when
+//     the flow is monitored or C < nmin). Arrays stay independent, which is
+//     what makes the scheme hardware-parallel.
+//   * InsertMinimum  (Section IV, Algorithm 2): touch at most one bucket -
+//     matching bucket, else first empty bucket, else decay only the
+//     smallest mapped counter ("minimum decay").
+//
+// All inserts return the flow's estimate after the operation (HeavyK_V in
+// the pseudo-code; 0 if the flow is held nowhere). Query() returns the
+// max matching counter (Section III-B query).
+//
+// Section III-F: when a new flow meets d mapped counters that are all too
+// large to decay (probability treated as zero), a global "stuck" counter is
+// incremented; past a configurable threshold a (d+1)-th array is appended so
+// late-arriving elephants regain a foothold.
+//
+// Counters are fixed-width (default 16 bits per the paper's setup) and
+// saturate; fingerprints are non-zero so FP==0, C==0 encodes an empty
+// bucket.
+#ifndef HK_CORE_HEAVYKEEPER_H_
+#define HK_CORE_HEAVYKEEPER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/decay.h"
+#include "common/flow_key.h"
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace hk {
+
+struct HeavyKeeperConfig {
+  size_t d = 2;       // number of arrays (paper's experimental setting)
+  size_t w = 1024;    // buckets per array
+  double b = 1.08;    // exponential decay base (Section III-B)
+  DecayFunction decay_function = DecayFunction::kExponential;
+  uint32_t fingerprint_bits = 16;
+  uint32_t counter_bits = 16;  // saturating
+  uint64_t seed = 1;
+
+  // Section III-F dynamic expansion. Disabled unless threshold > 0.
+  uint64_t expansion_threshold = 0;  // stuck events before adding an array
+  size_t max_arrays = 8;
+
+  // Bytes of sketch state for a given geometry (bucket = FP + C bits).
+  size_t BucketBytes() const { return (fingerprint_bits + counter_bits + 7) / 8; }
+
+  // Derive w from a byte budget, holding d and field widths fixed; this is
+  // how every experiment sizes the sketch (Section VI-A).
+  static HeavyKeeperConfig FromMemory(size_t bytes, size_t d = 2, uint64_t seed = 1);
+};
+
+class HeavyKeeper {
+ public:
+  explicit HeavyKeeper(const HeavyKeeperConfig& config);
+
+  const HeavyKeeperConfig& config() const { return config_; }
+  size_t num_arrays() const { return arrays_.size(); }
+  size_t width() const { return config_.w; }
+
+  // Sketch memory in bytes (arrays only; the top-k store is accounted by the
+  // pipeline). Grows if expansion added arrays.
+  size_t MemoryBytes() const { return num_arrays() * config_.w * config_.BucketBytes(); }
+
+  // --- insertion disciplines -------------------------------------------
+  // `monitored` / `nmin` implement Optimization II's increment gate: a
+  // matching bucket is incremented only when monitored || C <= nmin, which
+  // caps an unmonitored flow's estimate at nmin + 1 - the exact admission
+  // value Theorem 1 prescribes. Pass monitored=true to disable the gate
+  // (Basic behaviour).
+  uint32_t InsertBasic(FlowId id);
+  uint32_t InsertParallel(FlowId id, bool monitored, uint64_t nmin);
+  uint32_t InsertMinimum(FlowId id, bool monitored, uint64_t nmin);
+
+  // Weighted Basic insertion (library extension; Section III-F lists
+  // weighted updates as unsupported in the paper). Equivalent to `weight`
+  // consecutive unit insertions of the same flow, with the matching /
+  // empty-bucket cases collapsed into O(1) and the decay case performing
+  // the same sequence of per-unit coin flips. Used for byte-count
+  // measurement, where a packet carries its size as the weight.
+  uint32_t InsertBasicWeighted(FlowId id, uint32_t weight);
+
+  // Point query (Section III-B): max counter among mapped buckets whose
+  // fingerprint matches; 0 means "reported as a mouse flow".
+  uint32_t Query(FlowId id) const;
+
+  // Section III-F instrumentation.
+  uint64_t stuck_events() const { return stuck_events_; }
+  uint64_t expansions() const { return expansions_; }
+
+  // Deterministic decay stream: reseed to reproduce an experiment.
+  void ReseedDecay(uint64_t seed) { rng_.Seed(seed); }
+
+  struct Bucket {
+    uint32_t fp = 0;
+    uint32_t c = 0;
+  };
+
+  // Test/diagnostic introspection: a copy of every bucket, per array.
+  std::vector<std::vector<Bucket>> DebugDump() const { return arrays_; }
+
+  // The bucket index flow `id` maps to in array j (for tests constructing
+  // collisions deliberately).
+  uint64_t BucketIndex(size_t j, FlowId id) const { return hashes_.Index(j, id, config_.w); }
+
+  // The fingerprint the sketch derives for `id`.
+  uint32_t FingerprintOf(FlowId id) const { return fingerprint_(id); }
+
+  // Rebuild a sketch from snapshotted state (see core/serialization.h).
+  // `arrays` must match the config geometry: config.d + expansions arrays of
+  // config.w buckets each.
+  static HeavyKeeper Restore(const HeavyKeeperConfig& config,
+                             std::vector<std::vector<Bucket>> arrays, uint64_t stuck_events,
+                             uint64_t expansions);
+
+ private:
+
+  Bucket& At(size_t j, FlowId id) { return arrays_[j][hashes_.Index(j, id, config_.w)]; }
+  const Bucket& At(size_t j, FlowId id) const {
+    return arrays_[j][hashes_.Index(j, id, config_.w)];
+  }
+
+  // Record a stuck event and expand with a fresh array if configured.
+  void NoteStuck();
+
+  HeavyKeeperConfig config_;
+  uint32_t counter_max_;
+  DecayTable decay_;
+  HashFamily hashes_;
+  Fingerprinter fingerprint_;
+  Rng rng_;
+  std::vector<std::vector<Bucket>> arrays_;
+  uint64_t stuck_events_ = 0;
+  uint64_t expansions_ = 0;
+  uint64_t next_array_seed_;
+};
+
+}  // namespace hk
+
+#endif  // HK_CORE_HEAVYKEEPER_H_

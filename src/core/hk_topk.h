@@ -1,0 +1,142 @@
+// HeavyKeeper top-k pipelines (Sections III-C, III-E and IV-C).
+//
+// A pipeline couples a HeavyKeeper sketch with a k-entry candidate store
+// (min-heap by default; Stream-Summary as in the authors' implementation)
+// and realizes the full per-packet insertion algorithms:
+//
+//   Basic    - insert into the sketch, then admit if n-hat exceeds the
+//              store's minimum (Section III-C).
+//   Parallel - Algorithm 1: Optimization I (only admit an unmonitored flow
+//              when n-hat == nmin + 1, the fingerprint-collision detector
+//              from Theorem 1) and Optimization II (selective increment).
+//   Minimum  - Algorithm 2: minimum decay + the same two optimizations.
+//
+// The store backend is a template parameter so the `abl_topk_store`
+// ablation can swap min-heap for Stream-Summary without touching the logic.
+#ifndef HK_CORE_HK_TOPK_H_
+#define HK_CORE_HK_TOPK_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "core/heavykeeper.h"
+#include "sketch/topk_algorithm.h"
+#include "summary/topk_store.h"
+
+namespace hk {
+
+enum class HkVersion {
+  kBasic,     // Section III-C
+  kParallel,  // Hardware Parallel version, Algorithm 1
+  kMinimum,   // Software Minimum version, Algorithm 2
+};
+
+const char* HkVersionName(HkVersion v);
+
+template <typename Store = HeapTopKStore>
+class HeavyKeeperTopK : public TopKAlgorithm {
+ public:
+  // `key_bytes` is the width of the original flow ID; the candidate store is
+  // charged key_bytes + counter per entry (Section VI-A accounting).
+  HeavyKeeperTopK(HkVersion version, const HeavyKeeperConfig& config, size_t k,
+                  size_t key_bytes = 4)
+      : version_(version), k_(k), key_bytes_(key_bytes), sketch_(config), store_(k) {}
+
+  // Build the paper's default configuration for a byte budget: the store
+  // gets k entries, HeavyKeeper gets every remaining byte, d = 2.
+  static std::unique_ptr<HeavyKeeperTopK> FromMemory(HkVersion version, size_t bytes, size_t k,
+                                                     size_t key_bytes = 4, uint64_t seed = 1,
+                                                     size_t d = 2) {
+    const size_t store_bytes = k * Store::BytesPerEntry(key_bytes);
+    const size_t sketch_bytes = bytes > store_bytes ? bytes - store_bytes : 0;
+    return std::make_unique<HeavyKeeperTopK>(
+        version, HeavyKeeperConfig::FromMemory(sketch_bytes, d, seed), k, key_bytes);
+  }
+
+  void Insert(FlowId id) override {
+    const bool monitored = store_.Contains(id);
+    uint64_t estimate = 0;
+    switch (version_) {
+      case HkVersion::kBasic: {
+        estimate = sketch_.InsertBasic(id);
+        if (monitored) {
+          store_.RaiseCount(id, estimate);
+        } else if (!store_.Full()) {
+          if (estimate > 0) {
+            store_.Insert(id, estimate);
+          }
+        } else if (estimate > store_.MinCount()) {
+          store_.ReplaceMin(id, estimate);
+        }
+        return;
+      }
+      case HkVersion::kParallel:
+      case HkVersion::kMinimum: {
+        // While the store is not full every flow is admitted on its first
+        // packet, so an unmonitored flow with a matching bucket can only
+        // exist once the store is full; the gate then uses the true nmin.
+        const uint64_t nmin = store_.Full() ? store_.MinCount() : ~0ULL;
+        estimate = version_ == HkVersion::kParallel
+                       ? sketch_.InsertParallel(id, monitored, nmin)
+                       : sketch_.InsertMinimum(id, monitored, nmin);
+        if (monitored) {
+          store_.RaiseCount(id, estimate);  // Algorithm 1 line 22 (max-update)
+        } else if (!store_.Full()) {
+          store_.Insert(id, estimate);  // Algorithm 1 line 24, first clause
+        } else if (estimate == store_.MinCount() + 1) {
+          // Optimization I: Theorem 1 says a genuinely admitted flow reports
+          // exactly nmin + 1; anything larger is a fingerprint collision.
+          store_.ReplaceMin(id, estimate);
+        }
+        return;
+      }
+    }
+  }
+
+  std::vector<FlowCount> TopK(size_t k) const override { return store_.TopK(k); }
+
+  uint64_t EstimateSize(FlowId id) const override {
+    // Prefer the tracked value (kept as a running max); fall back to the
+    // sketch for untracked flows.
+    if (store_.Contains(id)) {
+      return store_.Value(id);
+    }
+    return sketch_.Query(id);
+  }
+
+  std::string name() const override {
+    return std::string("HeavyKeeper-") + HkVersionName(version_);
+  }
+
+  size_t MemoryBytes() const override {
+    return sketch_.MemoryBytes() + k_ * Store::BytesPerEntry(key_bytes_);
+  }
+
+  const HeavyKeeper& sketch() const { return sketch_; }
+  HeavyKeeper& sketch() { return sketch_; }
+  const Store& store() const { return store_; }
+
+ private:
+  HkVersion version_;
+  size_t k_;
+  size_t key_bytes_;
+  HeavyKeeper sketch_;
+  Store store_;
+};
+
+inline const char* HkVersionName(HkVersion v) {
+  switch (v) {
+    case HkVersion::kBasic:
+      return "Basic";
+    case HkVersion::kParallel:
+      return "Parallel";
+    case HkVersion::kMinimum:
+      return "Minimum";
+  }
+  return "?";
+}
+
+}  // namespace hk
+
+#endif  // HK_CORE_HK_TOPK_H_

@@ -1,0 +1,147 @@
+#include "core/serialization.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace hk {
+namespace {
+
+constexpr uint64_t kMagic = 0x484b534b45544348ULL;  // "HKSKETCH"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void Append(std::vector<uint8_t>& out, const T& v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* v) {
+    if (pos_ + sizeof(T) > size_) {
+      return false;
+    }
+    std::memcpy(v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool Done() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> SerializeSketch(const HeavyKeeper& sketch) {
+  const HeavyKeeperConfig& config = sketch.config();
+  const auto arrays = sketch.DebugDump();
+
+  std::vector<uint8_t> out;
+  out.reserve(64 + arrays.size() * config.w * 8);
+  Append(out, kMagic);
+  Append(out, kVersion);
+  Append(out, static_cast<uint64_t>(config.d));
+  Append(out, static_cast<uint64_t>(config.w));
+  Append(out, config.b);
+  Append(out, static_cast<uint32_t>(config.decay_function));
+  Append(out, config.fingerprint_bits);
+  Append(out, config.counter_bits);
+  Append(out, config.seed);
+  Append(out, config.expansion_threshold);
+  Append(out, static_cast<uint64_t>(config.max_arrays));
+  Append(out, sketch.stuck_events());
+  Append(out, sketch.expansions());
+  Append(out, static_cast<uint64_t>(arrays.size()));
+  for (const auto& array : arrays) {
+    for (const auto& bucket : array) {
+      Append(out, bucket.fp);
+      Append(out, bucket.c);
+    }
+  }
+  return out;
+}
+
+std::optional<HeavyKeeper> DeserializeSketch(const uint8_t* data, size_t size) {
+  Reader reader(data, size);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!reader.Read(&magic) || magic != kMagic || !reader.Read(&version) ||
+      version != kVersion) {
+    return std::nullopt;
+  }
+
+  HeavyKeeperConfig config;
+  uint64_t d = 0;
+  uint64_t w = 0;
+  uint32_t decay_function = 0;
+  uint64_t max_arrays = 0;
+  uint64_t stuck_events = 0;
+  uint64_t expansions = 0;
+  uint64_t num_arrays = 0;
+  if (!reader.Read(&d) || !reader.Read(&w) || !reader.Read(&config.b) ||
+      !reader.Read(&decay_function) || !reader.Read(&config.fingerprint_bits) ||
+      !reader.Read(&config.counter_bits) || !reader.Read(&config.seed) ||
+      !reader.Read(&config.expansion_threshold) || !reader.Read(&max_arrays) ||
+      !reader.Read(&stuck_events) || !reader.Read(&expansions) || !reader.Read(&num_arrays)) {
+    return std::nullopt;
+  }
+  config.d = d;
+  config.w = w;
+  config.decay_function = static_cast<DecayFunction>(decay_function);
+  config.max_arrays = max_arrays;
+  if (num_arrays != d + expansions || num_arrays > max_arrays + d || w == 0) {
+    return std::nullopt;
+  }
+
+  std::vector<std::vector<HeavyKeeper::Bucket>> arrays(
+      num_arrays, std::vector<HeavyKeeper::Bucket>(w));
+  for (auto& array : arrays) {
+    for (auto& bucket : array) {
+      if (!reader.Read(&bucket.fp) || !reader.Read(&bucket.c)) {
+        return std::nullopt;
+      }
+    }
+  }
+  if (!reader.Done()) {
+    return std::nullopt;
+  }
+  return HeavyKeeper::Restore(config, std::move(arrays), stuck_events, expansions);
+}
+
+bool SaveSketch(const HeavyKeeper& sketch, const std::string& path) {
+  const auto buffer = SerializeSketch(sketch);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(buffer.data(), 1, buffer.size(), f) == buffer.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::optional<HeavyKeeper> LoadSketch(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> buffer(static_cast<size_t>(size));
+  const bool ok = std::fread(buffer.data(), 1, buffer.size(), f) == buffer.size();
+  std::fclose(f);
+  if (!ok) {
+    return std::nullopt;
+  }
+  return DeserializeSketch(buffer);
+}
+
+}  // namespace hk

@@ -1,0 +1,37 @@
+// Accuracy metrics exactly as defined in Section VI-B:
+//
+//   Precision = C / k, where C of the reported flows are true top-k flows.
+//   ARE       = (1/|Psi|) * sum |n-hat - n| / n   over the reported set Psi.
+//   AAE       = (1/|Psi|) * sum |n-hat - n|.
+//
+// Membership in the true top-k is tie-tolerant: any flow whose real size
+// equals the k-th largest size counts as correct (ties make "the" top-k
+// ambiguous; this is the standard scoring and matches how the authors'
+// released evaluation handles ties).
+#ifndef HK_METRICS_ACCURACY_H_
+#define HK_METRICS_ACCURACY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flow_key.h"
+#include "trace/oracle.h"
+
+namespace hk {
+
+struct AccuracyReport {
+  double precision = 0.0;
+  double recall = 0.0;  // vs the tie-free true top-k list
+  double are = 0.0;
+  double aae = 0.0;
+  size_t k = 0;
+  size_t reported = 0;
+};
+
+// Score a reported top-k list against ground truth.
+AccuracyReport EvaluateTopK(const std::vector<FlowCount>& reported, const Oracle& oracle,
+                            size_t k);
+
+}  // namespace hk
+
+#endif  // HK_METRICS_ACCURACY_H_

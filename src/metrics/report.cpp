@@ -1,0 +1,59 @@
+#include "metrics/report.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace hk {
+
+ResultTable::ResultTable(std::string x_label, std::vector<std::string> series)
+    : x_label_(std::move(x_label)), series_(std::move(series)) {}
+
+void ResultTable::AddRow(double x, const std::vector<double>& values) {
+  std::vector<double> row;
+  row.reserve(values.size() + 1);
+  row.push_back(x);
+  row.insert(row.end(), values.begin(), values.end());
+  rows_.push_back(std::move(row));
+}
+
+std::string ResultTable::ToString(int precision) const {
+  constexpr int kColWidth = 16;
+  std::string out;
+  char buf[64];
+
+  std::snprintf(buf, sizeof(buf), "%-*s", kColWidth, x_label_.c_str());
+  out += buf;
+  for (const auto& s : series_) {
+    std::snprintf(buf, sizeof(buf), "%*s", kColWidth, s.c_str());
+    out += buf;
+  }
+  out += '\n';
+
+  for (const auto& row : rows_) {
+    std::snprintf(buf, sizeof(buf), "%-*.6g", kColWidth, row[0]);
+    out += buf;
+    for (size_t i = 1; i < row.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%*.*f", kColWidth, precision, row[i]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void ResultTable::Print(int precision) const {
+  std::fputs(ToString(precision).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+void PrintFigureHeader(const std::string& figure, const std::string& title,
+                       const std::string& workload, const std::string& expectation) {
+  std::printf("\n================================================================\n");
+  std::printf("%s: %s\n", figure.c_str(), title.c_str());
+  std::printf("workload    : %s\n", workload.c_str());
+  std::printf("paper shape : %s\n", expectation.c_str());
+  std::printf("================================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace hk

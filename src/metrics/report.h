@@ -1,0 +1,42 @@
+// Fixed-width result tables for the figure benches.
+//
+// Each paper figure becomes one table: an x column (memory / k / skew /...)
+// plus one column per algorithm series. Values print with enough precision
+// to read log10-scale metrics (the paper plots ARE/AAE on log axes).
+#ifndef HK_METRICS_REPORT_H_
+#define HK_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace hk {
+
+class ResultTable {
+ public:
+  // `x_label` heads the first column; `series` head the value columns.
+  ResultTable(std::string x_label, std::vector<std::string> series);
+
+  void AddRow(double x, const std::vector<double>& values);
+
+  // Render with aligned columns. `precision` = digits after the decimal
+  // point for the value columns.
+  std::string ToString(int precision = 4) const;
+  void Print(int precision = 4) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<double>& row(size_t i) const { return rows_[i]; }
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> series_;
+  std::vector<std::vector<double>> rows_;  // rows_[i][0] = x
+};
+
+// Standard header every figure bench prints: figure id, title, workload
+// description and the paper's qualitative expectation.
+void PrintFigureHeader(const std::string& figure, const std::string& title,
+                       const std::string& workload, const std::string& expectation);
+
+}  // namespace hk
+
+#endif  // HK_METRICS_REPORT_H_

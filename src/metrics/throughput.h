@@ -1,0 +1,32 @@
+// Insertion throughput (Section VI-B): feed all packets, time the loop,
+// report N/T in millions of insertions per second.
+#ifndef HK_METRICS_THROUGHPUT_H_
+#define HK_METRICS_THROUGHPUT_H_
+
+#include "common/timer.h"
+#include "sketch/topk_algorithm.h"
+#include "trace/trace.h"
+
+namespace hk {
+
+struct ThroughputResult {
+  double seconds = 0.0;
+  double mps = 0.0;
+  uint64_t packets = 0;
+};
+
+inline ThroughputResult MeasureThroughput(TopKAlgorithm& algo, const Trace& trace) {
+  WallTimer timer;
+  for (const FlowId id : trace.packets) {
+    algo.Insert(id);
+  }
+  ThroughputResult result;
+  result.seconds = timer.ElapsedSeconds();
+  result.packets = trace.num_packets();
+  result.mps = Mps(result.packets, result.seconds);
+  return result;
+}
+
+}  // namespace hk
+
+#endif  // HK_METRICS_THROUGHPUT_H_

@@ -1,0 +1,59 @@
+#include "ovs/datapath.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace hk {
+
+RawPacket PackHeader(const FiveTuple& tuple) {
+  RawPacket p;
+  std::memcpy(p.bytes, &tuple.src_ip, 4);
+  std::memcpy(p.bytes + 4, &tuple.dst_ip, 4);
+  std::memcpy(p.bytes + 8, &tuple.src_port, 2);
+  std::memcpy(p.bytes + 10, &tuple.dst_port, 2);
+  p.bytes[12] = tuple.proto;
+  return p;
+}
+
+FiveTuple ParseHeader(const RawPacket& packet) {
+  FiveTuple t;
+  std::memcpy(&t.src_ip, packet.bytes, 4);
+  std::memcpy(&t.dst_ip, packet.bytes + 4, 4);
+  std::memcpy(&t.src_port, packet.bytes + 8, 2);
+  std::memcpy(&t.dst_port, packet.bytes + 10, 2);
+  t.proto = packet.bytes[12];
+  return t;
+}
+
+SimulatedDatapath::SimulatedDatapath(size_t cache_slots) {
+  size_t cap = 64;
+  while (cap < cache_slots) {
+    cap <<= 1;
+  }
+  cache_.resize(cap);
+  mask_ = cap - 1;
+}
+
+FlowId SimulatedDatapath::Process(const RawPacket& packet) {
+  const FiveTuple tuple = ParseHeader(packet);
+  const FlowId id = tuple.Id();
+
+  // Megaflow-style exact-match cache: direct-mapped on the flow hash.
+  CacheEntry& entry = cache_[id & mask_];
+  uint32_t port;
+  if (entry.valid && entry.key == id) {
+    ++hits_;
+    port = entry.port;
+  } else {
+    // Slow path: "upcall" rule computation - derive the port from the
+    // header and install the cache entry.
+    ++misses_;
+    port = static_cast<uint32_t>(HashU64(id, 0x9047ULL) % kPorts);
+    entry = {id, port, true};
+  }
+  ++port_counts_[port];
+  return id;
+}
+
+}  // namespace hk

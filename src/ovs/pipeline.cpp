@@ -1,0 +1,112 @@
+#include "ovs/pipeline.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/timer.h"
+#include "common/zipf.h"
+#include "ovs/spsc_ring.h"
+#include "trace/generators.h"
+
+namespace hk {
+
+PipelineResult RunPipelines(const std::vector<RawPacket>& packets, const AlgorithmFactory& make,
+                            const PipelineConfig& config) {
+  // Each pipeline needs a datapath and a consumer thread; oversubscribing a
+  // small host with spinning threads only measures the scheduler, so scale
+  // down to the hardware (the paper's testbed runs 4 pipelines on 24
+  // threads).
+  const size_t hw = std::max<size_t>(std::thread::hardware_concurrency() / 2, 1);
+  const size_t n = std::max<size_t>(std::min(config.num_pipelines, hw), 1);
+  std::vector<std::unique_ptr<SpscRing<FlowId>>> rings;
+  std::vector<std::unique_ptr<SimulatedDatapath>> datapaths;
+  std::vector<TopKAlgorithm*> algorithms;
+  rings.reserve(n);
+  datapaths.reserve(n);
+  algorithms.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rings.push_back(std::make_unique<SpscRing<FlowId>>(config.ring_capacity));
+    datapaths.push_back(std::make_unique<SimulatedDatapath>(config.cache_slots));
+    algorithms.push_back(make ? make(i) : nullptr);
+  }
+
+  constexpr FlowId kEndOfStream = 0;  // real ids are full-width hashes, never 0
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      SimulatedDatapath& dp = *datapaths[i];
+      SpscRing<FlowId>& ring = *rings[i];
+      for (const RawPacket& packet : packets) {
+        FlowId id = dp.Process(packet);
+        if (id == kEndOfStream) {
+          id = 1;  // avoid colliding with the sentinel
+        }
+        while (!ring.TryPush(id)) {
+          // Ring full: the measurement consumer back-pressures the datapath.
+          std::this_thread::yield();
+        }
+      }
+      while (!ring.TryPush(kEndOfStream)) {
+        std::this_thread::yield();
+      }
+    });
+    threads.emplace_back([&, i] {
+      SpscRing<FlowId>& ring = *rings[i];
+      TopKAlgorithm* algo = algorithms[i];
+      FlowId id;
+      while (true) {
+        if (!ring.TryPop(&id)) {
+          std::this_thread::yield();
+          continue;
+        }
+        if (id == kEndOfStream) {
+          break;
+        }
+        if (algo != nullptr) {
+          algo->Insert(id);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  PipelineResult result;
+  result.seconds = timer.ElapsedSeconds();
+  result.packets = static_cast<uint64_t>(packets.size()) * n;
+  result.mps = Mps(result.packets, result.seconds);
+  result.pipelines = n;
+  return result;
+}
+
+std::vector<RawPacket> MakeWirePackets(uint64_t num_packets, uint64_t num_ranks, double skew,
+                                       uint64_t seed) {
+  ZipfDistribution dist(num_ranks, skew);
+  Rng rng(seed ^ 0x0f5eedULL);
+
+  // Materialize a 5-tuple per rank once, then sample packets i.i.d.
+  std::vector<FiveTuple> tuples(num_ranks);
+  SplitMix64 sm(seed ^ 0x7ab1e5ULL);
+  for (auto& t : tuples) {
+    const uint64_t a = sm.Next();
+    const uint64_t b = sm.Next();
+    t.src_ip = static_cast<uint32_t>(a);
+    t.dst_ip = static_cast<uint32_t>(a >> 32);
+    t.src_port = static_cast<uint16_t>(b);
+    t.dst_port = static_cast<uint16_t>(b >> 16);
+    t.proto = (b >> 32) % 2 == 0 ? 6 : 17;
+  }
+
+  std::vector<RawPacket> packets;
+  packets.reserve(num_packets);
+  for (uint64_t i = 0; i < num_packets; ++i) {
+    packets.push_back(PackHeader(tuples[dist.Sample(rng)]));
+  }
+  return packets;
+}
+
+}  // namespace hk

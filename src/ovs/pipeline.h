@@ -1,0 +1,54 @@
+// End-to-end measurement pipeline over the simulated OVS deployment
+// (Section VII-B): per pipeline, a datapath (producer) thread parses and
+// forwards packets, publishing flow IDs into the shared-memory ring; a
+// user-space (consumer) thread drains the ring into a measurement
+// algorithm. Several pipelines run in parallel (the paper uses 4 threads);
+// throughput is total packets over wall time. When the consumer is slower
+// than the datapath the ring fills and back-pressures the datapath - the
+// effect Figure 34 quantifies per algorithm.
+#ifndef HK_OVS_PIPELINE_H_
+#define HK_OVS_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ovs/datapath.h"
+#include "sketch/topk_algorithm.h"
+
+namespace hk {
+
+struct PipelineConfig {
+  // Requested pipelines (paper: 4). Clamped to hardware_concurrency/2 at
+  // run time: each pipeline is a producer/consumer thread pair and
+  // oversubscribed spinning threads measure the scheduler, not the sketch.
+  size_t num_pipelines = 4;
+  size_t ring_capacity = 4096;   // flow-id slots in shared memory
+  size_t cache_slots = 1 << 16;  // datapath exact-match cache
+};
+
+struct PipelineResult {
+  double seconds = 0.0;
+  double mps = 0.0;  // aggregate packets per second (millions)
+  uint64_t packets = 0;
+  size_t pipelines = 0;  // actually used after the hardware clamp
+};
+
+// Factory returning the per-pipeline measurement algorithm (non-owning; the
+// caller keeps the algorithms alive for the duration of the run and may
+// inspect them afterwards), or nullptr for the "plain OVS" baseline
+// (consumer drains the ring without measuring).
+using AlgorithmFactory = std::function<TopKAlgorithm*(size_t pipeline_index)>;
+
+// Runs `packets` (pre-packed wire headers, reused by every pipeline) through
+// the configured number of producer/consumer pairs.
+PipelineResult RunPipelines(const std::vector<RawPacket>& packets, const AlgorithmFactory& make,
+                            const PipelineConfig& config);
+
+// Convenience: pack a synthetic 5-tuple workload for the pipelines.
+std::vector<RawPacket> MakeWirePackets(uint64_t num_packets, uint64_t num_ranks, double skew,
+                                       uint64_t seed);
+
+}  // namespace hk
+
+#endif  // HK_OVS_PIPELINE_H_

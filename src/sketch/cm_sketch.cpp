@@ -1,0 +1,57 @@
+#include "sketch/cm_sketch.h"
+
+#include <algorithm>
+
+namespace hk {
+
+CmSketch::CmSketch(size_t d, size_t w, uint64_t seed)
+    : d_(d), w_(std::max<size_t>(w, 1)), hashes_(d, seed) {
+  counters_.assign(d_, std::vector<uint32_t>(w_, 0));
+}
+
+void CmSketch::Add(FlowId id, uint32_t delta) {
+  for (size_t j = 0; j < d_; ++j) {
+    uint32_t& c = counters_[j][hashes_.Index(j, id, w_)];
+    const uint64_t next = static_cast<uint64_t>(c) + delta;
+    c = next > ~0u ? ~0u : static_cast<uint32_t>(next);
+  }
+}
+
+uint64_t CmSketch::Query(FlowId id) const {
+  uint64_t best = ~0ULL;
+  for (size_t j = 0; j < d_; ++j) {
+    best = std::min<uint64_t>(best, counters_[j][hashes_.Index(j, id, w_)]);
+  }
+  return d_ == 0 ? 0 : best;
+}
+
+CmTopK::CmTopK(size_t d, size_t w, size_t k, size_t key_bytes, uint64_t seed)
+    : sketch_(d, w, seed), heap_(k), key_bytes_(key_bytes) {}
+
+std::unique_ptr<CmTopK> CmTopK::FromMemory(size_t bytes, size_t k, size_t key_bytes,
+                                           uint64_t seed, size_t d) {
+  const size_t heap_bytes = k * IndexedMinHeap::BytesPerEntry(key_bytes);
+  const size_t sketch_bytes = bytes > heap_bytes ? bytes - heap_bytes : 0;
+  const size_t w = std::max<size_t>(sketch_bytes / (d * sizeof(uint32_t)), 1);
+  return std::make_unique<CmTopK>(d, w, k, key_bytes, seed);
+}
+
+void CmTopK::Insert(FlowId id) {
+  sketch_.Add(id);
+  const uint64_t estimate = sketch_.Query(id);
+  if (heap_.Contains(id)) {
+    heap_.RaiseCount(id, estimate);
+  } else if (!heap_.Full()) {
+    heap_.Insert(id, estimate);
+  } else if (estimate > heap_.MinCount()) {
+    heap_.ReplaceMin(id, estimate);
+  }
+}
+
+std::vector<FlowCount> CmTopK::TopK(size_t k) const { return heap_.TopK(k); }
+
+size_t CmTopK::MemoryBytes() const {
+  return sketch_.MemoryBytes() + heap_.capacity() * IndexedMinHeap::BytesPerEntry(key_bytes_);
+}
+
+}  // namespace hk

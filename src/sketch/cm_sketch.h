@@ -1,0 +1,65 @@
+// Count-Min sketch (Cormode & Muthukrishnan) and the paper's "count-all"
+// top-k baseline (Sections I, II-B): a CM sketch measuring every flow plus a
+// min-heap tracking the k current largest estimates.
+//
+// CM never under-estimates; its top-k failure mode - mouse flows promoted
+// because all d of their counters are shared with elephants - is exactly
+// what Figures 4-19 measure.
+#ifndef HK_SKETCH_CM_SKETCH_H_
+#define HK_SKETCH_CM_SKETCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "sketch/topk_algorithm.h"
+#include "summary/min_heap.h"
+
+namespace hk {
+
+class CmSketch {
+ public:
+  // d arrays of w 32-bit counters.
+  CmSketch(size_t d, size_t w, uint64_t seed);
+
+  void Add(FlowId id, uint32_t delta = 1);
+  uint64_t Query(FlowId id) const;  // min over the d counters
+
+  size_t depth() const { return d_; }
+  size_t width() const { return w_; }
+  size_t MemoryBytes() const { return d_ * w_ * sizeof(uint32_t); }
+
+ private:
+  size_t d_;
+  size_t w_;
+  HashFamily hashes_;
+  std::vector<std::vector<uint32_t>> counters_;
+};
+
+// Count-all top-k baseline. Paper configuration: 3 arrays, heap of size k,
+// array width from the remaining byte budget.
+class CmTopK : public TopKAlgorithm {
+ public:
+  CmTopK(size_t d, size_t w, size_t k, size_t key_bytes, uint64_t seed);
+
+  static std::unique_ptr<CmTopK> FromMemory(size_t bytes, size_t k, size_t key_bytes = 4,
+                                            uint64_t seed = 1, size_t d = 3);
+
+  void Insert(FlowId id) override;
+  std::vector<FlowCount> TopK(size_t k) const override;
+  uint64_t EstimateSize(FlowId id) const override { return sketch_.Query(id); }
+  std::string name() const override { return "CM-Sketch"; }
+  size_t MemoryBytes() const override;
+
+  const CmSketch& sketch() const { return sketch_; }
+
+ private:
+  CmSketch sketch_;
+  IndexedMinHeap heap_;
+  size_t key_bytes_;
+};
+
+}  // namespace hk
+
+#endif  // HK_SKETCH_CM_SKETCH_H_

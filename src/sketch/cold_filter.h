@@ -1,0 +1,71 @@
+// Cold Filter (Zhou et al., SIGMOD'18) wrapped around Space-Saving, the
+// configuration the paper compares against (Section VI-E: "Cold Filter with
+// Space Saving ... is the best in that paper").
+//
+// Two CM-style layers with conservative increment sit in front of the
+// backing algorithm: layer 1 uses 4-bit counters (threshold T1 = 15),
+// layer 2 uses 8-bit counters (threshold T2 = 240). A packet is absorbed by
+// the first unsaturated layer; only flows hot enough to saturate both
+// layers reach Space-Saving, so its entries are not wasted on mouse flows.
+// An admitted flow's estimate adds back the T1 + T2 packets the filter
+// absorbed.
+#ifndef HK_SKETCH_COLD_FILTER_H_
+#define HK_SKETCH_COLD_FILTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "sketch/space_saving.h"
+#include "sketch/topk_algorithm.h"
+
+namespace hk {
+
+class ColdFilter : public TopKAlgorithm {
+ public:
+  ColdFilter(size_t l1_counters, size_t l2_counters, size_t backend_entries, size_t key_bytes,
+             uint64_t seed);
+
+  // 25% L1 / 25% L2 / 50% Space-Saving split.
+  static std::unique_ptr<ColdFilter> FromMemory(size_t bytes, size_t key_bytes = 4,
+                                                uint64_t seed = 1);
+
+  void Insert(FlowId id) override;
+  std::vector<FlowCount> TopK(size_t k) const override;
+  uint64_t EstimateSize(FlowId id) const override;
+  std::string name() const override { return "Cold-Filter"; }
+  size_t MemoryBytes() const override;
+
+  static constexpr uint32_t kT1 = 15;   // 4-bit layer threshold
+  static constexpr uint32_t kT2 = 240;  // 8-bit layer threshold
+  static constexpr size_t kHashes = 3;
+
+ private:
+  uint32_t L1Get(size_t i) const {
+    const uint8_t byte = l1_[i / 2];
+    return (i % 2 == 0) ? (byte & 0x0f) : (byte >> 4);
+  }
+  void L1Set(size_t i, uint32_t v) {
+    uint8_t& byte = l1_[i / 2];
+    byte = (i % 2 == 0) ? static_cast<uint8_t>((byte & 0xf0) | v)
+                        : static_cast<uint8_t>((byte & 0x0f) | (v << 4));
+  }
+
+  // Conservative-increment pass over one layer. Returns true if the layer
+  // absorbed the packet (its minimum was below the threshold).
+  bool PassLayer1(FlowId id);
+  bool PassLayer2(FlowId id);
+  uint32_t MinLayer1(FlowId id) const;
+  uint32_t MinLayer2(FlowId id) const;
+
+  std::vector<uint8_t> l1_;  // packed 4-bit counters
+  std::vector<uint8_t> l2_;
+  size_t l1_counters_;
+  HashFamily l1_hashes_;
+  HashFamily l2_hashes_;
+  SpaceSaving backend_;
+};
+
+}  // namespace hk
+
+#endif  // HK_SKETCH_COLD_FILTER_H_

@@ -1,0 +1,65 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+
+namespace hk {
+
+CountSketch::CountSketch(size_t d, size_t w, uint64_t seed)
+    : d_(d),
+      w_(std::max<size_t>(w, 1)),
+      index_hashes_(d, seed),
+      sign_hashes_(d, Mix64(seed ^ 0x5167ULL)) {
+  counters_.assign(d_, std::vector<int32_t>(w_, 0));
+}
+
+void CountSketch::Add(FlowId id, int32_t delta) {
+  for (size_t j = 0; j < d_; ++j) {
+    const int32_t sign = (sign_hashes_.Value(j, id) & 1) != 0 ? 1 : -1;
+    counters_[j][index_hashes_.Index(j, id, w_)] += sign * delta;
+  }
+}
+
+uint64_t CountSketch::Query(FlowId id) const {
+  std::vector<int64_t> values;
+  values.reserve(d_);
+  for (size_t j = 0; j < d_; ++j) {
+    const int32_t sign = (sign_hashes_.Value(j, id) & 1) != 0 ? 1 : -1;
+    values.push_back(static_cast<int64_t>(sign) *
+                     counters_[j][index_hashes_.Index(j, id, w_)]);
+  }
+  std::nth_element(values.begin(), values.begin() + values.size() / 2, values.end());
+  const int64_t median = values[values.size() / 2];
+  return median < 0 ? 0 : static_cast<uint64_t>(median);
+}
+
+CountSketchTopK::CountSketchTopK(size_t d, size_t w, size_t k, size_t key_bytes, uint64_t seed)
+    : sketch_(d, w, seed), heap_(k), key_bytes_(key_bytes) {}
+
+std::unique_ptr<CountSketchTopK> CountSketchTopK::FromMemory(size_t bytes, size_t k,
+                                                             size_t key_bytes, uint64_t seed,
+                                                             size_t d) {
+  const size_t heap_bytes = k * IndexedMinHeap::BytesPerEntry(key_bytes);
+  const size_t sketch_bytes = bytes > heap_bytes ? bytes - heap_bytes : 0;
+  const size_t w = std::max<size_t>(sketch_bytes / (d * sizeof(int32_t)), 1);
+  return std::make_unique<CountSketchTopK>(d, w, k, key_bytes, seed);
+}
+
+void CountSketchTopK::Insert(FlowId id) {
+  sketch_.Add(id);
+  const uint64_t estimate = sketch_.Query(id);
+  if (heap_.Contains(id)) {
+    heap_.RaiseCount(id, estimate);
+  } else if (!heap_.Full()) {
+    heap_.Insert(id, estimate);
+  } else if (estimate > heap_.MinCount()) {
+    heap_.ReplaceMin(id, estimate);
+  }
+}
+
+std::vector<FlowCount> CountSketchTopK::TopK(size_t k) const { return heap_.TopK(k); }
+
+size_t CountSketchTopK::MemoryBytes() const {
+  return sketch_.MemoryBytes() + heap_.capacity() * IndexedMinHeap::BytesPerEntry(key_bytes_);
+}
+
+}  // namespace hk

@@ -1,0 +1,57 @@
+// Count sketch (Charikar, Chen, Farach-Colton), the other count-all sketch
+// the paper cites (Section II-B). Signed counters with a median estimator;
+// unbiased but noisy under tight memory.
+#ifndef HK_SKETCH_COUNT_SKETCH_H_
+#define HK_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "sketch/topk_algorithm.h"
+#include "summary/min_heap.h"
+
+namespace hk {
+
+class CountSketch {
+ public:
+  CountSketch(size_t d, size_t w, uint64_t seed);
+
+  void Add(FlowId id, int32_t delta = 1);
+  // Median-of-d estimate, clamped below at 0.
+  uint64_t Query(FlowId id) const;
+
+  size_t MemoryBytes() const { return d_ * w_ * sizeof(int32_t); }
+
+ private:
+  size_t d_;
+  size_t w_;
+  HashFamily index_hashes_;
+  HashFamily sign_hashes_;
+  std::vector<std::vector<int32_t>> counters_;
+};
+
+class CountSketchTopK : public TopKAlgorithm {
+ public:
+  CountSketchTopK(size_t d, size_t w, size_t k, size_t key_bytes, uint64_t seed);
+
+  static std::unique_ptr<CountSketchTopK> FromMemory(size_t bytes, size_t k,
+                                                     size_t key_bytes = 4, uint64_t seed = 1,
+                                                     size_t d = 3);
+
+  void Insert(FlowId id) override;
+  std::vector<FlowCount> TopK(size_t k) const override;
+  uint64_t EstimateSize(FlowId id) const override { return sketch_.Query(id); }
+  std::string name() const override { return "Count-Sketch"; }
+  size_t MemoryBytes() const override;
+
+ private:
+  CountSketch sketch_;
+  IndexedMinHeap heap_;
+  size_t key_bytes_;
+};
+
+}  // namespace hk
+
+#endif  // HK_SKETCH_COUNT_SKETCH_H_

@@ -1,0 +1,95 @@
+#include "sketch/counter_tree.h"
+
+#include <algorithm>
+
+namespace hk {
+
+CounterTree::CounterTree(const Geometry& geometry, uint64_t seed)
+    : geometry_(geometry), hashes_(geometry.s, seed ^ 0xc7ee5ULL), rng_(Mix64(seed ^ 0x7ce3ULL)) {
+  geometry_.leaves = std::max<size_t>(geometry_.leaves, geometry_.s);
+  size_t width = geometry_.leaves;
+  for (size_t l = 0; l < geometry_.layers; ++l) {
+    levels_.emplace_back(std::max<size_t>(width, 1), 0);
+    width /= geometry_.degree;
+  }
+}
+
+std::unique_ptr<CounterTree> CounterTree::FromMemory(size_t bytes, uint64_t seed) {
+  Geometry g;
+  // Total bytes = leaves * (1 + 1/r + 1/r^2) for 8-bit counters, r = 2.
+  g.leaves = std::max<size_t>(bytes * 4 / 7, 8);
+  return std::make_unique<CounterTree>(g, seed);
+}
+
+void CounterTree::Insert(FlowId id) {
+  seen_.insert(id);
+  ++total_;
+  const size_t j = rng_.NextBounded(geometry_.s);
+  size_t idx = hashes_.Index(j, id, levels_[0].size());
+  // Increment with carry: an overflowing 8-bit counter wraps and carries
+  // one into its parent.
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    if (++levels_[l][idx] != 0) {
+      break;  // no overflow
+    }
+    if (l + 1 >= levels_.size()) {
+      levels_[l][idx] = 0xff;  // top level saturates
+      break;
+    }
+    idx /= geometry_.degree;
+  }
+}
+
+uint64_t CounterTree::ChainValue(size_t leaf) const {
+  uint64_t value = 0;
+  uint64_t scale = 1;
+  size_t idx = leaf;
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    value += scale * levels_[l][idx];
+    scale *= 256;
+    idx /= geometry_.degree;
+  }
+  return value;
+}
+
+uint64_t CounterTree::EstimateSize(FlowId id) const {
+  uint64_t sum = 0;
+  for (size_t j = 0; j < geometry_.s; ++j) {
+    sum += ChainValue(hashes_.Index(j, id, levels_[0].size()));
+  }
+  // Counter-sum estimator: subtract the expected background noise. Shared
+  // ancestors also fold sibling carries in, so the noise term uses the
+  // virtual-array share of the total traffic.
+  const double noise = static_cast<double>(geometry_.s) * static_cast<double>(total_) /
+                       static_cast<double>(levels_[0].size());
+  const double est = static_cast<double>(sum) - noise;
+  return est <= 0.0 ? 0 : static_cast<uint64_t>(est);
+}
+
+std::vector<FlowCount> CounterTree::TopK(size_t k) const {
+  std::vector<FlowCount> all;
+  all.reserve(seen_.size());
+  for (const FlowId id : seen_) {
+    all.push_back({id, EstimateSize(id)});
+  }
+  const auto cmp = [](const FlowCount& a, const FlowCount& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.id < b.id;
+  };
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(), cmp);
+  all.resize(take);
+  return all;
+}
+
+size_t CounterTree::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& level : levels_) {
+    bytes += level.size();
+  }
+  return bytes;
+}
+
+}  // namespace hk

@@ -1,0 +1,71 @@
+// Counter Tree (Chen & Chen, ToN'17), the paper's formula-based comparator
+// (Section VI-E): a two-dimensional counter-sharing architecture where small
+// leaf counters overflow into shared parent counters, and flow sizes are
+// *estimated* from noisy shared state rather than tracked.
+//
+// Geometry: `layers` levels of 8-bit counters with degree-r fan-in (parent
+// of leaf j at level l+1 is j / r). Each flow owns a virtual counter array
+// of s leaves chosen by s independent hashes; every packet increments one
+// of the s uniformly at random, carrying into parents on overflow.
+//
+// Estimation follows the counter-sum (CSE-style) estimator family from the
+// Counter Tree paper: the sum of a flow's s reconstructed leaf chains minus
+// the expected background noise s*N/m. Shared parents fold sibling carries
+// into the chain value, which is precisely the structural noise that makes
+// Counter Tree inaccurate for top-k under tight memory (Figure 20); see
+// DESIGN.md for the substitution note.
+//
+// Counter Tree stores no flow IDs; like the paper's evaluation we query a
+// candidate list of observed flows at report time (evaluation-only memory,
+// not charged to the byte budget).
+#ifndef HK_SKETCH_COUNTER_TREE_H_
+#define HK_SKETCH_COUNTER_TREE_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "sketch/topk_algorithm.h"
+
+namespace hk {
+
+class CounterTree : public TopKAlgorithm {
+ public:
+  struct Geometry {
+    size_t leaves = 1024;  // level-0 counters (8-bit)
+    size_t degree = 2;     // fan-in per level
+    size_t layers = 3;
+    size_t s = 4;  // virtual counter array length per flow
+  };
+
+  CounterTree(const Geometry& geometry, uint64_t seed);
+
+  static std::unique_ptr<CounterTree> FromMemory(size_t bytes, uint64_t seed = 1);
+
+  void Insert(FlowId id) override;
+  std::vector<FlowCount> TopK(size_t k) const override;
+  uint64_t EstimateSize(FlowId id) const override;
+  std::string name() const override { return "Counter-Tree"; }
+  size_t MemoryBytes() const override;
+
+  uint64_t total_packets() const { return total_; }
+
+ private:
+  // Value of the chain rooted at leaf index `leaf`: leaf + carries seen by
+  // its ancestors (each ancestor's raw value is scaled by the counter range
+  // of the levels below it).
+  uint64_t ChainValue(size_t leaf) const;
+
+  Geometry geometry_;
+  HashFamily hashes_;  // s leaf-selection hashes
+  Rng rng_;            // uniform pick among the s virtual counters
+  std::vector<std::vector<uint8_t>> levels_;
+  uint64_t total_ = 0;
+  std::unordered_set<FlowId> seen_;  // evaluation-only candidate list
+};
+
+}  // namespace hk
+
+#endif  // HK_SKETCH_COUNTER_TREE_H_

@@ -1,0 +1,62 @@
+#include "sketch/css.h"
+
+#include <algorithm>
+
+namespace hk {
+
+namespace {
+
+// TinyTable derives fingerprints by quotienting, so the effective
+// fingerprint width grows with the table: bigger tables spend more bits per
+// entry to keep the per-entry collision rate roughly constant.
+uint32_t FingerprintBitsFor(size_t m) {
+  uint32_t bits = Css::kFingerprintBits;
+  size_t capacity = 4096;  // 12 bits cover TinyTable's base configuration
+  while (capacity < m && bits < 20) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+Css::Css(size_t m, uint64_t seed)
+    : summary_(std::max<size_t>(m, 1)),
+      fingerprint_(FingerprintBitsFor(m), Mix64(seed ^ 0xc55ULL)) {
+  owners_.reserve(summary_.capacity());
+}
+
+std::unique_ptr<Css> Css::FromMemory(size_t bytes, uint64_t seed) {
+  return std::make_unique<Css>(std::max<size_t>(bytes / kBytesPerEntry, 1), seed);
+}
+
+void Css::Insert(FlowId id) {
+  const uint64_t fp = fingerprint_(id);
+  const bool existed = summary_.Contains(fp);
+  const FlowId evicted = summary_.SpaceSavingUpdate(fp);
+  if (evicted != 0) {
+    owners_.erase(evicted);
+  }
+  if (!existed) {
+    owners_[fp] = id;  // this flow claimed the (new or recycled) entry
+  }
+}
+
+std::vector<FlowCount> Css::TopK(size_t k) const {
+  std::vector<FlowCount> out;
+  for (const auto& e : summary_.TopK(k)) {
+    const auto it = owners_.find(e.id);
+    if (it != owners_.end()) {
+      out.push_back({it->second, e.count});
+    }
+  }
+  return out;
+}
+
+uint64_t Css::EstimateSize(FlowId id) const {
+  // Fingerprint collisions conflate counts exactly as a real TinyTable does.
+  return summary_.Count(fingerprint_(id));
+}
+
+}  // namespace hk

@@ -1,0 +1,53 @@
+// CSS - compact Space-Saving (Ben-Basat et al., INFOCOM'16), Section II-B.
+//
+// CSS keeps Space-Saving semantics but replaces the pointer-heavy
+// Stream-Summary entries with TinyTable-compacted fingerprints, fitting
+// several times more entries into the same bytes. We reproduce exactly that
+// trade-off with TinyTable's typical parameters: a 12-bit fingerprint and
+// ~6 bytes/entry (fingerprint + variable-length counter + bucket/chain
+// overhead amortized), so two flows sharing a fingerprint conflate their
+// counts - the structural error source of the real TinyTable design. A
+// shadow owner map (evaluation only, not charged to the byte budget,
+// mirroring how fingerprint-based reporters are scored in the literature)
+// translates fingerprints back to flow ids for the top-k report.
+#ifndef HK_SKETCH_CSS_H_
+#define HK_SKETCH_CSS_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "sketch/topk_algorithm.h"
+#include "summary/stream_summary.h"
+
+namespace hk {
+
+class Css : public TopKAlgorithm {
+ public:
+  Css(size_t m, uint64_t seed);
+
+  static std::unique_ptr<Css> FromMemory(size_t bytes, uint64_t seed = 1);
+
+  void Insert(FlowId id) override;
+  std::vector<FlowCount> TopK(size_t k) const override;
+  uint64_t EstimateSize(FlowId id) const override;
+  std::string name() const override { return "CSS"; }
+  size_t MemoryBytes() const override { return summary_.capacity() * kBytesPerEntry; }
+
+  // fp + variable-length counter + amortized bucket overhead.
+  static constexpr size_t kBytesPerEntry = 6;
+  // Base fingerprint width; grows logarithmically with the table size, as
+  // TinyTable's quotienting does (see FingerprintBitsFor in css.cpp).
+  static constexpr uint32_t kFingerprintBits = 12;
+
+  uint32_t fingerprint_bits() const { return fingerprint_.bits(); }
+
+ private:
+  StreamSummary summary_;  // keyed by fingerprint
+  Fingerprinter fingerprint_;
+  std::unordered_map<uint64_t, FlowId> owners_;  // evaluation-only id recovery
+};
+
+}  // namespace hk
+
+#endif  // HK_SKETCH_CSS_H_

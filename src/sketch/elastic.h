@@ -1,0 +1,60 @@
+// Elastic sketch (Yang et al., SIGCOMM'18), one of the paper's "recent
+// works" comparators (Section VI-E, Figures 20-22).
+//
+// Heavy part: one (key, vote+, vote-, flag) record per bucket. A packet for
+// the resident key raises vote+; other packets raise vote-; when
+// vote-/vote+ reaches lambda (8) the resident flow is evicted into the
+// light part (its vote+ added there), the new flow takes the bucket with
+// vote+ = 1 and flag = true (part of its history lives in the light part).
+// Light part: a single array of saturating 8-bit counters (CM with d = 1).
+#ifndef HK_SKETCH_ELASTIC_H_
+#define HK_SKETCH_ELASTIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "sketch/topk_algorithm.h"
+
+namespace hk {
+
+class ElasticSketch : public TopKAlgorithm {
+ public:
+  ElasticSketch(size_t heavy_buckets, size_t light_counters, size_t key_bytes, uint64_t seed);
+
+  // 75% heavy / 25% light split, as configured in the Elastic paper's
+  // software deployments.
+  static std::unique_ptr<ElasticSketch> FromMemory(size_t bytes, size_t key_bytes = 4,
+                                                   uint64_t seed = 1);
+
+  void Insert(FlowId id) override;
+  std::vector<FlowCount> TopK(size_t k) const override;
+  uint64_t EstimateSize(FlowId id) const override;
+  std::string name() const override { return "Elastic"; }
+  size_t MemoryBytes() const override;
+
+  size_t HeavyBucketBytes() const { return key_bytes_ + 9; }  // key + 2 votes + flag
+
+ private:
+  struct HeavyBucket {
+    FlowId key = 0;
+    uint32_t vote_pos = 0;
+    uint32_t vote_neg = 0;
+    bool flag = false;  // true if part of the key's count is in the light part
+  };
+
+  static constexpr uint32_t kLambda = 8;
+
+  uint64_t LightQuery(FlowId id) const;
+  void LightAdd(FlowId id, uint64_t value);
+
+  std::vector<HeavyBucket> heavy_;
+  std::vector<uint8_t> light_;
+  TwoWiseHash heavy_hash_;
+  TwoWiseHash light_hash_;
+  size_t key_bytes_;
+};
+
+}  // namespace hk
+
+#endif  // HK_SKETCH_ELASTIC_H_

@@ -1,0 +1,52 @@
+#include "sketch/frequent.h"
+
+#include <algorithm>
+
+namespace hk {
+
+Frequent::Frequent(size_t m, size_t key_bytes)
+    : summary_(std::max<size_t>(m, 1)), key_bytes_(key_bytes) {}
+
+std::unique_ptr<Frequent> Frequent::FromMemory(size_t bytes, size_t key_bytes) {
+  const size_t m = std::max<size_t>(bytes / StreamSummary::BytesPerEntry(key_bytes), 1);
+  return std::make_unique<Frequent>(m, key_bytes);
+}
+
+void Frequent::PurgeDead() {
+  while (summary_.size() > 0 && summary_.MinCount() <= offset_) {
+    summary_.PopMin();
+  }
+}
+
+void Frequent::Insert(FlowId id) {
+  if (summary_.Contains(id)) {
+    summary_.Increment(id);
+    return;
+  }
+  PurgeDead();
+  if (!summary_.Full()) {
+    summary_.Insert(id, offset_ + 1, 0);  // effective count 1
+    return;
+  }
+  // Decrement-all: raise the offset; entries that reach it die lazily.
+  ++offset_;
+  PurgeDead();
+}
+
+std::vector<FlowCount> Frequent::TopK(size_t k) const {
+  std::vector<FlowCount> out;
+  for (const auto& e : summary_.TopK(k)) {
+    if (e.count <= offset_) {
+      break;  // dead entries not yet purged; TopK is count-descending
+    }
+    out.push_back({e.id, e.count - offset_});
+  }
+  return out;
+}
+
+uint64_t Frequent::EstimateSize(FlowId id) const {
+  const uint64_t raw = summary_.Count(id);
+  return raw > offset_ ? raw - offset_ : 0;
+}
+
+}  // namespace hk

@@ -1,0 +1,45 @@
+// Frequent / Misra-Gries (Demaine et al., ESA'02), cited in Section I as an
+// admit-all-count-some algorithm. When the m counters are full and an
+// untracked flow arrives, *all* counters are decremented by one and the
+// flow is discarded. The decrement-all is O(1) amortized via a global
+// offset: stored counts are raw = effective + offset, and entries whose raw
+// count sinks to the offset are purged lazily through the Stream-Summary
+// minimum group.
+#ifndef HK_SKETCH_FREQUENT_H_
+#define HK_SKETCH_FREQUENT_H_
+
+#include <memory>
+
+#include "sketch/topk_algorithm.h"
+#include "summary/stream_summary.h"
+
+namespace hk {
+
+class Frequent : public TopKAlgorithm {
+ public:
+  Frequent(size_t m, size_t key_bytes);
+
+  static std::unique_ptr<Frequent> FromMemory(size_t bytes, size_t key_bytes = 4);
+
+  void Insert(FlowId id) override;
+  std::vector<FlowCount> TopK(size_t k) const override;
+  uint64_t EstimateSize(FlowId id) const override;
+  std::string name() const override { return "Frequent"; }
+  size_t MemoryBytes() const override {
+    return summary_.capacity() * StreamSummary::BytesPerEntry(key_bytes_);
+  }
+
+  uint64_t offset() const { return offset_; }
+  size_t size() const { return summary_.size(); }
+
+ private:
+  void PurgeDead();
+
+  StreamSummary summary_;
+  size_t key_bytes_;
+  uint64_t offset_ = 0;
+};
+
+}  // namespace hk
+
+#endif  // HK_SKETCH_FREQUENT_H_

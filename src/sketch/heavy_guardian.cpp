@@ -1,0 +1,77 @@
+#include "sketch/heavy_guardian.h"
+
+#include <algorithm>
+
+namespace hk {
+
+HeavyGuardian::HeavyGuardian(size_t buckets, size_t slots, size_t key_bytes, double b,
+                             uint64_t seed)
+    : buckets_(std::max<size_t>(buckets, 1), std::vector<Slot>(std::max<size_t>(slots, 1))),
+      slots_(std::max<size_t>(slots, 1)),
+      key_bytes_(key_bytes),
+      hash_(TwoWiseHash::FromSeed(seed ^ 0x96aadULL)),
+      decay_(DecayFunction::kExponential, b),
+      rng_(Mix64(seed ^ 0x9d1aULL)) {}
+
+std::unique_ptr<HeavyGuardian> HeavyGuardian::FromMemory(size_t bytes, size_t key_bytes,
+                                                         uint64_t seed) {
+  const size_t slot_bytes = key_bytes + 4;
+  const size_t buckets = std::max<size_t>(bytes / (kDefaultSlots * slot_bytes), 1);
+  return std::make_unique<HeavyGuardian>(buckets, kDefaultSlots, key_bytes, 1.08, seed);
+}
+
+void HeavyGuardian::Insert(FlowId id) {
+  auto& bucket = buckets_[hash_.Index(id, buckets_.size())];
+  Slot* weakest = &bucket[0];
+  for (auto& slot : bucket) {
+    if (slot.count > 0 && slot.id == id) {
+      ++slot.count;
+      return;
+    }
+    if (slot.count < weakest->count) {
+      weakest = &slot;
+    }
+  }
+  if (weakest->count == 0) {
+    *weakest = {id, 1};
+    return;
+  }
+  if (decay_.ShouldDecay(weakest->count, rng_)) {
+    if (--weakest->count == 0) {
+      *weakest = {id, 1};
+    }
+  }
+}
+
+uint64_t HeavyGuardian::EstimateSize(FlowId id) const {
+  const auto& bucket = buckets_[hash_.Index(id, buckets_.size())];
+  for (const auto& slot : bucket) {
+    if (slot.count > 0 && slot.id == id) {
+      return slot.count;
+    }
+  }
+  return 0;
+}
+
+std::vector<FlowCount> HeavyGuardian::TopK(size_t k) const {
+  std::vector<FlowCount> all;
+  for (const auto& bucket : buckets_) {
+    for (const auto& slot : bucket) {
+      if (slot.count > 0) {
+        all.push_back({slot.id, slot.count});
+      }
+    }
+  }
+  const auto cmp = [](const FlowCount& a, const FlowCount& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.id < b.id;
+  };
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(), cmp);
+  all.resize(take);
+  return all;
+}
+
+}  // namespace hk

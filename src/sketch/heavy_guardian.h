@@ -1,0 +1,58 @@
+// HeavyGuardian (Yang et al., SIGKDD'18): the ancestor algorithm the paper
+// credits for the exponential-decay strategy (Sections I-B, VI-E). The
+// paper deliberately does not benchmark against it (different focus,
+// software-only); we implement it as an extension so the library can run
+// the HK-vs-HG ablation the paper discusses qualitatively.
+//
+// Structure: w buckets, each with G "heavy" slots of (id, count). A packet
+// whose flow is resident increments its slot; otherwise it claims an empty
+// slot; otherwise the weakest slot decays with probability b^-count and is
+// replaced on reaching zero (the same count-with-exponential-decay rule as
+// HeavyKeeper, but scoped to one bucket of G slots instead of d arrays).
+#ifndef HK_SKETCH_HEAVY_GUARDIAN_H_
+#define HK_SKETCH_HEAVY_GUARDIAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/decay.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "sketch/topk_algorithm.h"
+
+namespace hk {
+
+class HeavyGuardian : public TopKAlgorithm {
+ public:
+  HeavyGuardian(size_t buckets, size_t slots, size_t key_bytes, double b, uint64_t seed);
+
+  static std::unique_ptr<HeavyGuardian> FromMemory(size_t bytes, size_t key_bytes = 4,
+                                                   uint64_t seed = 1);
+
+  void Insert(FlowId id) override;
+  std::vector<FlowCount> TopK(size_t k) const override;
+  uint64_t EstimateSize(FlowId id) const override;
+  std::string name() const override { return "HeavyGuardian"; }
+  size_t MemoryBytes() const override {
+    return buckets_.size() * slots_ * (key_bytes_ + 4);
+  }
+
+  static constexpr size_t kDefaultSlots = 8;
+
+ private:
+  struct Slot {
+    FlowId id = 0;
+    uint32_t count = 0;
+  };
+
+  std::vector<std::vector<Slot>> buckets_;
+  size_t slots_;
+  size_t key_bytes_;
+  TwoWiseHash hash_;
+  DecayTable decay_;
+  Rng rng_;
+};
+
+}  // namespace hk
+
+#endif  // HK_SKETCH_HEAVY_GUARDIAN_H_

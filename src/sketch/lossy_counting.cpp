@@ -1,0 +1,90 @@
+#include "sketch/lossy_counting.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hk {
+
+LossyCounting::LossyCounting(size_t m, size_t key_bytes)
+    : capacity_(std::max<size_t>(m, 1)), key_bytes_(key_bytes) {
+  entries_.reserve(capacity_ + 1);
+}
+
+std::unique_ptr<LossyCounting> LossyCounting::FromMemory(size_t bytes, size_t key_bytes) {
+  const size_t m = std::max<size_t>(bytes / StreamSummary::BytesPerEntry(key_bytes), 1);
+  return std::make_unique<LossyCounting>(m, key_bytes);
+}
+
+void LossyCounting::Insert(FlowId id) {
+  ++processed_;
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    ++it->second.count;
+  } else {
+    if (entries_.size() >= capacity_) {
+      PruneToCapacity();
+    }
+    // delta upper-bounds the packets this flow may have had before being
+    // admitted; the floor keeps the bound valid across capacity prunes.
+    entries_.emplace(id, Entry{1, std::max(epoch_ - 1, floor_)});
+  }
+  if (processed_ % capacity_ == 0) {
+    // Epoch boundary: advance and apply the classic prune rule.
+    ++epoch_;
+    PruneBelow(epoch_);
+  }
+}
+
+void LossyCounting::PruneBelow(uint64_t threshold) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.count + it->second.delta <= threshold) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LossyCounting::PruneToCapacity() {
+  // Find the median upper bound and discard everything at or below it; this
+  // keeps the largest flows and frees ~half the table in O(m).
+  std::vector<uint64_t> bounds;
+  bounds.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) {
+    bounds.push_back(e.count + e.delta);
+  }
+  const size_t mid = bounds.size() / 2;
+  std::nth_element(bounds.begin(), bounds.begin() + mid, bounds.end());
+  uint64_t threshold = bounds[mid];
+  PruneBelow(threshold);
+  // Degenerate case (all equal): drop everything at that bound.
+  while (entries_.size() >= capacity_) {
+    PruneBelow(++threshold);
+  }
+  floor_ = std::max(floor_, threshold);
+}
+
+std::vector<FlowCount> LossyCounting::TopK(size_t k) const {
+  std::vector<FlowCount> all;
+  all.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) {
+    all.push_back({id, e.count + e.delta});
+  }
+  const auto cmp = [](const FlowCount& a, const FlowCount& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.id < b.id;
+  };
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(), cmp);
+  all.resize(take);
+  return all;
+}
+
+uint64_t LossyCounting::EstimateSize(FlowId id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? 0 : it->second.count + it->second.delta;
+}
+
+}  // namespace hk

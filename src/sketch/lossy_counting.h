@@ -1,0 +1,60 @@
+// Lossy Counting (Manku & Motwani, VLDB'02), the paper's second
+// admit-all-count-some baseline (Section II-B).
+//
+// The stream is split into epochs of width w; every flow is admitted with a
+// maximum-undercount tag (delta = current epoch - 1) and entries whose
+// count + delta falls below the epoch number are pruned at epoch
+// boundaries. We additionally enforce the byte budget strictly: if the
+// table outgrows its m entries mid-epoch, it is pruned to capacity by
+// discarding the smallest (count + delta) entries, which is the standard
+// memory-bounded deployment. Estimates are the upper bound count + delta -
+// the over-estimation behaviour the paper attributes to this family.
+#ifndef HK_SKETCH_LOSSY_COUNTING_H_
+#define HK_SKETCH_LOSSY_COUNTING_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "sketch/topk_algorithm.h"
+#include "summary/stream_summary.h"
+
+namespace hk {
+
+class LossyCounting : public TopKAlgorithm {
+ public:
+  // m: max tracked entries; epoch width is also m (epsilon = 1/m).
+  LossyCounting(size_t m, size_t key_bytes);
+
+  static std::unique_ptr<LossyCounting> FromMemory(size_t bytes, size_t key_bytes = 4);
+
+  void Insert(FlowId id) override;
+  std::vector<FlowCount> TopK(size_t k) const override;
+  uint64_t EstimateSize(FlowId id) const override;
+  std::string name() const override { return "Lossy-Counting"; }
+  size_t MemoryBytes() const override {
+    return capacity_ * StreamSummary::BytesPerEntry(key_bytes_);
+  }
+
+  size_t size() const { return entries_.size(); }
+  uint64_t current_epoch() const { return epoch_; }
+
+ private:
+  struct Entry {
+    uint64_t count = 0;
+    uint64_t delta = 0;
+  };
+
+  void PruneBelow(uint64_t threshold);
+  void PruneToCapacity();
+
+  size_t capacity_;
+  size_t key_bytes_;
+  uint64_t processed_ = 0;
+  uint64_t epoch_ = 1;   // b_current in the original paper
+  uint64_t floor_ = 0;   // highest prune threshold used so far
+  std::unordered_map<FlowId, Entry> entries_;
+};
+
+}  // namespace hk
+
+#endif  // HK_SKETCH_LOSSY_COUNTING_H_

@@ -1,0 +1,23 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+
+namespace hk {
+
+SpaceSaving::SpaceSaving(size_t m, size_t key_bytes)
+    : summary_(std::max<size_t>(m, 1)), key_bytes_(key_bytes) {}
+
+std::unique_ptr<SpaceSaving> SpaceSaving::FromMemory(size_t bytes, size_t key_bytes) {
+  const size_t m = std::max<size_t>(bytes / StreamSummary::BytesPerEntry(key_bytes), 1);
+  return std::make_unique<SpaceSaving>(m, key_bytes);
+}
+
+std::vector<FlowCount> SpaceSaving::TopK(size_t k) const {
+  std::vector<FlowCount> out;
+  for (const auto& e : summary_.TopK(k)) {
+    out.push_back({e.id, e.count});
+  }
+  return out;
+}
+
+}  // namespace hk

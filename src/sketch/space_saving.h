@@ -1,0 +1,39 @@
+// Space-Saving (Metwally et al.), the canonical admit-all-count-some
+// baseline (Section II-B): every new flow is admitted by replacing the
+// current minimum, whose count it inherits plus one. The over-estimation
+// this causes under tight memory is the paper's main point of comparison.
+#ifndef HK_SKETCH_SPACE_SAVING_H_
+#define HK_SKETCH_SPACE_SAVING_H_
+
+#include <memory>
+
+#include "sketch/topk_algorithm.h"
+#include "summary/stream_summary.h"
+
+namespace hk {
+
+class SpaceSaving : public TopKAlgorithm {
+ public:
+  SpaceSaving(size_t m, size_t key_bytes);
+
+  // Paper accounting: m = bytes / (key + count + Stream-Summary overhead).
+  static std::unique_ptr<SpaceSaving> FromMemory(size_t bytes, size_t key_bytes = 4);
+
+  void Insert(FlowId id) override { summary_.SpaceSavingUpdate(id); }
+  std::vector<FlowCount> TopK(size_t k) const override;
+  uint64_t EstimateSize(FlowId id) const override { return summary_.Count(id); }
+  std::string name() const override { return "Space-Saving"; }
+  size_t MemoryBytes() const override {
+    return summary_.capacity() * StreamSummary::BytesPerEntry(key_bytes_);
+  }
+
+  const StreamSummary& summary() const { return summary_; }
+
+ private:
+  StreamSummary summary_;
+  size_t key_bytes_;
+};
+
+}  // namespace hk
+
+#endif  // HK_SKETCH_SPACE_SAVING_H_

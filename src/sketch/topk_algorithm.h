@@ -1,0 +1,42 @@
+// Uniform interface over every top-k algorithm in the library.
+//
+// The experiment harness (bench/common) feeds packets through Insert() and
+// asks for TopK()/EstimateSize() at the end, exactly as the paper's
+// head-to-head comparison does. MemoryBytes() reports the bytes the
+// algorithm was charged for under the Section VI-A accounting rules so a
+// test can verify every contender respects its budget.
+#ifndef HK_SKETCH_TOPK_ALGORITHM_H_
+#define HK_SKETCH_TOPK_ALGORITHM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flow_key.h"
+
+namespace hk {
+
+class TopKAlgorithm {
+ public:
+  virtual ~TopKAlgorithm() = default;
+
+  // Process one packet of flow `id`.
+  virtual void Insert(FlowId id) = 0;
+
+  // The k largest tracked flows with their estimated sizes,
+  // ordered by (estimate desc, id asc).
+  virtual std::vector<FlowCount> TopK(size_t k) const = 0;
+
+  // Point estimate of a single flow's size (0 = reported as a mouse flow /
+  // untracked).
+  virtual uint64_t EstimateSize(FlowId id) const = 0;
+
+  virtual std::string name() const = 0;
+
+  // Bytes charged under the paper's memory accounting.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+}  // namespace hk
+
+#endif  // HK_SKETCH_TOPK_ALGORITHM_H_

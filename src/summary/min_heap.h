@@ -1,0 +1,63 @@
+// Indexed min-heap of (flow id, count) with O(1) membership lookup.
+//
+// This is the expository top-k structure of the paper (Section III-C): the
+// root holds the smallest tracked flow (nmin); new candidates replace the
+// root. An unordered map gives O(1) "is flow fi monitored" checks (Step 1 of
+// both insertion algorithms); sift operations keep the map in sync.
+#ifndef HK_SUMMARY_MIN_HEAP_H_
+#define HK_SUMMARY_MIN_HEAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flow_key.h"
+
+namespace hk {
+
+class IndexedMinHeap {
+ public:
+  explicit IndexedMinHeap(size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return heap_.size(); }
+  bool Full() const { return heap_.size() >= capacity_; }
+  bool Contains(FlowId id) const { return pos_.count(id) != 0; }
+
+  // Count tracked for `id` (0 if absent).
+  uint64_t Value(FlowId id) const;
+
+  // Smallest tracked count; 0 when empty. This is the paper's nmin.
+  uint64_t MinCount() const { return heap_.empty() ? 0 : heap_[0].count; }
+
+  // Insert a new flow. Pre: !Contains(id) && !Full().
+  void Insert(FlowId id, uint64_t count);
+
+  // Expel the root and insert `id` in its place. Pre: !Contains(id), size()>0.
+  void ReplaceMin(FlowId id, uint64_t count);
+
+  // Raise an existing flow's count to max(current, count). Pre: Contains(id).
+  void RaiseCount(FlowId id, uint64_t count);
+
+  // Tracked flows sorted by (count desc, id asc), truncated to k.
+  std::vector<FlowCount> TopK(size_t k) const;
+
+  // All tracked flows (heap order, unspecified).
+  std::vector<FlowCount> Entries() const { return heap_; }
+
+  // key + 32-bit count (the paper's heap stores IDs and sizes only).
+  static size_t BytesPerEntry(size_t key_bytes) { return key_bytes + 4; }
+
+ private:
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  void Place(size_t i, const FlowCount& e);
+
+  size_t capacity_;
+  std::vector<FlowCount> heap_;
+  std::unordered_map<FlowId, size_t> pos_;
+};
+
+}  // namespace hk
+
+#endif  // HK_SUMMARY_MIN_HEAP_H_

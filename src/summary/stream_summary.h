@@ -1,0 +1,119 @@
+// Stream-Summary: the O(1) counter structure of Space-Saving (Metwally et
+// al., ICDT'05), referenced throughout the paper (Sections I, II-B, III-C).
+//
+// Items live in doubly-linked "count groups" ordered by count; a hash index
+// maps flow id -> item. Increment, find-min, and replace-min are all O(1)
+// (amortized; arbitrary upward count jumps walk group-by-group and are used
+// only by the HeavyKeeper top-k store whose jumps are +1 by Theorem 1).
+//
+// The structure is shared by: Space-Saving, Lossy Counting and Frequent
+// (via the eviction/offset hooks), and HeavyKeeper's top-k stage (the paper
+// notes their implementation uses Stream-Summary instead of a min-heap).
+//
+// Node storage is index-based (vectors + free lists) rather than pointer
+// based: no per-operation allocation, cache-friendly, and trivially
+// relocatable.
+#ifndef HK_SUMMARY_STREAM_SUMMARY_H_
+#define HK_SUMMARY_STREAM_SUMMARY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flow_key.h"
+
+namespace hk {
+
+class StreamSummary {
+ public:
+  struct Entry {
+    FlowId id = 0;
+    uint64_t count = 0;
+    uint64_t error = 0;  // Space-Saving overestimation bound (epsilon_i)
+  };
+
+  explicit StreamSummary(size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return index_.size(); }
+  bool Full() const { return size() >= capacity_; }
+  bool Contains(FlowId id) const { return index_.count(id) != 0; }
+
+  // Count of `id`, or 0 if absent.
+  uint64_t Count(FlowId id) const;
+  // Overestimation bound recorded for `id` (0 if absent).
+  uint64_t Error(FlowId id) const;
+
+  // Smallest tracked count (0 when empty).
+  uint64_t MinCount() const;
+
+  // Space-Saving update for one packet: increment if tracked, insert if
+  // there is room (count=1, error=0), otherwise replace a minimum item with
+  // count = min+1, error = min. Returns the id that was evicted, or 0.
+  FlowId SpaceSavingUpdate(FlowId id);
+
+  // Increment an existing item by 1. Pre: Contains(id).
+  void Increment(FlowId id);
+
+  // Insert a new item with an explicit (count, error). Pre: !Contains(id)
+  // and !Full().
+  void Insert(FlowId id, uint64_t count, uint64_t error = 0);
+
+  // Raise an existing item's count to exactly `count` (>= current count).
+  void RaiseCount(FlowId id, uint64_t count);
+
+  // Remove an arbitrary item. Pre: Contains(id).
+  void Remove(FlowId id);
+
+  // Remove one item with the minimum count; returns it. Pre: size() > 0.
+  Entry PopMin();
+
+  // All tracked entries (unordered).
+  std::vector<Entry> Entries() const;
+
+  // Entries sorted by (count desc, id asc), truncated to k.
+  std::vector<Entry> TopK(size_t k) const;
+
+  // Bytes per tracked entry given the flow-key width: key + 32-bit count +
+  // group-list links and hash-index share. Used by the memory accounting in
+  // Section VI-A style head-to-head comparisons.
+  static size_t BytesPerEntry(size_t key_bytes) { return key_bytes + 4 + 16; }
+
+ private:
+  struct Item {
+    FlowId id = 0;
+    uint64_t error = 0;
+    int32_t prev = -1;
+    int32_t next = -1;
+    int32_t group = -1;
+  };
+  struct Group {
+    uint64_t count = 0;
+    int32_t first = -1;  // head of the item list
+    int32_t prev = -1;
+    int32_t next = -1;
+  };
+
+  int32_t AllocItem();
+  int32_t AllocGroup();
+  void FreeItem(int32_t idx);
+  void FreeGroup(int32_t idx);
+
+  // Detach item from its group; deletes the group if it becomes empty.
+  void DetachItem(int32_t item);
+  // Attach item to a group holding `count` adjacent to group `hint`
+  // (searching forward from hint; hint may be -1 meaning the list head).
+  void AttachWithCount(int32_t item, uint64_t count, int32_t hint);
+
+  size_t capacity_;
+  std::vector<Item> items_;
+  std::vector<Group> groups_;
+  std::vector<int32_t> free_items_;
+  std::vector<int32_t> free_groups_;
+  int32_t head_group_ = -1;  // group with the smallest count
+  std::unordered_map<FlowId, int32_t> index_;
+};
+
+}  // namespace hk
+
+#endif  // HK_SUMMARY_STREAM_SUMMARY_H_

@@ -1,0 +1,60 @@
+// Top-k candidate stores for the HeavyKeeper pipelines.
+//
+// Section III-C: the paper explains the algorithm with a min-heap but notes
+// "in our implementation, we use Stream-Summary instead of min-heap ... and
+// Stream-Summary can achieve O(1) update complexity". Both backends are
+// provided behind one duck-typed API (Contains / Value / MinCount / Full /
+// Insert / ReplaceMin / RaiseCount / TopK) so the pipelines can be
+// instantiated with either; the `abl_topk_store` bench compares them.
+//
+// HeapTopKStore is IndexedMinHeap itself; SummaryTopKStore adapts
+// StreamSummary.
+#ifndef HK_SUMMARY_TOPK_STORE_H_
+#define HK_SUMMARY_TOPK_STORE_H_
+
+#include "summary/min_heap.h"
+#include "summary/stream_summary.h"
+
+namespace hk {
+
+using HeapTopKStore = IndexedMinHeap;
+
+class SummaryTopKStore {
+ public:
+  explicit SummaryTopKStore(size_t capacity) : summary_(capacity) {}
+
+  size_t capacity() const { return summary_.capacity(); }
+  size_t size() const { return summary_.size(); }
+  bool Full() const { return summary_.Full(); }
+  bool Contains(FlowId id) const { return summary_.Contains(id); }
+  uint64_t Value(FlowId id) const { return summary_.Count(id); }
+  uint64_t MinCount() const { return summary_.MinCount(); }
+
+  void Insert(FlowId id, uint64_t count) { summary_.Insert(id, count, 0); }
+
+  void ReplaceMin(FlowId id, uint64_t count) {
+    summary_.PopMin();
+    summary_.Insert(id, count, 0);
+  }
+
+  void RaiseCount(FlowId id, uint64_t count) { summary_.RaiseCount(id, count); }
+
+  std::vector<FlowCount> TopK(size_t k) const {
+    std::vector<FlowCount> out;
+    for (const auto& e : summary_.TopK(k)) {
+      out.push_back({e.id, e.count});
+    }
+    return out;
+  }
+
+  static size_t BytesPerEntry(size_t key_bytes) {
+    return StreamSummary::BytesPerEntry(key_bytes);
+  }
+
+ private:
+  StreamSummary summary_;
+};
+
+}  // namespace hk
+
+#endif  // HK_SUMMARY_TOPK_STORE_H_

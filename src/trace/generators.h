@@ -1,0 +1,87 @@
+// Workload generators (Section VI-A datasets).
+//
+// The paper evaluates on three data sources; we reproduce each as a seeded
+// synthetic generator (see DESIGN.md "Substitutions"):
+//
+//   * Campus   - 10M packets / ~1M flows, 5-tuple keys. Modeled as Zipf
+//                skew 0.90 over N/10 ranks with a per-flow clamp so the
+//                paper's 16-bit counters never saturate artificially.
+//   * CAIDA    - 10M packets / ~4.2M flows, src/dst-pair keys. Much flatter:
+//                Zipf skew 0.70 over 0.42*N ranks (mouse-dominated, most
+//                flows are 1-3 packets).
+//   * Synthetic- the paper's own Zipf family, skew 0.6..3.0, 4-byte keys.
+//
+// Flow sizes use exact largest-remainder allocation of N packets to ranks
+// (deterministic sizes make ground truth exact and tests tight), and the
+// packet order is a seeded uniform shuffle — matching the uniform-arrival
+// assumption in the paper's analysis (Section V).
+//
+// ZipfStream provides i.i.d. sampling from the same rank->flow mapping for
+// the "very big dataset" experiment (Fig 32), where materializing 10^8
+// packets is unnecessary.
+#ifndef HK_TRACE_GENERATORS_H_
+#define HK_TRACE_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flow_key.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "trace/trace.h"
+
+namespace hk {
+
+struct ZipfTraceConfig {
+  uint64_t num_packets = 1'000'000;
+  uint64_t num_ranks = 100'000;  // candidate flows; flows sized to 0 vanish
+  double skew = 1.0;
+  uint64_t max_flow_size = 0;  // 0 = unlimited; otherwise per-flow clamp
+  KeyKind key_kind = KeyKind::kSynthetic4B;
+  uint64_t seed = 1;
+  std::string name = "zipf";
+};
+
+// Exact-allocation Zipf trace: rank i gets round(N * pmf_i) packets
+// (largest-remainder rounding), order shuffled.
+Trace MakeZipfTrace(const ZipfTraceConfig& config);
+
+// The paper's campus dataset stand-in. `num_packets` defaults to the paper's
+// 10M when 0 is passed.
+Trace MakeCampusTrace(uint64_t num_packets, uint64_t seed);
+
+// The paper's CAIDA-2016 stand-in.
+Trace MakeCaidaTrace(uint64_t num_packets, uint64_t seed);
+
+// The paper's synthetic Zipf datasets (skew 0.6 .. 3.0, 4-byte keys,
+// 1..10M candidate flows depending on skewness, as in Section VI-A).
+Trace MakeSyntheticTrace(uint64_t num_packets, double skew, uint64_t seed);
+
+// Deterministic rank -> FlowId mapping shared by trace builders and streams.
+FlowId RankToFlowId(uint64_t rank, KeyKind kind, uint64_t seed);
+
+// Unbounded i.i.d. packet stream over a Zipf flow universe (Fig 32).
+class ZipfStream {
+ public:
+  ZipfStream(uint64_t num_ranks, double skew, KeyKind kind, uint64_t seed)
+      : dist_(num_ranks, skew), kind_(kind), seed_(seed), rng_(seed ^ 0x5eedf00dULL) {}
+
+  FlowId Next() {
+    const uint64_t rank = dist_.Sample(rng_);
+    return RankToFlowId(rank, kind_, seed_);
+  }
+
+  const ZipfDistribution& distribution() const { return dist_; }
+
+ private:
+  ZipfDistribution dist_;
+  KeyKind kind_;
+  uint64_t seed_;
+  Rng rng_;
+};
+
+}  // namespace hk
+
+#endif  // HK_TRACE_GENERATORS_H_

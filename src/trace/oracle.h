@@ -1,0 +1,47 @@
+// Exact ground truth (Section II-A problem statement).
+//
+// The oracle maintains exact per-flow counts and produces the true top-k
+// list that Precision/ARE/AAE are measured against. Ties at the k-th size
+// are broken by flow id for determinism; the metrics layer additionally
+// treats any flow whose true size equals the k-th size as a correct answer
+// (the standard tie-tolerant precision used in the field).
+#ifndef HK_TRACE_ORACLE_H_
+#define HK_TRACE_ORACLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flow_key.h"
+#include "trace/trace.h"
+
+namespace hk {
+
+class Oracle {
+ public:
+  Oracle() = default;
+  explicit Oracle(const Trace& trace) { AddTrace(trace); }
+
+  void Add(FlowId id, uint64_t count = 1) { counts_[id] += count; }
+  void AddTrace(const Trace& trace);
+
+  uint64_t Count(FlowId id) const;
+  uint64_t num_flows() const { return counts_.size(); }
+  uint64_t total_packets() const { return total_; }
+
+  // True top-k, ordered by (count desc, id asc).
+  std::vector<FlowCount> TopK(size_t k) const;
+
+  // Size of the k-th largest flow (0 if fewer than k flows exist).
+  uint64_t KthSize(size_t k) const;
+
+  const std::unordered_map<FlowId, uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::unordered_map<FlowId, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace hk
+
+#endif  // HK_TRACE_ORACLE_H_

@@ -1,0 +1,83 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace hk {
+namespace {
+
+constexpr uint64_t kMagic = 0x484b54524143451aULL;  // "HKTRACE" + 0x1a
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteOne(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadOne(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+bool Trace::Save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) {
+    return false;
+  }
+  const uint32_t kind = static_cast<uint32_t>(key_kind);
+  const uint64_t n = packets.size();
+  const uint64_t name_len = name.size();
+  if (!WriteOne(f.get(), kMagic) || !WriteOne(f.get(), kVersion) || !WriteOne(f.get(), kind) ||
+      !WriteOne(f.get(), num_flows) || !WriteOne(f.get(), n) || !WriteOne(f.get(), name_len)) {
+    return false;
+  }
+  if (name_len > 0 && std::fwrite(name.data(), 1, name_len, f.get()) != name_len) {
+    return false;
+  }
+  if (n > 0 && std::fwrite(packets.data(), sizeof(FlowId), n, f.get()) != n) {
+    return false;
+  }
+  return true;
+}
+
+bool Trace::Load(const std::string& path, Trace* out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    return false;
+  }
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t kind = 0;
+  uint64_t num_flows = 0;
+  uint64_t n = 0;
+  uint64_t name_len = 0;
+  if (!ReadOne(f.get(), &magic) || magic != kMagic || !ReadOne(f.get(), &version) ||
+      version != kVersion || !ReadOne(f.get(), &kind) || !ReadOne(f.get(), &num_flows) ||
+      !ReadOne(f.get(), &n) || !ReadOne(f.get(), &name_len)) {
+    return false;
+  }
+  out->key_kind = static_cast<KeyKind>(kind);
+  out->num_flows = num_flows;
+  out->name.resize(name_len);
+  if (name_len > 0 && std::fread(out->name.data(), 1, name_len, f.get()) != name_len) {
+    return false;
+  }
+  out->packets.resize(n);
+  if (n > 0 && std::fread(out->packets.data(), sizeof(FlowId), n, f.get()) != n) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hk

@@ -1,0 +1,34 @@
+// Packet-trace container and binary (de)serialization.
+//
+// A trace is the canonical input of every experiment: an ordered stream of
+// FlowIds plus metadata (how the flow IDs were derived, how many distinct
+// flows exist). Traces are deterministic functions of (generator config,
+// seed) so any figure can be regenerated bit-for-bit.
+#ifndef HK_TRACE_TRACE_H_
+#define HK_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flow_key.h"
+
+namespace hk {
+
+struct Trace {
+  std::string name;
+  KeyKind key_kind = KeyKind::kSynthetic4B;
+  uint64_t num_flows = 0;  // distinct flows actually present
+  std::vector<FlowId> packets;
+
+  uint64_t num_packets() const { return packets.size(); }
+
+  // Binary round-trip. Format: magic, version, key kind, flow/packet counts,
+  // name, raw id array. Returns false on I/O or format error.
+  bool Save(const std::string& path) const;
+  static bool Load(const std::string& path, Trace* out);
+};
+
+}  // namespace hk
+
+#endif  // HK_TRACE_TRACE_H_

@@ -1,0 +1,136 @@
+// Tests for the benchmark harness itself: the algorithm factory, metric
+// plumbing and sweep runners that every figure binary relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/algorithms.h"
+#include "common/datasets.h"
+#include "common/harness.h"
+#include "trace/generators.h"
+
+namespace hk::bench {
+namespace {
+
+const std::vector<std::string>& AllNames() {
+  static const std::vector<std::string> names = {
+      "HK",       "HK-Parallel", "HK-Minimum", "HK-Basic",    "SS",
+      "LC",       "CSS",         "CM",         "CountSketch", "Frequent",
+      "Elastic",  "ColdFilter",  "CounterTree", "HeavyGuardian"};
+  return names;
+}
+
+Dataset SmallDataset() {
+  Dataset ds;
+  ds.trace = MakeCampusTrace(60000, 3);
+  ds.oracle.AddTrace(ds.trace);
+  return ds;
+}
+
+class FactorySweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FactorySweep, ConstructsWithinBudgetAndRuns) {
+  const std::string name = GetParam();
+  constexpr size_t kBudget = 20 * 1024;
+  auto algo = MakeAlgorithm(name, kBudget, 50, KeyKind::kFiveTuple13B, 1);
+  ASSERT_NE(algo, nullptr);
+  EXPECT_LE(algo->MemoryBytes(), kBudget + 64) << name;
+  EXPECT_GE(algo->MemoryBytes(), kBudget / 2) << name;
+
+  // Feed a small skewed stream; the report must be sorted and non-empty.
+  const Dataset ds = SmallDataset();
+  for (const FlowId id : ds.trace.packets) {
+    algo->Insert(id);
+  }
+  const auto top = algo->TopK(20);
+  ASSERT_FALSE(top.empty()) << name;
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i].count, top[i - 1].count) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, FactorySweep, ::testing::ValuesIn(AllNames()),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (auto& c : s) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return s;
+                         });
+
+TEST(FactoryTest, HkAliasMatchesParallel) {
+  auto a = MakeAlgorithm("HK", 10 * 1024, 10, KeyKind::kSynthetic4B, 1);
+  auto b = MakeAlgorithm("HK-Parallel", 10 * 1024, 10, KeyKind::kSynthetic4B, 1);
+  EXPECT_EQ(a->name(), b->name());
+  EXPECT_EQ(a->MemoryBytes(), b->MemoryBytes());
+}
+
+TEST(FactoryTest, ContenderListsMatchPaper) {
+  EXPECT_EQ(ClassicContenders(), (std::vector<std::string>{"SS", "LC", "CSS", "CM", "HK"}));
+  EXPECT_EQ(RecentContenders(),
+            (std::vector<std::string>{"CounterTree", "ColdFilter", "Elastic", "HK"}));
+  EXPECT_EQ(VersionContenders(), (std::vector<std::string>{"HK-Parallel", "HK-Minimum"}));
+}
+
+TEST(MetricTest, ValuesAndClamping) {
+  AccuracyReport report;
+  report.precision = 0.5;
+  report.are = 0.01;
+  report.aae = 100.0;
+  EXPECT_DOUBLE_EQ(MetricValue(Metric::kPrecision, report), 0.5);
+  EXPECT_NEAR(MetricValue(Metric::kLog10Are, report), -2.0, 1e-12);
+  EXPECT_NEAR(MetricValue(Metric::kLog10Aae, report), 2.0, 1e-12);
+  // Zero error clamps to the -9 floor instead of -inf.
+  report.are = 0.0;
+  EXPECT_DOUBLE_EQ(MetricValue(Metric::kLog10Are, report), -9.0);
+}
+
+TEST(MetricTest, NamesAreStable) {
+  EXPECT_STREQ(MetricName(Metric::kPrecision), "precision");
+  EXPECT_STREQ(MetricName(Metric::kLog10Are), "log10(ARE)");
+  EXPECT_STREQ(MetricName(Metric::kLog10Aae), "log10(AAE)");
+}
+
+TEST(SweepTest, MemorySweepShapesTable) {
+  const Dataset ds = SmallDataset();
+  const auto table =
+      MemorySweep(ds, {"HK", "SS"}, {8, 16}, 20, Metric::kPrecision);
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(table.row(0)[0], 8.0);
+  EXPECT_DOUBLE_EQ(table.row(1)[0], 16.0);
+  // Precision values are probabilities.
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 1; c <= 2; ++c) {
+      EXPECT_GE(table.row(r)[c], 0.0);
+      EXPECT_LE(table.row(r)[c], 1.0);
+    }
+  }
+}
+
+TEST(SweepTest, KSweepUsesEveryK) {
+  const Dataset ds = SmallDataset();
+  const auto table = KSweep(ds, {"HK"}, {10, 20, 40}, 16 * 1024, Metric::kPrecision);
+  ASSERT_EQ(table.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(table.row(2)[0], 40.0);
+}
+
+TEST(SweepTest, RunOnceIsDeterministic) {
+  const Dataset ds = SmallDataset();
+  const auto a = RunOnce("HK", ds, 16 * 1024, 20, 7);
+  const auto b = RunOnce("HK", ds, 16 * 1024, 20, 7);
+  EXPECT_DOUBLE_EQ(a.precision, b.precision);
+  EXPECT_DOUBLE_EQ(a.are, b.are);
+  EXPECT_DOUBLE_EQ(a.aae, b.aae);
+}
+
+TEST(SweepTest, HkBeatsSpaceSavingOnTightBudget) {
+  const Dataset ds = SmallDataset();
+  const auto hk = RunOnce("HK", ds, 6 * 1024, 50);
+  const auto ss = RunOnce("SS", ds, 6 * 1024, 50);
+  EXPECT_GT(hk.precision, ss.precision);
+}
+
+}  // namespace
+}  // namespace hk::bench

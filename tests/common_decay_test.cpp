@@ -1,0 +1,104 @@
+#include "common/decay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hk {
+namespace {
+
+TEST(DecayTableTest, ExponentialMatchesPow) {
+  DecayTable table(DecayFunction::kExponential, 1.08);
+  for (uint32_t c = 1; c < 100; ++c) {
+    EXPECT_NEAR(table.Probability(c), std::pow(1.08, -static_cast<double>(c)), 1e-9)
+        << "C=" << c;
+  }
+}
+
+TEST(DecayTableTest, ProbabilityOneAtZero) {
+  for (const auto f : {DecayFunction::kExponential, DecayFunction::kPolynomial,
+                       DecayFunction::kSigmoid}) {
+    DecayTable table(f, 1.08);
+    EXPECT_DOUBLE_EQ(table.Probability(0), 1.0);
+    Rng rng(1);
+    EXPECT_TRUE(table.ShouldDecay(0, rng));  // claiming an empty bucket is certain
+  }
+}
+
+TEST(DecayTableTest, MonotonicallyDecreasing) {
+  for (const auto f : {DecayFunction::kExponential, DecayFunction::kPolynomial,
+                       DecayFunction::kSigmoid}) {
+    DecayTable table(f, f == DecayFunction::kPolynomial ? 2.0 : 1.08);
+    for (uint32_t c = 1; c < table.cutoff(); ++c) {
+      EXPECT_LE(table.Probability(c), table.Probability(c - 1))
+          << DecayFunctionName(f) << " C=" << c;
+    }
+  }
+}
+
+TEST(DecayTableTest, BeyondCutoffNeverDecays) {
+  DecayTable table(DecayFunction::kExponential, 1.08);
+  Rng rng(7);
+  const uint32_t cutoff = table.cutoff();
+  EXPECT_GT(cutoff, 50u);  // far beyond the paper's "C ~ 50 is immune"
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(table.ShouldDecay(cutoff, rng));
+    EXPECT_FALSE(table.ShouldDecay(cutoff + 1000, rng));
+  }
+  EXPECT_DOUBLE_EQ(table.Probability(cutoff + 1), 0.0);
+}
+
+TEST(DecayTableTest, EmpiricalRateMatchesProbability) {
+  DecayTable table(DecayFunction::kExponential, 1.08);
+  Rng rng(13);
+  // b^-9 ~ 0.50 for b=1.08; sample the coin.
+  const uint32_t c = 9;
+  const double p = table.Probability(c);
+  int decays = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (table.ShouldDecay(c, rng)) {
+      ++decays;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(decays) / kTrials, p, 0.01);
+}
+
+TEST(DecayTableTest, LargerBaseDecaysLess) {
+  DecayTable small(DecayFunction::kExponential, 1.05);
+  DecayTable large(DecayFunction::kExponential, 1.5);
+  for (uint32_t c = 1; c < 30; ++c) {
+    EXPECT_GT(small.Probability(c), large.Probability(c));
+  }
+}
+
+TEST(DecayTableTest, PolynomialMatchesFormula) {
+  DecayTable table(DecayFunction::kPolynomial, 2.0);
+  for (uint32_t c = 2; c < 50; ++c) {
+    EXPECT_NEAR(table.Probability(c), std::pow(static_cast<double>(c), -2.0), 1e-9);
+  }
+}
+
+TEST(DecayTableTest, SigmoidStaysWithinUnit) {
+  DecayTable table(DecayFunction::kSigmoid, 1.08);
+  for (uint32_t c = 0; c < table.cutoff(); ++c) {
+    EXPECT_GE(table.Probability(c), 0.0);
+    EXPECT_LE(table.Probability(c), 1.0);
+  }
+}
+
+TEST(DecayTableTest, NamesAreStable) {
+  EXPECT_STREQ(DecayFunctionName(DecayFunction::kExponential), "exponential(b^-C)");
+  EXPECT_STREQ(DecayFunctionName(DecayFunction::kPolynomial), "polynomial(C^-b)");
+  EXPECT_STREQ(DecayFunctionName(DecayFunction::kSigmoid), "sigmoid");
+}
+
+TEST(DecayTableTest, SmallCountersNearCertainDecay) {
+  // Section III-B: "when the value is small (e.g., 3) ... the probability is
+  // close to 1".
+  DecayTable table(DecayFunction::kExponential, 1.08);
+  EXPECT_GT(table.Probability(3), 0.75);
+}
+
+}  // namespace
+}  // namespace hk

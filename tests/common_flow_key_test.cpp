@@ -1,0 +1,79 @@
+#include "common/flow_key.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hk {
+namespace {
+
+TEST(FiveTupleTest, IdIsDeterministic) {
+  FiveTuple t{0x0a000001, 0x0a000002, 1234, 80, 6};
+  EXPECT_EQ(t.Id(), t.Id());
+}
+
+TEST(FiveTupleTest, EveryFieldAffectsId) {
+  const FiveTuple base{0x0a000001, 0x0a000002, 1234, 80, 6};
+  FiveTuple t = base;
+  t.src_ip ^= 1;
+  EXPECT_NE(t.Id(), base.Id());
+  t = base;
+  t.dst_ip ^= 1;
+  EXPECT_NE(t.Id(), base.Id());
+  t = base;
+  t.src_port ^= 1;
+  EXPECT_NE(t.Id(), base.Id());
+  t = base;
+  t.dst_port ^= 1;
+  EXPECT_NE(t.Id(), base.Id());
+  t = base;
+  t.proto = 17;
+  EXPECT_NE(t.Id(), base.Id());
+}
+
+TEST(FiveTupleTest, ToStringFormatsIpAndPorts) {
+  FiveTuple t{0xc0a80101, 0x08080808, 443, 51234, 6};
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("192.168.1.1:443"), std::string::npos);
+  EXPECT_NE(s.find("8.8.8.8:51234"), std::string::npos);
+  EXPECT_NE(s.find("proto=6"), std::string::npos);
+}
+
+TEST(AddrPairTest, IdDependsOnDirection) {
+  AddrPair ab{1, 2};
+  AddrPair ba{2, 1};
+  EXPECT_NE(ab.Id(), ba.Id());
+}
+
+TEST(AddrPairTest, ToStringContainsBothAddresses) {
+  AddrPair p{0x01020304, 0x05060708};
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("1.2.3.4"), std::string::npos);
+  EXPECT_NE(s.find("5.6.7.8"), std::string::npos);
+}
+
+TEST(KeyKindTest, ByteWidthsMatchPaper) {
+  EXPECT_EQ(KeyBytes(KeyKind::kSynthetic4B), 4u);   // "each packet is 4 bytes"
+  EXPECT_EQ(KeyBytes(KeyKind::kAddrPair8B), 8u);    // CAIDA src+dst
+  EXPECT_EQ(KeyBytes(KeyKind::kFiveTuple13B), 13u); // 5-tuple
+}
+
+TEST(KeyKindTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  names.insert(KeyKindName(KeyKind::kSynthetic4B));
+  names.insert(KeyKindName(KeyKind::kAddrPair8B));
+  names.insert(KeyKindName(KeyKind::kFiveTuple13B));
+  EXPECT_EQ(names.size(), 3u);
+}
+
+TEST(FiveTupleTest, ManyTuplesRarelyCollide) {
+  std::set<FlowId> ids;
+  for (uint32_t i = 0; i < 20000; ++i) {
+    FiveTuple t{i, ~i, static_cast<uint16_t>(i * 7), static_cast<uint16_t>(i * 13), 6};
+    ids.insert(t.Id());
+  }
+  EXPECT_EQ(ids.size(), 20000u);
+}
+
+}  // namespace
+}  // namespace hk

@@ -1,0 +1,179 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hk {
+namespace {
+
+TEST(Mix64Test, IsDeterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_EQ(Mix64(0), Mix64(0));
+}
+
+TEST(Mix64Test, AppearsBijectiveOnSample) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    outputs.insert(Mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64Test, AvalanchesLowBits) {
+  // Flipping one input bit should change roughly half the output bits.
+  int total_flips = 0;
+  for (uint64_t i = 1; i <= 64; ++i) {
+    total_flips += __builtin_popcountll(Mix64(i) ^ Mix64(i ^ 1));
+  }
+  const double avg = total_flips / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashU64Test, SeedChangesOutput) {
+  EXPECT_NE(HashU64(123, 1), HashU64(123, 2));
+  EXPECT_EQ(HashU64(123, 7), HashU64(123, 7));
+}
+
+TEST(HashU64Test, DistinctKeysRarelyCollide) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 50000; ++i) {
+    outputs.insert(HashU64(i, 99));
+  }
+  EXPECT_EQ(outputs.size(), 50000u);
+}
+
+TEST(HashBytesTest, MatchesForIdenticalInput) {
+  const std::string data = "heavykeeper finds elephants";
+  EXPECT_EQ(HashBytes(data.data(), data.size(), 5), HashBytes(data.data(), data.size(), 5));
+}
+
+TEST(HashBytesTest, SeedAndContentSensitive) {
+  const std::string a = "flow-a";
+  const std::string b = "flow-b";
+  EXPECT_NE(HashBytes(a.data(), a.size(), 1), HashBytes(b.data(), b.size(), 1));
+  EXPECT_NE(HashBytes(a.data(), a.size(), 1), HashBytes(a.data(), a.size(), 2));
+}
+
+TEST(HashBytesTest, AllLengthBranchesCovered) {
+  // Exercise the 32-byte block loop, the 8/4-byte tails and the byte tail.
+  std::vector<uint8_t> buf(100);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  std::set<uint64_t> outputs;
+  for (size_t len : {0u, 1u, 3u, 4u, 7u, 8u, 12u, 13u, 31u, 32u, 33u, 64u, 100u}) {
+    outputs.insert(HashBytes(buf.data(), len, 0));
+  }
+  EXPECT_EQ(outputs.size(), 13u);  // all distinct
+}
+
+TEST(HashBytesTest, LastByteMatters) {
+  std::vector<uint8_t> buf(13, 0xab);
+  const uint64_t h1 = HashBytes(buf.data(), buf.size(), 3);
+  buf.back() ^= 1;
+  const uint64_t h2 = HashBytes(buf.data(), buf.size(), 3);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(TwoWiseHashTest, IndexInRange) {
+  const TwoWiseHash h = TwoWiseHash::FromSeed(17);
+  for (uint64_t w : {1ULL, 2ULL, 3ULL, 100ULL, 65536ULL, 999983ULL}) {
+    for (uint64_t x = 0; x < 1000; ++x) {
+      EXPECT_LT(h.Index(x, w), w);
+    }
+  }
+}
+
+TEST(TwoWiseHashTest, RoughlyUniformOverBuckets) {
+  const TwoWiseHash h = TwoWiseHash::FromSeed(23);
+  constexpr uint64_t kBuckets = 64;
+  constexpr uint64_t kSamples = 64000;
+  std::vector<int> counts(kBuckets, 0);
+  for (uint64_t x = 0; x < kSamples; ++x) {
+    ++counts[h.Index(Mix64(x), kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_GT(c, expected * 0.7);
+    EXPECT_LT(c, expected * 1.3);
+  }
+}
+
+TEST(TwoWiseHashTest, DifferentSeedsDisagree) {
+  const TwoWiseHash h1 = TwoWiseHash::FromSeed(1);
+  const TwoWiseHash h2 = TwoWiseHash::FromSeed(2);
+  int disagreements = 0;
+  for (uint64_t x = 0; x < 1000; ++x) {
+    if (h1.Index(x, 1024) != h2.Index(x, 1024)) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 900);
+}
+
+TEST(HashFamilyTest, FunctionsAreIndependentlySeeded) {
+  HashFamily family(4, 7);
+  ASSERT_EQ(family.size(), 4u);
+  // The probability that two family members agree on > 5% of 1000 keys with
+  // w = 256 is negligible for independent functions.
+  for (size_t a = 0; a < 4; ++a) {
+    for (size_t b = a + 1; b < 4; ++b) {
+      int agreements = 0;
+      for (uint64_t x = 0; x < 1000; ++x) {
+        if (family.Index(a, Mix64(x), 256) == family.Index(b, Mix64(x), 256)) {
+          ++agreements;
+        }
+      }
+      EXPECT_LT(agreements, 50) << "arrays " << a << " and " << b;
+    }
+  }
+}
+
+TEST(HashFamilyTest, AddGrowsFamily) {
+  HashFamily family(2, 3);
+  family.Add(999);
+  EXPECT_EQ(family.size(), 3u);
+  // New function produces in-range indices.
+  for (uint64_t x = 0; x < 100; ++x) {
+    EXPECT_LT(family.Index(2, x, 77), 77u);
+  }
+}
+
+TEST(FingerprinterTest, NeverZeroAndWithinWidth) {
+  const Fingerprinter fp(16, 1234);
+  for (uint64_t x = 0; x < 100000; ++x) {
+    const uint32_t f = fp(x);
+    EXPECT_NE(f, 0u);
+    EXPECT_LT(f, 1u << 16);
+  }
+}
+
+TEST(FingerprinterTest, WidthControlsRange) {
+  const Fingerprinter fp8(8, 5);
+  uint32_t max_seen = 0;
+  for (uint64_t x = 0; x < 10000; ++x) {
+    max_seen = std::max(max_seen, fp8(x));
+  }
+  EXPECT_LT(max_seen, 256u);
+  EXPECT_GT(max_seen, 200u);  // the full range is actually exercised
+}
+
+TEST(FingerprinterTest, CollisionRateNearExpectation) {
+  // With 12-bit fingerprints and 3000 keys, expected distinct values
+  // ~ 4096 * (1 - exp(-3000/4096)) ~ 2135.
+  const Fingerprinter fp(12, 88);
+  std::set<uint32_t> values;
+  for (uint64_t x = 0; x < 3000; ++x) {
+    values.insert(fp(x));
+  }
+  EXPECT_GT(values.size(), 1900u);
+  EXPECT_LT(values.size(), 2400u);
+}
+
+}  // namespace
+}  // namespace hk

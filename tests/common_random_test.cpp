@@ -1,0 +1,94 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hk {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, SeedsProduceDistinctStreams) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, SeedReproduces) {
+  Rng a(7);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 50; ++i) {
+    first.push_back(a.NextU64());
+  }
+  a.Seed(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.NextU64(), first[i]);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(13);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 12345ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBounded(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, BoundedRoughlyUniform) {
+  Rng rng(19);
+  constexpr uint64_t kBound = 10;
+  constexpr int kN = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kN; ++i) {
+    ++counts[rng.NextBounded(kBound)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / kBound, kN / kBound * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace hk

@@ -1,0 +1,113 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hk {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (double skew : {0.0, 0.6, 1.0, 1.8, 3.0}) {
+    ZipfDistribution dist(1000, skew);
+    double sum = 0.0;
+    for (size_t i = 0; i < dist.num_ranks(); ++i) {
+      sum += dist.Pmf(i);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "skew " << skew;
+  }
+}
+
+TEST(ZipfTest, PmfMonotonicallyDecreasing) {
+  ZipfDistribution dist(500, 1.2);
+  for (size_t i = 1; i < dist.num_ranks(); ++i) {
+    EXPECT_LE(dist.Pmf(i), dist.Pmf(i - 1)) << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, MatchesAnalyticFormula) {
+  // f_i = (1/i^gamma) / delta(gamma)  (Section VI-A footnote).
+  const double gamma = 0.9;
+  const size_t m = 100;
+  ZipfDistribution dist(m, gamma);
+  double delta = 0.0;
+  for (size_t j = 1; j <= m; ++j) {
+    delta += 1.0 / std::pow(static_cast<double>(j), gamma);
+  }
+  for (size_t i = 0; i < m; i += 7) {
+    const double expected = (1.0 / std::pow(static_cast<double>(i + 1), gamma)) / delta;
+    EXPECT_NEAR(dist.Pmf(i), expected, 1e-9);
+  }
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMass) {
+  ZipfDistribution flat(1000, 0.6);
+  ZipfDistribution steep(1000, 2.0);
+  EXPECT_GT(steep.Pmf(0), flat.Pmf(0));
+  EXPECT_LT(steep.Pmf(999), flat.Pmf(999));
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfDistribution dist(100, 0.0);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(dist.Pmf(i), 0.01, 1e-9);
+  }
+}
+
+TEST(ZipfTest, SampleInRange) {
+  ZipfDistribution dist(64, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(dist.Sample(rng), 64u);
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesTrackPmf) {
+  ZipfDistribution dist(50, 1.1);
+  Rng rng(9);
+  constexpr int kN = 200000;
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < kN; ++i) {
+    ++counts[dist.Sample(rng)];
+  }
+  for (size_t i = 0; i < 10; ++i) {  // head ranks have enough mass to test
+    const double expected = dist.Pmf(i) * kN;
+    EXPECT_NEAR(counts[i], expected, expected * 0.1 + 30) << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, SingleRankAlwaysSampled) {
+  ZipfDistribution dist(1, 1.5);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dist.Sample(rng), 0u);
+  }
+}
+
+class ZipfSkewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewSweep, TopRankShareGrowsWithSkew) {
+  const double skew = GetParam();
+  ZipfDistribution dist(10000, skew);
+  // The largest flow's share must be a valid probability and must be at
+  // least 1/m (uniform floor).
+  EXPECT_GE(dist.Pmf(0), 1.0 / 10000);
+  EXPECT_LE(dist.Pmf(0), 1.0);
+  // CDF property via sampling: rank 0 frequency close to pmf.
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    if (dist.Sample(rng) == 0) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(hits, dist.Pmf(0) * kN, kN * 0.02 + 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewSweep,
+                         ::testing::Values(0.6, 0.9, 1.2, 1.5, 1.8, 2.4, 3.0));
+
+}  // namespace
+}  // namespace hk

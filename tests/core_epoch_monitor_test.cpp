@@ -1,0 +1,86 @@
+#include "core/epoch_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hk_topk.h"
+
+namespace hk {
+namespace {
+
+EpochMonitor::Factory HkFactory() {
+  return [](uint64_t epoch) {
+    return HeavyKeeperTopK<>::FromMemory(HkVersion::kMinimum, 16 * 1024, 10, 4,
+                                         /*seed=*/epoch + 1);
+  };
+}
+
+TEST(EpochMonitorTest, RotatesOnPacketCount) {
+  EpochMonitor monitor(HkFactory(), /*epoch_packets=*/100, /*k=*/10);
+  for (int i = 0; i < 250; ++i) {
+    monitor.Insert(1);
+  }
+  EXPECT_EQ(monitor.completed_epochs(), 2u);
+  EXPECT_EQ(monitor.packets_in_current_epoch(), 50u);
+}
+
+TEST(EpochMonitorTest, LastReportIsCompletedWindow) {
+  EpochMonitor monitor(HkFactory(), 100, 10);
+  for (int i = 0; i < 100; ++i) {
+    monitor.Insert(42);
+  }
+  // Exactly one full epoch: flow 42 with 100 packets.
+  ASSERT_EQ(monitor.completed_epochs(), 1u);
+  ASSERT_FALSE(monitor.LastReport().empty());
+  EXPECT_EQ(monitor.LastReport()[0].id, 42u);
+  EXPECT_EQ(monitor.LastReport()[0].count, 100u);
+  // The new window is empty so far.
+  EXPECT_TRUE(monitor.CurrentTopK().empty());
+}
+
+TEST(EpochMonitorTest, CallbackSeesEveryEpoch) {
+  std::vector<uint64_t> epochs;
+  std::vector<size_t> report_sizes;
+  EpochMonitor monitor(
+      HkFactory(), 50, 10, [&](uint64_t epoch, std::vector<FlowCount> report) {
+        epochs.push_back(epoch);
+        report_sizes.push_back(report.size());
+      });
+  for (int i = 0; i < 175; ++i) {
+    monitor.Insert(static_cast<FlowId>(i % 5) + 1);
+  }
+  ASSERT_EQ(epochs.size(), 3u);
+  EXPECT_EQ(epochs[0], 0u);
+  EXPECT_EQ(epochs[2], 2u);
+  for (const size_t s : report_sizes) {
+    EXPECT_EQ(s, 5u);  // all five flows tracked each epoch
+  }
+}
+
+TEST(EpochMonitorTest, ManualRotate) {
+  EpochMonitor monitor(HkFactory(), 1'000'000, 10);
+  monitor.Insert(7);
+  monitor.Insert(7);
+  monitor.Rotate();
+  EXPECT_EQ(monitor.completed_epochs(), 1u);
+  ASSERT_EQ(monitor.LastReport().size(), 1u);
+  EXPECT_EQ(monitor.LastReport()[0].count, 2u);
+  EXPECT_EQ(monitor.packets_in_current_epoch(), 0u);
+}
+
+TEST(EpochMonitorTest, EpochsAreIndependent) {
+  EpochMonitor monitor(HkFactory(), 100, 10);
+  for (int i = 0; i < 100; ++i) {
+    monitor.Insert(1);
+  }
+  for (int i = 0; i < 100; ++i) {
+    monitor.Insert(2);
+  }
+  // The second epoch's report must not contain flow 1.
+  ASSERT_EQ(monitor.completed_epochs(), 2u);
+  for (const auto& fc : monitor.LastReport()) {
+    EXPECT_NE(fc.id, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace hk

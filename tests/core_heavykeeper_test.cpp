@@ -1,0 +1,267 @@
+#include "core/heavykeeper.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace hk {
+namespace {
+
+HeavyKeeperConfig SmallConfig() {
+  HeavyKeeperConfig config;
+  config.d = 2;
+  config.w = 256;
+  config.seed = 7;
+  return config;
+}
+
+TEST(HeavyKeeperTest, Case1ClaimsEmptyBucket) {
+  HeavyKeeper hk(SmallConfig());
+  EXPECT_EQ(hk.Query(1), 0u);
+  EXPECT_EQ(hk.InsertBasic(1), 1u);
+  EXPECT_EQ(hk.Query(1), 1u);
+}
+
+TEST(HeavyKeeperTest, Case2IncrementsMatchingFingerprint) {
+  HeavyKeeper hk(SmallConfig());
+  for (uint32_t i = 1; i <= 100; ++i) {
+    EXPECT_EQ(hk.InsertBasic(1), i);
+  }
+  EXPECT_EQ(hk.Query(1), 100u);
+}
+
+TEST(HeavyKeeperTest, Case3DecaysOccupiedBucket) {
+  // d=1, w=1: every flow maps to the same bucket. A resident with count 1
+  // decays with probability b^-1 ~ 0.926, so a handful of foreign packets
+  // must take the bucket over.
+  HeavyKeeperConfig config;
+  config.d = 1;
+  config.w = 1;
+  config.seed = 3;
+  HeavyKeeper hk(config);
+  hk.InsertBasic(1);
+  EXPECT_EQ(hk.Query(1), 1u);
+  uint32_t estimate = 0;
+  for (int i = 0; i < 50 && estimate == 0; ++i) {
+    estimate = hk.InsertBasic(2);
+  }
+  EXPECT_EQ(estimate, 1u) << "flow 2 should claim the bucket after decay";
+  EXPECT_EQ(hk.Query(1), 0u);
+}
+
+TEST(HeavyKeeperTest, ElephantResistsDecay) {
+  HeavyKeeperConfig config;
+  config.d = 1;
+  config.w = 1;
+  config.seed = 5;
+  HeavyKeeper hk(config);
+  for (int i = 0; i < 2000; ++i) {
+    hk.InsertBasic(1);
+  }
+  const uint32_t before = hk.Query(1);
+  ASSERT_GT(before, 1500u);
+  // 2000 foreign packets: decay probability b^-C is ~0 at C ~ 2000.
+  for (int i = 0; i < 2000; ++i) {
+    hk.InsertBasic(2);
+  }
+  EXPECT_EQ(hk.Query(1), before);  // untouched: probability treated as zero
+}
+
+TEST(HeavyKeeperTest, QueryReturnsMaxOverMatchingBuckets) {
+  HeavyKeeperConfig config = SmallConfig();
+  config.d = 4;
+  HeavyKeeper hk(config);
+  for (int i = 0; i < 50; ++i) {
+    hk.InsertBasic(9);
+  }
+  // All four buckets hold ~50 (some may have decayed under collisions with
+  // nothing else in play they are exactly 50).
+  EXPECT_EQ(hk.Query(9), 50u);
+}
+
+TEST(HeavyKeeperTest, CounterSaturatesAtConfiguredWidth) {
+  HeavyKeeperConfig config = SmallConfig();
+  config.counter_bits = 4;  // max 15
+  HeavyKeeper hk(config);
+  for (int i = 0; i < 100; ++i) {
+    hk.InsertBasic(3);
+  }
+  EXPECT_EQ(hk.Query(3), 15u);
+}
+
+TEST(HeavyKeeperTest, DeterministicGivenSeed) {
+  HeavyKeeper a(SmallConfig());
+  HeavyKeeper b(SmallConfig());
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const FlowId id = rng.NextBounded(300) + 1;
+    ASSERT_EQ(a.InsertBasic(id), b.InsertBasic(id)) << "packet " << i;
+  }
+}
+
+TEST(HeavyKeeperTest, MemoryBytesMatchesGeometry) {
+  HeavyKeeperConfig config = SmallConfig();  // 16+16 bit buckets
+  HeavyKeeper hk(config);
+  EXPECT_EQ(hk.MemoryBytes(), 2u * 256u * 4u);
+}
+
+TEST(HeavyKeeperTest, FromMemoryUsesFullBudget) {
+  const auto config = HeavyKeeperConfig::FromMemory(10 * 1024, 2, 1);
+  EXPECT_EQ(config.w, 10u * 1024 / (4 * 2));
+}
+
+TEST(HeavyKeeperTest, OptimizationIIGateBlocksIncrement) {
+  // A matching, unmonitored bucket whose counter is >= nmin must not grow.
+  HeavyKeeperConfig config = SmallConfig();
+  HeavyKeeper hk(config);
+  for (int i = 0; i < 10; ++i) {
+    hk.InsertParallel(1, /*monitored=*/true, /*nmin=*/0);
+  }
+  ASSERT_EQ(hk.Query(1), 10u);
+  // Unmonitored and nmin=5 < C=10: blocked.
+  hk.InsertParallel(1, /*monitored=*/false, /*nmin=*/5);
+  EXPECT_EQ(hk.Query(1), 10u);
+  // Unmonitored but C < nmin: allowed.
+  hk.InsertParallel(1, /*monitored=*/false, /*nmin=*/100);
+  EXPECT_EQ(hk.Query(1), 11u);
+}
+
+TEST(HeavyKeeperTest, MinimumTouchesAtMostOneBucket) {
+  HeavyKeeperConfig config = SmallConfig();
+  config.d = 3;
+  HeavyKeeper hk(config);
+  Rng rng(13);
+  auto total = [&hk] {
+    uint64_t sum = 0;
+    for (const auto& array : hk.DebugDump()) {
+      for (const auto& bucket : array) {
+        sum += bucket.c;
+      }
+    }
+    return sum;
+  };
+  uint64_t prev = total();
+  for (int i = 0; i < 5000; ++i) {
+    hk.InsertMinimum(rng.NextBounded(2000) + 1, true, 0);
+    const uint64_t now = total();
+    // Each insert changes the total counter mass by at most 1 in either
+    // direction (claim/increment: +1, decay: -1, blocked/immune: 0).
+    ASSERT_LE(now > prev ? now - prev : prev - now, 1u) << "packet " << i;
+    prev = now;
+  }
+}
+
+TEST(HeavyKeeperTest, MinimumPrefersMatchOverEmptyOverDecay) {
+  HeavyKeeperConfig config = SmallConfig();
+  config.d = 2;
+  HeavyKeeper hk(config);
+  // Situation 1: second insert increments rather than claiming the other
+  // empty mapped bucket.
+  EXPECT_EQ(hk.InsertMinimum(5, true, 0), 1u);
+  EXPECT_EQ(hk.InsertMinimum(5, true, 0), 2u);
+  const auto arrays = hk.DebugDump();
+  size_t occupied = 0;
+  for (const auto& array : arrays) {
+    for (const auto& bucket : array) {
+      if (bucket.c > 0) {
+        ++occupied;
+      }
+    }
+  }
+  EXPECT_EQ(occupied, 1u) << "Minimum version must not duplicate the flow";
+}
+
+TEST(HeavyKeeperTest, ParallelDuplicatesAcrossArrays) {
+  // Contrast with the Minimum version: the Parallel insert writes the flow
+  // into every mapped array (this is what costs it memory efficiency,
+  // Section IV / Figure 23 explanation).
+  HeavyKeeperConfig config = SmallConfig();
+  config.d = 2;
+  HeavyKeeper hk(config);
+  hk.InsertParallel(5, true, 0);
+  size_t occupied = 0;
+  for (const auto& array : hk.DebugDump()) {
+    for (const auto& bucket : array) {
+      if (bucket.c > 0) {
+        ++occupied;
+      }
+    }
+  }
+  EXPECT_EQ(occupied, 2u);
+}
+
+TEST(HeavyKeeperTest, StuckEventsCountedWhenAllBucketsImmovable) {
+  HeavyKeeperConfig config;
+  config.d = 1;
+  config.w = 1;
+  config.seed = 17;
+  HeavyKeeper hk(config);
+  // Make the lone bucket immovable (counter beyond the decay cutoff).
+  for (int i = 0; i < 2000; ++i) {
+    hk.InsertBasic(1);
+  }
+  EXPECT_EQ(hk.stuck_events(), 0u);
+  hk.InsertBasic(2);
+  EXPECT_EQ(hk.stuck_events(), 1u);
+  hk.InsertMinimum(3, true, 0);
+  EXPECT_EQ(hk.stuck_events(), 2u);
+}
+
+TEST(HeavyKeeperTest, ExpansionAddsArrayAndAcceptsNewFlows) {
+  HeavyKeeperConfig config;
+  config.d = 1;
+  config.w = 1;
+  config.seed = 19;
+  config.expansion_threshold = 5;
+  config.max_arrays = 3;
+  HeavyKeeper hk(config);
+  for (int i = 0; i < 2000; ++i) {
+    hk.InsertBasic(1);
+  }
+  ASSERT_EQ(hk.num_arrays(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    hk.InsertBasic(2);
+  }
+  EXPECT_EQ(hk.expansions(), 1u);
+  EXPECT_EQ(hk.num_arrays(), 2u);
+  // The late flow can now be recorded in the fresh array.
+  EXPECT_GT(hk.InsertBasic(2), 0u);
+  EXPECT_GT(hk.Query(2), 0u);
+  // And the resident elephant is still intact.
+  EXPECT_GT(hk.Query(1), 1500u);
+}
+
+TEST(HeavyKeeperTest, ExpansionCappedByMaxArrays) {
+  HeavyKeeperConfig config;
+  config.d = 1;
+  config.w = 1;
+  config.seed = 23;
+  config.expansion_threshold = 1;
+  config.max_arrays = 2;
+  HeavyKeeper hk(config);
+  for (int i = 0; i < 2000; ++i) {
+    hk.InsertBasic(1);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    hk.InsertBasic(2);  // fills the added array too
+  }
+  for (int i = 0; i < 50; ++i) {
+    hk.InsertBasic(3);  // stuck again, but no third array allowed
+  }
+  EXPECT_EQ(hk.num_arrays(), 2u);
+}
+
+TEST(HeavyKeeperTest, FingerprintWidthControlsCollisionSpace) {
+  HeavyKeeperConfig config = SmallConfig();
+  config.fingerprint_bits = 8;
+  HeavyKeeper hk(config);
+  for (FlowId id = 1; id <= 100; ++id) {
+    EXPECT_LT(hk.FingerprintOf(id), 256u);
+    EXPECT_NE(hk.FingerprintOf(id), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hk

@@ -1,0 +1,118 @@
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "trace/generators.h"
+
+namespace hk {
+namespace {
+
+HeavyKeeper MakeLoadedSketch(uint64_t seed) {
+  HeavyKeeperConfig config;
+  config.d = 2;
+  config.w = 512;
+  config.seed = seed;
+  HeavyKeeper sketch(config);
+  Rng rng(seed ^ 0x11);
+  for (int i = 0; i < 20000; ++i) {
+    sketch.InsertBasic(rng.NextBounded(3000) + 1);
+  }
+  return sketch;
+}
+
+TEST(SerializationTest, RoundTripAnswersIdentically) {
+  const HeavyKeeper original = MakeLoadedSketch(7);
+  const auto buffer = SerializeSketch(original);
+  const auto restored = DeserializeSketch(buffer);
+  ASSERT_TRUE(restored.has_value());
+
+  for (FlowId id = 1; id <= 3000; ++id) {
+    ASSERT_EQ(restored->Query(id), original.Query(id)) << "flow " << id;
+  }
+  EXPECT_EQ(restored->num_arrays(), original.num_arrays());
+  EXPECT_EQ(restored->MemoryBytes(), original.MemoryBytes());
+  EXPECT_EQ(restored->stuck_events(), original.stuck_events());
+}
+
+TEST(SerializationTest, RestoredSketchKeepsCounting) {
+  HeavyKeeper original = MakeLoadedSketch(9);
+  auto restored = DeserializeSketch(SerializeSketch(original));
+  ASSERT_TRUE(restored.has_value());
+
+  // Continue the stream on both; matching-fingerprint increments are
+  // deterministic, so a resident flow's counter advances identically.
+  const FlowId hot = 1;
+  const uint32_t before = original.Query(hot);
+  for (int i = 0; i < 100; ++i) {
+    original.InsertBasic(hot);
+    restored->InsertBasic(hot);
+  }
+  EXPECT_EQ(original.Query(hot), restored->Query(hot));
+  EXPECT_GE(original.Query(hot), before);
+}
+
+TEST(SerializationTest, ExpandedSketchRoundTrips) {
+  HeavyKeeperConfig config;
+  config.d = 1;
+  config.w = 1;
+  config.seed = 3;
+  config.expansion_threshold = 5;
+  config.max_arrays = 4;
+  HeavyKeeper sketch(config);
+  for (int i = 0; i < 2000; ++i) {
+    sketch.InsertBasic(1);
+  }
+  for (int i = 0; i < 12; ++i) {
+    sketch.InsertBasic(2);  // trigger stuck events and expansion
+  }
+  ASSERT_GT(sketch.expansions(), 0u);
+
+  const auto restored = DeserializeSketch(SerializeSketch(sketch));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_arrays(), sketch.num_arrays());
+  EXPECT_EQ(restored->expansions(), sketch.expansions());
+  // Queries must agree, including flows held in the expansion array.
+  EXPECT_EQ(restored->Query(1), sketch.Query(1));
+  EXPECT_EQ(restored->Query(2), sketch.Query(2));
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const HeavyKeeper original = MakeLoadedSketch(13);
+  const std::string path = std::string(::testing::TempDir()) + "/sketch.hk";
+  ASSERT_TRUE(SaveSketch(original, path));
+  const auto restored = LoadSketch(path);
+  ASSERT_TRUE(restored.has_value());
+  for (FlowId id = 1; id <= 500; ++id) {
+    ASSERT_EQ(restored->Query(id), original.Query(id));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeSketch(nullptr, 0).has_value());
+  const std::vector<uint8_t> garbage(100, 0xab);
+  EXPECT_FALSE(DeserializeSketch(garbage).has_value());
+}
+
+TEST(SerializationTest, RejectsTruncation) {
+  const auto buffer = SerializeSketch(MakeLoadedSketch(17));
+  for (const size_t cut : {buffer.size() - 1, buffer.size() / 2, size_t{16}}) {
+    EXPECT_FALSE(DeserializeSketch(buffer.data(), cut).has_value()) << "cut " << cut;
+  }
+}
+
+TEST(SerializationTest, RejectsTrailingBytes) {
+  auto buffer = SerializeSketch(MakeLoadedSketch(19));
+  buffer.push_back(0);
+  EXPECT_FALSE(DeserializeSketch(buffer).has_value());
+}
+
+TEST(SerializationTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadSketch("/nonexistent/path/sketch.hk").has_value());
+}
+
+}  // namespace
+}  // namespace hk

@@ -1,0 +1,125 @@
+// Weighted updates (library extension; the paper lists them as unsupported,
+// Section III-F). InsertBasicWeighted(id, w) must behave like w unit
+// insertions: identical in the deterministic cases, statistically identical
+// through the decay case, and never over-estimating.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "core/heavykeeper.h"
+
+namespace hk {
+namespace {
+
+HeavyKeeperConfig SmallConfig(uint64_t seed = 7) {
+  HeavyKeeperConfig config;
+  config.d = 2;
+  config.w = 256;
+  config.counter_bits = 32;
+  config.seed = seed;
+  return config;
+}
+
+TEST(WeightedInsertTest, MatchingCaseEqualsUnitInsertions) {
+  HeavyKeeper weighted(SmallConfig());
+  HeavyKeeper unit(SmallConfig());
+  weighted.InsertBasicWeighted(1, 500);
+  for (int i = 0; i < 500; ++i) {
+    unit.InsertBasic(1);
+  }
+  EXPECT_EQ(weighted.Query(1), unit.Query(1));
+  EXPECT_EQ(weighted.Query(1), 500u);
+}
+
+TEST(WeightedInsertTest, AccumulatesAcrossCalls) {
+  HeavyKeeper sketch(SmallConfig());
+  sketch.InsertBasicWeighted(1, 100);
+  sketch.InsertBasicWeighted(1, 250);
+  EXPECT_EQ(sketch.Query(1), 350u);
+}
+
+TEST(WeightedInsertTest, ZeroWeightIsANoOp) {
+  HeavyKeeper sketch(SmallConfig());
+  sketch.InsertBasicWeighted(1, 10);
+  EXPECT_EQ(sketch.InsertBasicWeighted(1, 0), 10u);
+  EXPECT_EQ(sketch.Query(1), 10u);
+}
+
+TEST(WeightedInsertTest, SaturatesAtCounterWidth) {
+  HeavyKeeperConfig config = SmallConfig();
+  config.counter_bits = 8;  // max 255
+  HeavyKeeper sketch(config);
+  sketch.InsertBasicWeighted(1, 1000);
+  EXPECT_EQ(sketch.Query(1), 255u);
+}
+
+TEST(WeightedInsertTest, HeavyWeightEvictsSmallResident) {
+  // A resident with weight 3 faces a challenger of weight 1000: the decay
+  // coins at C = 3, 2, 1 almost surely all land within the first few units,
+  // and the challenger keeps the remaining weight.
+  HeavyKeeperConfig config;
+  config.d = 1;
+  config.w = 1;
+  config.seed = 5;
+  config.counter_bits = 32;
+  HeavyKeeper sketch(config);
+  sketch.InsertBasicWeighted(1, 3);
+  const uint32_t estimate = sketch.InsertBasicWeighted(2, 1000);
+  EXPECT_GT(estimate, 950u);
+  EXPECT_EQ(sketch.Query(1), 0u);
+  EXPECT_EQ(sketch.Query(2), estimate);
+}
+
+TEST(WeightedInsertTest, ImmovableResidentStaysAndStuckIsCounted) {
+  HeavyKeeperConfig config;
+  config.d = 1;
+  config.w = 1;
+  config.seed = 9;
+  config.counter_bits = 32;
+  HeavyKeeper sketch(config);
+  sketch.InsertBasicWeighted(1, 100000);  // far beyond the decay cutoff
+  const uint64_t before = sketch.stuck_events();
+  EXPECT_EQ(sketch.InsertBasicWeighted(2, 100000), 0u);
+  EXPECT_EQ(sketch.Query(1), 100000u);
+  EXPECT_GT(sketch.stuck_events(), before);
+}
+
+TEST(WeightedInsertTest, NeverOverestimatesOnWeightedStream) {
+  // Byte-count style workload: random weights, collision-free fingerprints.
+  HeavyKeeperConfig config = SmallConfig(11);
+  config.fingerprint_bits = 32;
+  HeavyKeeper sketch(config);
+  std::map<FlowId, uint64_t> truth;
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const FlowId id = rng.NextBounded(300) + 1;
+    const uint32_t weight = static_cast<uint32_t>(rng.NextBounded(1500)) + 40;  // bytes
+    sketch.InsertBasicWeighted(id, weight);
+    truth[id] += weight;
+  }
+  for (const auto& [id, total] : truth) {
+    EXPECT_LE(sketch.Query(id), total) << "flow " << id;
+  }
+}
+
+TEST(WeightedInsertTest, FindsByteCountElephants) {
+  // Elephants by bytes, not packets: a few flows send jumbo frames.
+  HeavyKeeperConfig config = HeavyKeeperConfig::FromMemory(16 * 1024, 2, 3);
+  config.counter_bits = 32;
+  HeavyKeeper sketch(config);
+  Rng rng(17);
+  for (int i = 0; i < 30000; ++i) {
+    if (i % 10 == 0) {
+      sketch.InsertBasicWeighted(rng.NextBounded(5) + 1, 1500);  // jumbo senders
+    } else {
+      sketch.InsertBasicWeighted(1000 + rng.NextBounded(5000), 64);  // tiny mice
+    }
+  }
+  for (FlowId id = 1; id <= 5; ++id) {
+    EXPECT_GT(sketch.Query(id), 500'000u) << "jumbo flow " << id << " lost";
+  }
+}
+
+}  // namespace
+}  // namespace hk

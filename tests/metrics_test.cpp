@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "metrics/accuracy.h"
+#include "metrics/report.h"
+#include "metrics/throughput.h"
+#include "sketch/space_saving.h"
+#include "trace/generators.h"
+
+namespace hk {
+namespace {
+
+Oracle MakeOracle() {
+  Oracle oracle;
+  oracle.Add(1, 100);
+  oracle.Add(2, 80);
+  oracle.Add(3, 60);
+  oracle.Add(4, 40);
+  oracle.Add(5, 20);
+  return oracle;
+}
+
+TEST(AccuracyTest, PerfectReportScoresPerfectly) {
+  const Oracle oracle = MakeOracle();
+  const std::vector<FlowCount> reported = {{1, 100}, {2, 80}, {3, 60}};
+  const auto r = EvaluateTopK(reported, oracle, 3);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.are, 0.0);
+  EXPECT_DOUBLE_EQ(r.aae, 0.0);
+}
+
+TEST(AccuracyTest, WrongFlowsLowerPrecision) {
+  const Oracle oracle = MakeOracle();
+  // Flow 5 (20 packets) is not in the true top-3 (threshold 60).
+  const std::vector<FlowCount> reported = {{1, 100}, {2, 80}, {5, 90}};
+  const auto r = EvaluateTopK(reported, oracle, 3);
+  EXPECT_NEAR(r.precision, 2.0 / 3.0, 1e-9);
+}
+
+TEST(AccuracyTest, TieTolerantMembership) {
+  Oracle oracle;
+  oracle.Add(1, 50);
+  oracle.Add(2, 30);
+  oracle.Add(3, 30);  // ties with flow 2 at the k=2 boundary
+  const std::vector<FlowCount> a = {{1, 50}, {2, 30}};
+  const std::vector<FlowCount> b = {{1, 50}, {3, 30}};
+  EXPECT_DOUBLE_EQ(EvaluateTopK(a, oracle, 2).precision, 1.0);
+  EXPECT_DOUBLE_EQ(EvaluateTopK(b, oracle, 2).precision, 1.0);
+}
+
+TEST(AccuracyTest, AreAndAaeMatchHandComputation) {
+  const Oracle oracle = MakeOracle();
+  // Errors: |90-100|/100 = 0.1, |100-80|/80 = 0.25; AAE = (10+20)/2 = 15.
+  const std::vector<FlowCount> reported = {{1, 90}, {2, 100}};
+  const auto r = EvaluateTopK(reported, oracle, 2);
+  EXPECT_NEAR(r.are, (0.1 + 0.25) / 2, 1e-9);
+  EXPECT_NEAR(r.aae, 15.0, 1e-9);
+}
+
+TEST(AccuracyTest, MissingReportsReduceOnlyPrecision) {
+  const Oracle oracle = MakeOracle();
+  const std::vector<FlowCount> reported = {{1, 100}};  // only 1 of k=3
+  const auto r = EvaluateTopK(reported, oracle, 3);
+  EXPECT_NEAR(r.precision, 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(r.reported, 1u);
+  EXPECT_DOUBLE_EQ(r.are, 0.0);  // the one reported flow was exact
+}
+
+TEST(AccuracyTest, ExtraReportsBeyondKIgnored) {
+  const Oracle oracle = MakeOracle();
+  const std::vector<FlowCount> reported = {{1, 100}, {2, 80}, {3, 60}, {4, 40}};
+  const auto r = EvaluateTopK(reported, oracle, 2);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_EQ(r.reported, 2u);
+}
+
+TEST(AccuracyTest, ZeroKIsWellDefined) {
+  const Oracle oracle = MakeOracle();
+  const auto r = EvaluateTopK({}, oracle, 0);
+  EXPECT_DOUBLE_EQ(r.precision, 0.0);
+  EXPECT_EQ(r.k, 0u);
+}
+
+TEST(ReportTest, TableFormatsAlignedColumns) {
+  ResultTable table("mem_kb", {"SS", "HK"});
+  table.AddRow(10, {0.1, 0.9});
+  table.AddRow(20, {0.2, 0.99});
+  const std::string s = table.ToString(2);
+  EXPECT_NE(s.find("mem_kb"), std::string::npos);
+  EXPECT_NE(s.find("SS"), std::string::npos);
+  EXPECT_NE(s.find("0.90"), std::string::npos);
+  EXPECT_NE(s.find("0.99"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.row(1)[2], 0.99);
+}
+
+TEST(ThroughputTest, MeasuresPositiveRate) {
+  const Trace trace = MakeCampusTrace(50000, 1);
+  auto ss = SpaceSaving::FromMemory(10 * 1024, 13);
+  const auto result = MeasureThroughput(*ss, trace);
+  EXPECT_EQ(result.packets, trace.num_packets());
+  EXPECT_GT(result.mps, 0.0);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace hk

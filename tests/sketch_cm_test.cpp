@@ -1,0 +1,102 @@
+#include "sketch/cm_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace hk {
+namespace {
+
+TEST(CmSketchTest, SingleFlowIsExact) {
+  CmSketch cm(3, 1024, 1);
+  for (int i = 0; i < 500; ++i) {
+    cm.Add(42);
+  }
+  EXPECT_EQ(cm.Query(42), 500u);
+}
+
+TEST(CmSketchTest, UnseenFlowLikelyZeroWhenSparse) {
+  CmSketch cm(3, 4096, 2);
+  cm.Add(1);
+  cm.Add(2);
+  EXPECT_EQ(cm.Query(999), 0u);
+}
+
+TEST(CmSketchTest, NeverUnderestimates) {
+  CmSketch cm(3, 64, 3);  // tiny: heavy collisions guaranteed
+  std::map<FlowId, uint64_t> truth;
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const FlowId id = rng.NextBounded(1000) + 1;
+    cm.Add(id);
+    ++truth[id];
+  }
+  for (const auto& [id, count] : truth) {
+    EXPECT_GE(cm.Query(id), count) << "flow " << id;
+  }
+}
+
+TEST(CmSketchTest, DeltaAddition) {
+  CmSketch cm(2, 256, 4);
+  cm.Add(7, 100);
+  cm.Add(7, 23);
+  EXPECT_EQ(cm.Query(7), 123u);
+}
+
+TEST(CmSketchTest, MemoryBytes) {
+  CmSketch cm(3, 1000, 1);
+  EXPECT_EQ(cm.MemoryBytes(), 3u * 1000u * 4u);
+}
+
+TEST(CmTopKTest, FromMemoryRespectsBudget) {
+  const size_t budget = 50 * 1024;
+  auto algo = CmTopK::FromMemory(budget, 100, 13);
+  EXPECT_LE(algo->MemoryBytes(), budget + 12);  // rounding slack < 1 bucket row
+  EXPECT_GT(algo->MemoryBytes(), budget * 9 / 10);
+}
+
+TEST(CmTopKTest, FindsPlantedElephants) {
+  auto algo = CmTopK::FromMemory(64 * 1024, 10, 4);
+  Rng rng(9);
+  // 10 elephants of 1000 packets, 5000 mice of ~4.
+  for (int rep = 0; rep < 1000; ++rep) {
+    for (FlowId e = 1; e <= 10; ++e) {
+      algo->Insert(e);
+    }
+    for (int m = 0; m < 20; ++m) {
+      algo->Insert(1000 + rng.NextBounded(5000));
+    }
+  }
+  const auto top = algo->TopK(10);
+  ASSERT_EQ(top.size(), 10u);
+  for (const auto& fc : top) {
+    EXPECT_LE(fc.id, 10u) << "mouse flow " << fc.id << " reported in top-10";
+    EXPECT_GE(fc.count, 1000u);  // CM never under-estimates
+  }
+}
+
+TEST(CmTopKTest, HeapTracksEstimates) {
+  auto algo = CmTopK::FromMemory(32 * 1024, 3, 4);
+  for (int i = 0; i < 100; ++i) {
+    algo->Insert(1);
+  }
+  for (int i = 0; i < 50; ++i) {
+    algo->Insert(2);
+  }
+  algo->Insert(3);
+  const auto top = algo->TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_EQ(top[0].count, 100u);
+  EXPECT_EQ(top[1].id, 2u);
+}
+
+TEST(CmTopKTest, NameIsStable) {
+  auto algo = CmTopK::FromMemory(1024, 10, 4);
+  EXPECT_EQ(algo->name(), "CM-Sketch");
+}
+
+}  // namespace
+}  // namespace hk

@@ -1,0 +1,93 @@
+#include "sketch/cold_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace hk {
+namespace {
+
+TEST(ColdFilterTest, LightFlowsAbsorbedByLayer1) {
+  ColdFilter cf(4096, 2048, 64, 4, 1);
+  for (FlowId id = 1; id <= 100; ++id) {
+    for (int i = 0; i < 5; ++i) {  // well under T1 = 15
+      cf.Insert(id);
+    }
+  }
+  for (FlowId id = 1; id <= 100; ++id) {
+    EXPECT_LE(cf.EstimateSize(id), 15u) << "flow " << id;
+    EXPECT_GE(cf.EstimateSize(id), 5u) << "flow " << id;
+  }
+  // Nothing should have reached the backend.
+  EXPECT_TRUE(cf.TopK(10).empty());
+}
+
+TEST(ColdFilterTest, HeavyFlowReachesBackend) {
+  ColdFilter cf(4096, 2048, 64, 4, 2);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    cf.Insert(42);
+  }
+  const auto top = cf.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 42u);
+  // Estimate = T1 + T2 + backend count = exactly n for a lone flow.
+  EXPECT_EQ(top[0].count, static_cast<uint64_t>(n));
+  EXPECT_EQ(cf.EstimateSize(42), static_cast<uint64_t>(n));
+}
+
+TEST(ColdFilterTest, EstimateTransitionsAcrossLayers) {
+  ColdFilter cf(4096, 2048, 64, 4, 3);
+  // 10 packets: still in L1.
+  for (int i = 0; i < 10; ++i) {
+    cf.Insert(7);
+  }
+  EXPECT_EQ(cf.EstimateSize(7), 10u);
+  // 100 more: L1 saturated (15), the rest in L2.
+  for (int i = 0; i < 100; ++i) {
+    cf.Insert(7);
+  }
+  EXPECT_EQ(cf.EstimateSize(7), 110u);
+}
+
+TEST(ColdFilterTest, MiceDoNotPolluteBackend) {
+  auto cf = ColdFilter::FromMemory(32 * 1024, 4, 5);
+  Rng rng(7);
+  // 20000 distinct mice (1-2 packets each) + 5 elephants.
+  for (int i = 0; i < 20000; ++i) {
+    cf->Insert(100000 + rng.NextBounded(20000));
+    if (i % 4 == 0) {
+      for (FlowId e = 1; e <= 5; ++e) {
+        cf->Insert(e);
+      }
+    }
+  }
+  const auto top = cf->TopK(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (const auto& fc : top) {
+    EXPECT_LE(fc.id, 5u) << "mouse leaked into backend top-k";
+  }
+}
+
+TEST(ColdFilterTest, MemoryBudgetAndName) {
+  const size_t budget = 40 * 1024;
+  auto cf = ColdFilter::FromMemory(budget, 13, 1);
+  EXPECT_LE(cf->MemoryBytes(), budget + 40);
+  EXPECT_GT(cf->MemoryBytes(), budget * 8 / 10);
+  EXPECT_EQ(cf->name(), "Cold-Filter");
+}
+
+TEST(ColdFilterTest, ConservativeUpdateKeepsMinimumTight) {
+  // With conservative increments, a flow's L1 minimum equals its own count
+  // while no collisions occur.
+  ColdFilter cf(1 << 16, 1 << 14, 64, 4, 11);
+  for (int i = 0; i < 12; ++i) {
+    cf.Insert(123456);
+  }
+  EXPECT_EQ(cf.EstimateSize(123456), 12u);
+}
+
+}  // namespace
+}  // namespace hk

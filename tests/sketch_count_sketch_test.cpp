@@ -1,0 +1,75 @@
+#include "sketch/count_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/random.h"
+
+namespace hk {
+namespace {
+
+TEST(CountSketchTest, SingleFlowIsExact) {
+  CountSketch cs(3, 1024, 1);
+  for (int i = 0; i < 400; ++i) {
+    cs.Add(7);
+  }
+  EXPECT_EQ(cs.Query(7), 400u);
+}
+
+TEST(CountSketchTest, QueryNeverNegative) {
+  CountSketch cs(3, 32, 2);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    cs.Add(rng.NextBounded(500));
+  }
+  for (FlowId id = 0; id < 600; ++id) {
+    // uint64_t is unsigned; the real check is that huge values (wrapped
+    // negatives) never appear.
+    EXPECT_LT(cs.Query(id), 1u << 20);
+  }
+}
+
+TEST(CountSketchTest, MedianEstimateNearTruthUnderNoise) {
+  CountSketch cs(5, 2048, 4);
+  std::map<FlowId, uint64_t> truth;
+  Rng rng(7);
+  // One elephant among background noise.
+  for (int i = 0; i < 30000; ++i) {
+    const FlowId id = (i % 3 == 0) ? 1 : rng.NextBounded(2000) + 10;
+    cs.Add(id);
+    ++truth[id];
+  }
+  const double est = static_cast<double>(cs.Query(1));
+  const double real = static_cast<double>(truth[1]);
+  EXPECT_NEAR(est, real, real * 0.15);
+}
+
+TEST(CountSketchTopKTest, FindsPlantedElephants) {
+  auto algo = CountSketchTopK::FromMemory(64 * 1024, 5, 4);
+  Rng rng(11);
+  for (int rep = 0; rep < 800; ++rep) {
+    for (FlowId e = 1; e <= 5; ++e) {
+      algo->Insert(e);
+    }
+    for (int m = 0; m < 10; ++m) {
+      algo->Insert(1000 + rng.NextBounded(3000));
+    }
+  }
+  const auto top = algo->TopK(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (const auto& fc : top) {
+    EXPECT_LE(fc.id, 5u);
+  }
+}
+
+TEST(CountSketchTopKTest, MemoryBudget) {
+  const size_t budget = 40 * 1024;
+  auto algo = CountSketchTopK::FromMemory(budget, 50, 8);
+  EXPECT_LE(algo->MemoryBytes(), budget + 12);
+  EXPECT_EQ(algo->name(), "Count-Sketch");
+}
+
+}  // namespace
+}  // namespace hk

@@ -1,0 +1,85 @@
+#include "sketch/counter_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace hk {
+namespace {
+
+TEST(CounterTreeTest, LoneFlowEstimatedClosely) {
+  CounterTree ct({.leaves = 4096, .degree = 2, .layers = 3, .s = 4}, 1);
+  for (int i = 0; i < 5000; ++i) {
+    ct.Insert(42);
+  }
+  // Only this flow exists; noise correction subtracts s*N/m which is small.
+  const uint64_t est = ct.EstimateSize(42);
+  EXPECT_NEAR(static_cast<double>(est), 5000.0, 5000.0 * 0.05);
+}
+
+TEST(CounterTreeTest, CarryPropagationBeyondLeafWidth) {
+  // A single 8-bit leaf saturates at 255; a flow of 5000 packets must rely
+  // on carries into parent layers, so the estimate far exceeds 255.
+  CounterTree ct({.leaves = 64, .degree = 2, .layers = 3, .s = 2}, 2);
+  for (int i = 0; i < 5000; ++i) {
+    ct.Insert(7);
+  }
+  EXPECT_GT(ct.EstimateSize(7), 3000u);
+}
+
+TEST(CounterTreeTest, NoiseCorrectionKeepsAbsentFlowsSmall) {
+  CounterTree ct({.leaves = 8192, .degree = 2, .layers = 3, .s = 4}, 3);
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    ct.Insert(rng.NextBounded(5000) + 1);
+  }
+  // A flow that never appeared: estimate should be near zero relative to N.
+  uint64_t total_absent = 0;
+  for (FlowId id = 100000; id < 100050; ++id) {
+    total_absent += ct.EstimateSize(id);
+  }
+  EXPECT_LT(total_absent / 50, 400u);
+}
+
+TEST(CounterTreeTest, TopKFindsDominantFlows) {
+  auto ct = CounterTree::FromMemory(64 * 1024, 7);
+  Rng rng(9);
+  for (int rep = 0; rep < 1000; ++rep) {
+    for (FlowId e = 1; e <= 5; ++e) {
+      ct->Insert(e);
+      ct->Insert(e);
+    }
+    for (int m = 0; m < 10; ++m) {
+      ct->Insert(1000 + rng.NextBounded(2000));
+    }
+  }
+  const auto top = ct->TopK(5);
+  ASSERT_EQ(top.size(), 5u);
+  int planted = 0;
+  for (const auto& fc : top) {
+    if (fc.id <= 5) {
+      ++planted;
+    }
+  }
+  EXPECT_GE(planted, 4);  // estimation noise may displace one
+}
+
+TEST(CounterTreeTest, MemoryGeometry) {
+  auto ct = CounterTree::FromMemory(7000, 1);
+  // leaves*(1 + 1/2 + 1/4) = 7/4 * leaves bytes = 7000 -> leaves = 4000.
+  EXPECT_NEAR(static_cast<double>(ct->MemoryBytes()), 7000.0, 16.0);
+  EXPECT_EQ(ct->name(), "Counter-Tree");
+}
+
+TEST(CounterTreeTest, TotalPacketsTracked) {
+  CounterTree ct({.leaves = 256, .degree = 2, .layers = 2, .s = 2}, 4);
+  for (int i = 0; i < 123; ++i) {
+    ct.Insert(static_cast<FlowId>(i));
+  }
+  EXPECT_EQ(ct.total_packets(), 123u);
+}
+
+}  // namespace
+}  // namespace hk

@@ -1,0 +1,93 @@
+#include "sketch/elastic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace hk {
+namespace {
+
+TEST(ElasticTest, ResidentFlowCountsExactly) {
+  ElasticSketch es(256, 1024, 4, 1);
+  for (int i = 0; i < 500; ++i) {
+    es.Insert(42);
+  }
+  EXPECT_EQ(es.EstimateSize(42), 500u);
+}
+
+TEST(ElasticTest, EvictionMovesResidentToLightPart) {
+  // One bucket forces a contest: a small resident is evicted once the
+  // challenger's negative votes reach lambda * vote+.
+  ElasticSketch es(1, 64, 4, 2);
+  es.Insert(1);  // resident, vote+ = 1
+  // 8 mismatching packets trigger eviction (lambda = 8).
+  for (int i = 0; i < 8; ++i) {
+    es.Insert(2);
+  }
+  // Flow 2 should now own the bucket.
+  EXPECT_GE(es.EstimateSize(2), 1u);
+  // Flow 1's single packet lives in the light part.
+  EXPECT_GE(es.EstimateSize(1), 1u);
+}
+
+TEST(ElasticTest, ElephantResistsEviction) {
+  ElasticSketch es(1, 64, 4, 3);
+  for (int i = 0; i < 1000; ++i) {
+    es.Insert(1);
+  }
+  // 100 mouse packets: vote- / vote+ stays < 8, flow 1 keeps the bucket.
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    es.Insert(rng.NextBounded(50) + 2);
+  }
+  EXPECT_GE(es.EstimateSize(1), 1000u);
+  const auto top = es.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 1u);
+}
+
+TEST(ElasticTest, FindsPlantedElephantsUnderNoise) {
+  auto es = ElasticSketch::FromMemory(32 * 1024, 4, 7);
+  Rng rng(9);
+  for (int rep = 0; rep < 500; ++rep) {
+    for (FlowId e = 1; e <= 8; ++e) {
+      es->Insert(e);
+    }
+    for (int m = 0; m < 20; ++m) {
+      es->Insert(1000 + rng.NextBounded(5000));
+    }
+  }
+  const auto top = es->TopK(8);
+  ASSERT_EQ(top.size(), 8u);
+  int planted = 0;
+  for (const auto& fc : top) {
+    if (fc.id <= 8) {
+      ++planted;
+    }
+  }
+  EXPECT_GE(planted, 7);  // allow one unlucky hash collision
+}
+
+TEST(ElasticTest, LightPartCatchesNonResidentFlows) {
+  ElasticSketch es(1, 4096, 4, 11);
+  for (int i = 0; i < 100; ++i) {
+    es.Insert(1);  // resident elephant
+  }
+  for (int i = 0; i < 30; ++i) {
+    es.Insert(2);  // never wins the bucket; counted in light part
+  }
+  EXPECT_GE(es.EstimateSize(2), 25u);  // 8-bit light counters, maybe shared
+}
+
+TEST(ElasticTest, MemoryBudgetRespected) {
+  const size_t budget = 50 * 1024;
+  auto es = ElasticSketch::FromMemory(budget, 13, 1);
+  EXPECT_LE(es->MemoryBytes(), budget + 32);
+  EXPECT_GT(es->MemoryBytes(), budget * 9 / 10);
+  EXPECT_EQ(es->name(), "Elastic");
+}
+
+}  // namespace
+}  // namespace hk

@@ -1,0 +1,113 @@
+#include "sketch/frequent.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace hk {
+namespace {
+
+TEST(FrequentTest, CountsWithinCapacity) {
+  Frequent mg(4, 4);
+  mg.Insert(1);
+  mg.Insert(1);
+  mg.Insert(2);
+  EXPECT_EQ(mg.EstimateSize(1), 2u);
+  EXPECT_EQ(mg.EstimateSize(2), 1u);
+}
+
+TEST(FrequentTest, DecrementAllOnFullMiss) {
+  Frequent mg(2, 4);
+  mg.Insert(1);
+  mg.Insert(1);
+  mg.Insert(2);
+  // Structure full; flow 3 triggers decrement-all and is NOT admitted.
+  mg.Insert(3);
+  EXPECT_EQ(mg.EstimateSize(1), 1u);
+  EXPECT_EQ(mg.EstimateSize(2), 0u);  // decremented to zero
+  EXPECT_EQ(mg.EstimateSize(3), 0u);
+  EXPECT_EQ(mg.offset(), 1u);
+}
+
+TEST(FrequentTest, FreedSlotReusedAfterDecrements) {
+  Frequent mg(2, 4);
+  mg.Insert(1);
+  mg.Insert(1);
+  mg.Insert(2);
+  mg.Insert(3);  // decrement-all: flow 2 dies
+  mg.Insert(3);  // now there is room: flow 3 admitted with effective count 1
+  EXPECT_EQ(mg.EstimateSize(3), 1u);
+}
+
+TEST(FrequentTest, NeverOverestimates) {
+  // Misra-Gries guarantee: estimate <= true count.
+  Frequent mg(32, 4);
+  std::map<FlowId, uint64_t> truth;
+  Rng rng(5);
+  for (int i = 0; i < 30000; ++i) {
+    const FlowId id = (rng.NextBounded(100) < 50) ? rng.NextBounded(8) + 1
+                                                  : rng.NextBounded(2000) + 10;
+    mg.Insert(id);
+    ++truth[id];
+  }
+  for (const auto& fc : mg.TopK(32)) {
+    EXPECT_LE(fc.count, truth[fc.id]) << "flow " << fc.id;
+  }
+}
+
+TEST(FrequentTest, UndercountBoundedByNOverM) {
+  // MG guarantee: true - estimate <= N / (m + 1).
+  const size_t m = 64;
+  Frequent mg(m, 4);
+  std::map<FlowId, uint64_t> truth;
+  Rng rng(9);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const FlowId id = (rng.NextBounded(100) < 50) ? rng.NextBounded(8) + 1
+                                                  : rng.NextBounded(4000) + 10;
+    mg.Insert(id);
+    ++truth[id];
+  }
+  const uint64_t bound = static_cast<uint64_t>(n) / (m + 1) + 1;
+  for (const auto& [id, count] : truth) {
+    const uint64_t est = mg.EstimateSize(id);
+    EXPECT_LE(count - est, bound + count - std::min(count, est + bound))
+        << "flow " << id;  // i.e. count - est <= bound
+    EXPECT_LE(count, est + bound) << "flow " << id;
+  }
+}
+
+TEST(FrequentTest, ElephantAlwaysSurvives) {
+  Frequent mg(16, 4);
+  Rng rng(21);
+  for (int i = 0; i < 30000; ++i) {
+    if (i % 3 == 0) {
+      mg.Insert(1);
+    } else {
+      mg.Insert(rng.NextBounded(5000) + 10);
+    }
+  }
+  const auto top = mg.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 1u);
+}
+
+TEST(FrequentTest, TopKExcludesDeadEntries) {
+  Frequent mg(2, 4);
+  mg.Insert(1);
+  mg.Insert(2);
+  mg.Insert(3);  // decrement-all: both 1 and 2 drop to 0
+  const auto top = mg.TopK(2);
+  EXPECT_TRUE(top.empty());
+}
+
+TEST(FrequentTest, MemoryAndName) {
+  auto mg = Frequent::FromMemory(4096, 4);
+  EXPECT_EQ(mg->name(), "Frequent");
+  EXPECT_LE(mg->MemoryBytes(), 4096u + 24);
+}
+
+}  // namespace
+}  // namespace hk

@@ -1,0 +1,93 @@
+#include "sketch/lossy_counting.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace hk {
+namespace {
+
+TEST(LossyCountingTest, ExactWithinCapacity) {
+  LossyCounting lc(100, 4);
+  for (int i = 0; i < 50; ++i) {
+    lc.Insert(1);
+  }
+  for (int i = 0; i < 20; ++i) {
+    lc.Insert(2);
+  }
+  EXPECT_EQ(lc.EstimateSize(1), 50u);
+  EXPECT_EQ(lc.EstimateSize(2), 20u);
+  EXPECT_EQ(lc.EstimateSize(3), 0u);
+}
+
+TEST(LossyCountingTest, CapacityStrictlyEnforced) {
+  LossyCounting lc(50, 4);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    lc.Insert(rng.NextBounded(5000) + 1);
+    EXPECT_LE(lc.size(), 50u);
+  }
+}
+
+TEST(LossyCountingTest, EpochAdvances) {
+  LossyCounting lc(10, 4);
+  EXPECT_EQ(lc.current_epoch(), 1u);
+  for (int i = 0; i < 25; ++i) {
+    lc.Insert(static_cast<FlowId>(i % 3) + 1);
+  }
+  EXPECT_EQ(lc.current_epoch(), 3u);  // two boundaries crossed at 10 and 20
+}
+
+TEST(LossyCountingTest, EstimateUpperBoundsTruth) {
+  // The classic LC guarantee: true count <= count + delta for any tracked
+  // flow (and pruned flows were below the epoch bound).
+  LossyCounting lc(64, 4);
+  std::map<FlowId, uint64_t> truth;
+  Rng rng(7);
+  for (int i = 0; i < 30000; ++i) {
+    const FlowId id = (rng.NextBounded(100) < 60) ? rng.NextBounded(8) + 1
+                                                  : rng.NextBounded(3000) + 10;
+    lc.Insert(id);
+    ++truth[id];
+  }
+  for (const auto& fc : lc.TopK(64)) {
+    EXPECT_GE(fc.count, truth[fc.id]) << "flow " << fc.id;
+  }
+}
+
+TEST(LossyCountingTest, HeavyFlowsSurvivePruning) {
+  LossyCounting lc(32, 4);
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    lc.Insert(1);  // persistent elephant
+    lc.Insert(rng.NextBounded(4000) + 100);
+  }
+  const auto top = lc.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_GE(top[0].count, 20000u);
+}
+
+TEST(LossyCountingTest, MouseFlowsOverestimatedUnderTightMemory) {
+  // Section II-B: the admit-all strategy drastically over-estimates mouse
+  // flows admitted late.
+  LossyCounting lc(16, 4);
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    lc.Insert(rng.NextBounded(2000) + 10);
+  }
+  lc.Insert(1);  // brand-new mouse flow
+  const uint64_t est = lc.EstimateSize(1);
+  EXPECT_GT(est, 100u) << "late flow should carry a large delta";
+}
+
+TEST(LossyCountingTest, MemoryAccountingAndName) {
+  auto lc = LossyCounting::FromMemory(10 * 1024, 13);
+  EXPECT_NEAR(static_cast<double>(lc->MemoryBytes()), 10 * 1024, 33);
+  EXPECT_EQ(lc->name(), "Lossy-Counting");
+}
+
+}  // namespace
+}  // namespace hk

@@ -1,0 +1,91 @@
+#include "sketch/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "trace/generators.h"
+#include "trace/oracle.h"
+
+namespace hk {
+namespace {
+
+TEST(SpaceSavingTest, TracksWithinCapacity) {
+  SpaceSaving ss(3, 4);
+  ss.Insert(1);
+  ss.Insert(2);
+  ss.Insert(1);
+  EXPECT_EQ(ss.EstimateSize(1), 2u);
+  EXPECT_EQ(ss.EstimateSize(2), 1u);
+  EXPECT_EQ(ss.EstimateSize(9), 0u);
+}
+
+TEST(SpaceSavingTest, ReplacementInheritsMinPlusOne) {
+  SpaceSaving ss(2, 4);
+  ss.Insert(1);
+  ss.Insert(1);
+  ss.Insert(2);
+  ss.Insert(3);  // replaces flow 2 (count 1) -> count 2
+  EXPECT_EQ(ss.EstimateSize(3), 2u);
+  EXPECT_EQ(ss.EstimateSize(2), 0u);
+}
+
+TEST(SpaceSavingTest, NeverUnderestimatesTrackedFlows) {
+  auto ss = SpaceSaving::FromMemory(2048, 4);
+  std::map<FlowId, uint64_t> truth;
+  Rng rng(13);
+  for (int i = 0; i < 30000; ++i) {
+    const FlowId id = rng.NextBounded(2000) + 1;
+    ss->Insert(id);
+    ++truth[id];
+  }
+  for (const auto& fc : ss->TopK(1000000)) {
+    EXPECT_GE(fc.count, truth[fc.id]);
+  }
+}
+
+TEST(SpaceSavingTest, OverestimationBoundedByNOverM) {
+  // Classic Space-Saving guarantee: count - true <= N/m.
+  const size_t m = 64;
+  SpaceSaving ss(m, 4);
+  std::map<FlowId, uint64_t> truth;
+  Rng rng(17);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const FlowId id = rng.NextBounded(1000) + 1;
+    ss.Insert(id);
+    ++truth[id];
+  }
+  for (const auto& fc : ss.TopK(m)) {
+    EXPECT_LE(fc.count - truth[fc.id], static_cast<uint64_t>(n) / m + 1);
+  }
+}
+
+TEST(SpaceSavingTest, FindsTrueHeavyHitterOnSkewedStream) {
+  const Trace trace = MakeZipfTrace({.num_packets = 50000,
+                                     .num_ranks = 5000,
+                                     .skew = 1.2,
+                                     .max_flow_size = 0,
+                                     .key_kind = KeyKind::kSynthetic4B,
+                                     .seed = 19,
+                                     .name = "t"});
+  Oracle oracle(trace);
+  auto ss = SpaceSaving::FromMemory(16 * 1024, 4);
+  for (const FlowId id : trace.packets) {
+    ss->Insert(id);
+  }
+  const auto top = ss->TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, oracle.TopK(1)[0].id);
+}
+
+TEST(SpaceSavingTest, MemoryAccounting) {
+  auto ss = SpaceSaving::FromMemory(10 * 1024, 13);
+  // 13 + 4 + 16 = 33 bytes/entry -> 310 entries at 10KB.
+  EXPECT_NEAR(static_cast<double>(ss->MemoryBytes()), 10 * 1024, 33);
+  EXPECT_EQ(ss->name(), "Space-Saving");
+}
+
+}  // namespace
+}  // namespace hk

@@ -1,0 +1,137 @@
+#include "summary/min_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hk {
+namespace {
+
+TEST(MinHeapTest, InsertAndLookup) {
+  IndexedMinHeap heap(4);
+  heap.Insert(1, 10);
+  heap.Insert(2, 5);
+  EXPECT_TRUE(heap.Contains(1));
+  EXPECT_EQ(heap.Value(1), 10u);
+  EXPECT_EQ(heap.Value(2), 5u);
+  EXPECT_EQ(heap.Value(3), 0u);
+  EXPECT_EQ(heap.MinCount(), 5u);
+  EXPECT_EQ(heap.size(), 2u);
+  EXPECT_FALSE(heap.Full());
+}
+
+TEST(MinHeapTest, MinCountIsRoot) {
+  IndexedMinHeap heap(8);
+  const uint64_t values[] = {9, 3, 7, 1, 8, 2};
+  FlowId id = 1;
+  uint64_t expected_min = ~0ULL;
+  for (const uint64_t v : values) {
+    heap.Insert(id++, v);
+    expected_min = std::min(expected_min, v);
+    EXPECT_EQ(heap.MinCount(), expected_min);
+  }
+}
+
+TEST(MinHeapTest, ReplaceMinExpelsRoot) {
+  IndexedMinHeap heap(3);
+  heap.Insert(1, 5);
+  heap.Insert(2, 3);
+  heap.Insert(3, 7);
+  heap.ReplaceMin(4, 4);
+  EXPECT_FALSE(heap.Contains(2));
+  EXPECT_TRUE(heap.Contains(4));
+  EXPECT_EQ(heap.MinCount(), 4u);
+  EXPECT_EQ(heap.size(), 3u);
+}
+
+TEST(MinHeapTest, RaiseCountSiftsCorrectly) {
+  IndexedMinHeap heap(4);
+  heap.Insert(1, 1);
+  heap.Insert(2, 2);
+  heap.Insert(3, 3);
+  heap.RaiseCount(1, 100);
+  EXPECT_EQ(heap.Value(1), 100u);
+  EXPECT_EQ(heap.MinCount(), 2u);
+  // Raising to a smaller value is a no-op (max semantics).
+  heap.RaiseCount(1, 50);
+  EXPECT_EQ(heap.Value(1), 100u);
+}
+
+TEST(MinHeapTest, TopKSortedDescending) {
+  IndexedMinHeap heap(8);
+  heap.Insert(1, 5);
+  heap.Insert(2, 9);
+  heap.Insert(3, 9);
+  heap.Insert(4, 1);
+  const auto top = heap.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 2u);
+  EXPECT_EQ(top[1].id, 3u);
+  EXPECT_EQ(top[2].id, 1u);
+}
+
+TEST(MinHeapTest, TopKClampsToSize) {
+  IndexedMinHeap heap(8);
+  heap.Insert(1, 5);
+  EXPECT_EQ(heap.TopK(10).size(), 1u);
+}
+
+// Differential test against a reference model under random operations.
+class MinHeapPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinHeapPropertyTest, MatchesReferenceModel) {
+  constexpr size_t kCapacity = 12;
+  IndexedMinHeap heap(kCapacity);
+  std::map<FlowId, uint64_t> model;
+  Rng rng(GetParam());
+
+  for (int i = 0; i < 5000; ++i) {
+    const FlowId id = rng.NextBounded(50) + 1;
+    const uint64_t v = rng.NextBounded(1000) + 1;
+    if (model.count(id) != 0) {
+      heap.RaiseCount(id, v);
+      model[id] = std::max(model[id], v);
+    } else if (model.size() < kCapacity) {
+      heap.Insert(id, v);
+      model[id] = v;
+    } else {
+      // The heap's root must carry the model's minimum count.
+      uint64_t min_v = ~0ULL;
+      for (const auto& [mid, mv] : model) {
+        min_v = std::min(min_v, mv);
+      }
+      ASSERT_EQ(heap.MinCount(), min_v);
+      // Track which id the heap evicts to stay in sync (ties make the
+      // victim ambiguous in the model).
+      const auto before = heap.Entries();
+      heap.ReplaceMin(id, v);
+      for (const auto& fc : before) {
+        if (!heap.Contains(fc.id)) {
+          model.erase(fc.id);
+        }
+      }
+      model[id] = v;
+    }
+
+    // Invariants after every op.
+    ASSERT_EQ(heap.size(), model.size());
+    uint64_t min_v = ~0ULL;
+    for (const auto& [mid, mv] : model) {
+      ASSERT_EQ(heap.Value(mid), mv) << "flow " << mid;
+      min_v = std::min(min_v, mv);
+    }
+    if (!model.empty()) {
+      ASSERT_EQ(heap.MinCount(), min_v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinHeapPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace hk

@@ -1,0 +1,184 @@
+#include "summary/stream_summary.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hk {
+namespace {
+
+TEST(StreamSummaryTest, InsertAndCount) {
+  StreamSummary s(4);
+  s.Insert(1, 5);
+  s.Insert(2, 3);
+  EXPECT_EQ(s.Count(1), 5u);
+  EXPECT_EQ(s.Count(2), 3u);
+  EXPECT_EQ(s.Count(3), 0u);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FALSE(s.Full());
+}
+
+TEST(StreamSummaryTest, MinCountTracksSmallestGroup) {
+  StreamSummary s(8);
+  EXPECT_EQ(s.MinCount(), 0u);
+  s.Insert(1, 10);
+  EXPECT_EQ(s.MinCount(), 10u);
+  s.Insert(2, 4);
+  EXPECT_EQ(s.MinCount(), 4u);
+  s.Insert(3, 7);
+  EXPECT_EQ(s.MinCount(), 4u);
+  s.Remove(2);
+  EXPECT_EQ(s.MinCount(), 7u);
+}
+
+TEST(StreamSummaryTest, IncrementMovesBetweenGroups) {
+  StreamSummary s(4);
+  s.Insert(1, 1);
+  s.Insert(2, 1);
+  s.Increment(1);
+  EXPECT_EQ(s.Count(1), 2u);
+  EXPECT_EQ(s.Count(2), 1u);
+  EXPECT_EQ(s.MinCount(), 1u);
+  s.Increment(2);
+  s.Increment(2);
+  EXPECT_EQ(s.Count(2), 3u);
+  EXPECT_EQ(s.MinCount(), 2u);
+}
+
+TEST(StreamSummaryTest, SpaceSavingSemantics) {
+  StreamSummary s(2);
+  EXPECT_EQ(s.SpaceSavingUpdate(1), 0u);  // insert
+  EXPECT_EQ(s.SpaceSavingUpdate(1), 0u);  // increment
+  EXPECT_EQ(s.SpaceSavingUpdate(2), 0u);  // insert
+  // Structure full; new flow 3 replaces the min (flow 2, count 1).
+  EXPECT_EQ(s.SpaceSavingUpdate(3), 2u);
+  EXPECT_EQ(s.Count(3), 2u);  // min + 1
+  EXPECT_EQ(s.Error(3), 1u);  // inherited overestimation
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_EQ(s.Count(1), 2u);  // untouched
+}
+
+TEST(StreamSummaryTest, PopMinReturnsSmallest) {
+  StreamSummary s(4);
+  s.Insert(1, 9);
+  s.Insert(2, 2);
+  s.Insert(3, 5);
+  const auto e = s.PopMin();
+  EXPECT_EQ(e.id, 2u);
+  EXPECT_EQ(e.count, 2u);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FALSE(s.Contains(2));
+}
+
+TEST(StreamSummaryTest, RaiseCountJumpsGroups) {
+  StreamSummary s(4);
+  s.Insert(1, 1);
+  s.Insert(2, 6);
+  s.RaiseCount(1, 10);
+  EXPECT_EQ(s.Count(1), 10u);
+  EXPECT_EQ(s.MinCount(), 6u);
+  // Raising to a lower value is a no-op.
+  s.RaiseCount(1, 3);
+  EXPECT_EQ(s.Count(1), 10u);
+}
+
+TEST(StreamSummaryTest, EntriesEnumerateEverything) {
+  StreamSummary s(8);
+  for (FlowId id = 1; id <= 5; ++id) {
+    s.Insert(id, id * 2);
+  }
+  auto entries = s.Entries();
+  EXPECT_EQ(entries.size(), 5u);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  for (FlowId id = 1; id <= 5; ++id) {
+    EXPECT_EQ(entries[id - 1].id, id);
+    EXPECT_EQ(entries[id - 1].count, id * 2);
+  }
+}
+
+TEST(StreamSummaryTest, TopKSortedAndTruncated) {
+  StreamSummary s(8);
+  s.Insert(1, 5);
+  s.Insert(2, 9);
+  s.Insert(3, 9);
+  s.Insert(4, 1);
+  const auto top = s.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 2u);  // tie (9,9) broken by id
+  EXPECT_EQ(top[1].id, 3u);
+  EXPECT_EQ(top[2].id, 1u);
+}
+
+TEST(StreamSummaryTest, CapacityNeverExceeded) {
+  StreamSummary s(10);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    s.SpaceSavingUpdate(rng.NextBounded(200) + 1);
+    EXPECT_LE(s.size(), 10u);
+  }
+}
+
+// Space-Saving guarantees vs exact counts:
+//   true <= tracked count  and  count - error <= true.
+TEST(StreamSummaryTest, SpaceSavingGuaranteesOnRandomStream) {
+  StreamSummary s(32);
+  std::map<FlowId, uint64_t> truth;
+  Rng rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    // Skewed-ish: small ids much more frequent.
+    const FlowId id = (rng.NextBounded(1000) < 700) ? rng.NextBounded(10) + 1
+                                                    : rng.NextBounded(500) + 11;
+    ++truth[id];
+    s.SpaceSavingUpdate(id);
+  }
+  for (const auto& e : s.Entries()) {
+    EXPECT_GE(e.count, truth[e.id]) << "flow " << e.id;
+    EXPECT_LE(e.count - e.error, truth[e.id]) << "flow " << e.id;
+  }
+}
+
+// Property: after any operation sequence, MinCount equals the true minimum
+// over Entries.
+class StreamSummaryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamSummaryPropertyTest, MinInvariantUnderRandomOps) {
+  StreamSummary s(16);
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const FlowId id = rng.NextBounded(64) + 1;
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1:
+        s.SpaceSavingUpdate(id);
+        break;
+      case 2:
+        if (s.Contains(id)) {
+          s.RaiseCount(id, s.Count(id) + rng.NextBounded(20));
+        }
+        break;
+      case 3:
+        if (s.Contains(id) && s.size() > 1) {
+          s.Remove(id);
+        }
+        break;
+    }
+    if (s.size() > 0) {
+      uint64_t true_min = ~0ULL;
+      for (const auto& e : s.Entries()) {
+        true_min = std::min(true_min, e.count);
+      }
+      ASSERT_EQ(s.MinCount(), true_min) << "op " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamSummaryPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace hk

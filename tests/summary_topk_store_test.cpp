@@ -1,0 +1,114 @@
+// Differential tests: the two top-k store backends (min-heap and
+// Stream-Summary, Section III-C note) must behave identically through the
+// duck-typed store API used by the HeavyKeeper pipelines.
+#include "summary/topk_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace hk {
+namespace {
+
+template <typename Store>
+class TopKStoreTypedTest : public ::testing::Test {};
+
+using StoreTypes = ::testing::Types<HeapTopKStore, SummaryTopKStore>;
+TYPED_TEST_SUITE(TopKStoreTypedTest, StoreTypes);
+
+TYPED_TEST(TopKStoreTypedTest, BasicLifecycle) {
+  TypeParam store(3);
+  EXPECT_EQ(store.capacity(), 3u);
+  EXPECT_FALSE(store.Full());
+  store.Insert(1, 4);
+  store.Insert(2, 6);
+  store.Insert(3, 2);
+  EXPECT_TRUE(store.Full());
+  EXPECT_EQ(store.MinCount(), 2u);
+  EXPECT_EQ(store.Value(2), 6u);
+
+  store.ReplaceMin(4, 3);
+  EXPECT_FALSE(store.Contains(3));
+  EXPECT_TRUE(store.Contains(4));
+  EXPECT_EQ(store.MinCount(), 3u);
+
+  store.RaiseCount(4, 10);
+  EXPECT_EQ(store.Value(4), 10u);
+  EXPECT_EQ(store.MinCount(), 4u);
+
+  const auto top = store.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 4u);
+  EXPECT_EQ(top[1].id, 2u);
+}
+
+TYPED_TEST(TopKStoreTypedTest, RaiseIsMaxSemantics) {
+  TypeParam store(2);
+  store.Insert(1, 9);
+  store.RaiseCount(1, 5);
+  EXPECT_EQ(store.Value(1), 9u);
+}
+
+TYPED_TEST(TopKStoreTypedTest, EmptyStoreMinIsZero) {
+  TypeParam store(4);
+  EXPECT_EQ(store.MinCount(), 0u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.TopK(5).empty());
+}
+
+TEST(TopKStoreDifferentialTest, BackendsAgreeOnRandomWorkload) {
+  constexpr size_t kCapacity = 16;
+  HeapTopKStore heap(kCapacity);
+  SummaryTopKStore summary(kCapacity);
+  Rng rng(2024);
+
+  for (int i = 0; i < 20000; ++i) {
+    const FlowId id = rng.NextBounded(100) + 1;
+    const uint64_t v = rng.NextBounded(500) + 1;
+    ASSERT_EQ(heap.Contains(id), summary.Contains(id)) << "op " << i;
+    if (heap.Contains(id)) {
+      heap.RaiseCount(id, v);
+      summary.RaiseCount(id, v);
+    } else if (!heap.Full()) {
+      heap.Insert(id, v);
+      summary.Insert(id, v);
+    } else if (v == heap.MinCount() + 1) {
+      // nmin+1 replacements only (the HeavyKeeper admission rule). When
+      // several entries tie at the min the two backends may legitimately
+      // evict different ids and membership would diverge, so only replace
+      // when the victim is unique.
+      const auto entries = heap.TopK(kCapacity);
+      size_t at_min = 0;
+      for (const auto& fc : entries) {
+        if (fc.count == heap.MinCount()) {
+          ++at_min;
+        }
+      }
+      if (at_min == 1) {
+        heap.ReplaceMin(id, v);
+        summary.ReplaceMin(id, v);
+      }
+    }
+    ASSERT_EQ(heap.MinCount(), summary.MinCount()) << "op " << i;
+    ASSERT_EQ(heap.size(), summary.size()) << "op " << i;
+  }
+
+  const auto ht = heap.TopK(kCapacity);
+  const auto st = summary.TopK(kCapacity);
+  ASSERT_EQ(ht.size(), st.size());
+  for (size_t i = 0; i < ht.size(); ++i) {
+    EXPECT_EQ(ht[i].count, st[i].count) << "rank " << i;
+  }
+}
+
+TEST(TopKStoreTest, BytesPerEntryAccounting) {
+  // Heap: key + 32-bit count. Stream-Summary adds list/index overhead.
+  EXPECT_EQ(HeapTopKStore::BytesPerEntry(13), 17u);
+  EXPECT_EQ(SummaryTopKStore::BytesPerEntry(13), 33u);
+  EXPECT_LT(HeapTopKStore::BytesPerEntry(4), SummaryTopKStore::BytesPerEntry(4));
+}
+
+}  // namespace
+}  // namespace hk

@@ -1,0 +1,186 @@
+#include "trace/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace hk {
+namespace {
+
+ZipfTraceConfig SmallConfig() {
+  ZipfTraceConfig config;
+  config.num_packets = 50000;
+  config.num_ranks = 5000;
+  config.skew = 1.0;
+  config.seed = 11;
+  return config;
+}
+
+TEST(ZipfTraceTest, ExactPacketCountWithoutClamp) {
+  const Trace trace = MakeZipfTrace(SmallConfig());
+  EXPECT_EQ(trace.num_packets(), 50000u);
+}
+
+TEST(ZipfTraceTest, FlowCountMatchesDistinctIds) {
+  const Trace trace = MakeZipfTrace(SmallConfig());
+  std::set<FlowId> distinct(trace.packets.begin(), trace.packets.end());
+  EXPECT_EQ(trace.num_flows, distinct.size());
+  EXPECT_LE(trace.num_flows, 5000u);
+  EXPECT_GT(trace.num_flows, 1000u);
+}
+
+TEST(ZipfTraceTest, DeterministicForSameSeed) {
+  const Trace a = MakeZipfTrace(SmallConfig());
+  const Trace b = MakeZipfTrace(SmallConfig());
+  EXPECT_EQ(a.packets, b.packets);
+}
+
+TEST(ZipfTraceTest, SeedChangesTrace) {
+  ZipfTraceConfig config = SmallConfig();
+  const Trace a = MakeZipfTrace(config);
+  config.seed = 12;
+  const Trace b = MakeZipfTrace(config);
+  EXPECT_NE(a.packets, b.packets);
+}
+
+TEST(ZipfTraceTest, LargestFlowTracksZipfHead) {
+  ZipfTraceConfig config = SmallConfig();
+  const Trace trace = MakeZipfTrace(config);
+  std::unordered_map<FlowId, uint64_t> counts;
+  for (const FlowId id : trace.packets) {
+    ++counts[id];
+  }
+  uint64_t max_count = 0;
+  for (const auto& [id, c] : counts) {
+    max_count = std::max(max_count, c);
+  }
+  // skew 1.0, m=5000: head share = 1/H(5000) ~ 1/9.1 of 50k ~ 5.5k.
+  EXPECT_GT(max_count, 4000u);
+  EXPECT_LT(max_count, 7500u);
+}
+
+TEST(ZipfTraceTest, ClampCapsFlowSizes) {
+  ZipfTraceConfig config = SmallConfig();
+  config.max_flow_size = 100;
+  const Trace trace = MakeZipfTrace(config);
+  std::unordered_map<FlowId, uint64_t> counts;
+  for (const FlowId id : trace.packets) {
+    ++counts[id];
+  }
+  for (const auto& [id, c] : counts) {
+    EXPECT_LE(c, 100u);
+  }
+  EXPECT_LT(trace.num_packets(), 50000u);  // clamp removed head packets
+}
+
+TEST(ZipfTraceTest, ShuffleSpreadsHeavyFlow) {
+  // The heaviest flow must not sit in one contiguous block: compare its
+  // occurrences in the first and second half.
+  const Trace trace = MakeZipfTrace(SmallConfig());
+  std::unordered_map<FlowId, uint64_t> counts;
+  for (const FlowId id : trace.packets) {
+    ++counts[id];
+  }
+  FlowId heaviest = 0;
+  uint64_t best = 0;
+  for (const auto& [id, c] : counts) {
+    if (c > best) {
+      best = c;
+      heaviest = id;
+    }
+  }
+  uint64_t first_half = 0;
+  for (size_t i = 0; i < trace.packets.size() / 2; ++i) {
+    if (trace.packets[i] == heaviest) {
+      ++first_half;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(first_half), best / 2.0, best * 0.2);
+}
+
+TEST(CampusTraceTest, MatchesPaperShape) {
+  const Trace trace = MakeCampusTrace(200000, 3);
+  EXPECT_EQ(trace.key_kind, KeyKind::kFiveTuple13B);
+  EXPECT_EQ(trace.name, "campus-like");
+  // ~N/10 flows.
+  EXPECT_GT(trace.num_flows, 10000u);
+  EXPECT_LT(trace.num_flows, 22000u);
+}
+
+TEST(CaidaTraceTest, MouseDominated) {
+  const Trace trace = MakeCaidaTrace(200000, 3);
+  EXPECT_EQ(trace.key_kind, KeyKind::kAddrPair8B);
+  std::unordered_map<FlowId, uint64_t> counts;
+  for (const FlowId id : trace.packets) {
+    ++counts[id];
+  }
+  uint64_t mice = 0;
+  for (const auto& [id, c] : counts) {
+    if (c <= 3) {
+      ++mice;
+    }
+  }
+  // The CAIDA-like trace is dominated by tiny flows.
+  EXPECT_GT(static_cast<double>(mice) / counts.size(), 0.5);
+}
+
+TEST(SyntheticTraceTest, SkewControlsConcentration) {
+  const Trace flat = MakeSyntheticTrace(100000, 0.6, 5);
+  const Trace steep = MakeSyntheticTrace(100000, 2.4, 5);
+  EXPECT_GT(flat.num_flows, steep.num_flows);
+}
+
+TEST(RankToFlowIdTest, DeterministicAndKindSeparated) {
+  const FlowId a = RankToFlowId(7, KeyKind::kSynthetic4B, 9);
+  EXPECT_EQ(a, RankToFlowId(7, KeyKind::kSynthetic4B, 9));
+  EXPECT_NE(a, RankToFlowId(7, KeyKind::kAddrPair8B, 9));
+  EXPECT_NE(a, RankToFlowId(8, KeyKind::kSynthetic4B, 9));
+  EXPECT_NE(a, RankToFlowId(7, KeyKind::kSynthetic4B, 10));
+}
+
+TEST(ZipfStreamTest, DrawsFromSameUniverseAsTrace) {
+  ZipfTraceConfig config = SmallConfig();
+  const Trace trace = MakeZipfTrace(config);
+  std::set<FlowId> universe(trace.packets.begin(), trace.packets.end());
+
+  ZipfStream stream(config.num_ranks, config.skew, config.key_kind, config.seed);
+  int misses = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (universe.count(stream.Next()) == 0) {
+      ++misses;  // rank allocated 0 packets by largest-remainder rounding
+    }
+  }
+  // The stream occasionally samples tail ranks the exact allocation zeroed
+  // out, but the bulk must coincide.
+  EXPECT_LT(misses, 2500);
+}
+
+TEST(ZipfStreamTest, HeadRankDominatesSamples) {
+  ZipfStream stream(1000, 1.5, KeyKind::kSynthetic4B, 21);
+  const FlowId head = RankToFlowId(0, KeyKind::kSynthetic4B, 21);
+  int head_hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (stream.Next() == head) {
+      ++head_hits;
+    }
+  }
+  const double expected = stream.distribution().Pmf(0) * kN;
+  EXPECT_NEAR(head_hits, expected, expected * 0.15 + 20);
+}
+
+class TraceScaleSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TraceScaleSweep, GeneratorScalesLinearly) {
+  const uint64_t n = GetParam();
+  const Trace trace = MakeCampusTrace(n, 1);
+  EXPECT_NEAR(static_cast<double>(trace.num_packets()), static_cast<double>(n), n * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, TraceScaleSweep,
+                         ::testing::Values(20000, 50000, 100000, 400000));
+
+}  // namespace
+}  // namespace hk

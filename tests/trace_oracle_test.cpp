@@ -1,0 +1,94 @@
+#include "trace/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generators.h"
+
+namespace hk {
+namespace {
+
+TEST(OracleTest, CountsHandBuiltStream) {
+  Oracle oracle;
+  oracle.Add(1);
+  oracle.Add(2);
+  oracle.Add(1);
+  oracle.Add(3, 5);
+  EXPECT_EQ(oracle.Count(1), 2u);
+  EXPECT_EQ(oracle.Count(2), 1u);
+  EXPECT_EQ(oracle.Count(3), 5u);
+  EXPECT_EQ(oracle.Count(99), 0u);
+  EXPECT_EQ(oracle.num_flows(), 3u);
+}
+
+TEST(OracleTest, TopKOrdersByCountThenId) {
+  Oracle oracle;
+  oracle.Add(10, 7);
+  oracle.Add(20, 7);
+  oracle.Add(30, 9);
+  oracle.Add(40, 1);
+  const auto top = oracle.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 30u);
+  EXPECT_EQ(top[1].id, 10u);  // tie broken by id
+  EXPECT_EQ(top[2].id, 20u);
+}
+
+TEST(OracleTest, TopKClampsToFlowCount) {
+  Oracle oracle;
+  oracle.Add(1);
+  oracle.Add(2);
+  EXPECT_EQ(oracle.TopK(10).size(), 2u);
+}
+
+TEST(OracleTest, KthSize) {
+  Oracle oracle;
+  oracle.Add(1, 100);
+  oracle.Add(2, 50);
+  oracle.Add(3, 25);
+  EXPECT_EQ(oracle.KthSize(1), 100u);
+  EXPECT_EQ(oracle.KthSize(2), 50u);
+  EXPECT_EQ(oracle.KthSize(3), 25u);
+  EXPECT_EQ(oracle.KthSize(4), 0u);  // fewer than k flows
+  EXPECT_EQ(oracle.KthSize(0), 0u);
+}
+
+TEST(OracleTest, TraceConstructorMatchesManualCount) {
+  const Trace trace = MakeCampusTrace(30000, 17);
+  Oracle oracle(trace);
+  EXPECT_EQ(oracle.total_packets(), trace.num_packets());
+  EXPECT_EQ(oracle.num_flows(), trace.num_flows);
+
+  Oracle manual;
+  for (const FlowId id : trace.packets) {
+    manual.Add(id);
+  }
+  EXPECT_EQ(manual.counts(), oracle.counts());
+}
+
+TEST(OracleTest, TopKConsistentWithKthSize) {
+  const Trace trace = MakeCaidaTrace(30000, 23);
+  Oracle oracle(trace);
+  for (size_t k : {1u, 10u, 100u}) {
+    const auto top = oracle.TopK(k);
+    ASSERT_EQ(top.size(), k);
+    EXPECT_EQ(top.back().count, oracle.KthSize(k));
+    for (size_t i = 1; i < top.size(); ++i) {
+      EXPECT_GE(top[i - 1].count, top[i].count);
+    }
+  }
+}
+
+TEST(OracleTest, AddTraceAccumulates) {
+  const Trace a = MakeCampusTrace(10000, 1);
+  Oracle oracle;
+  oracle.AddTrace(a);
+  oracle.AddTrace(a);
+  EXPECT_EQ(oracle.total_packets(), 2 * a.num_packets());
+  const auto top = oracle.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  Oracle single(a);
+  EXPECT_EQ(top[0].count, 2 * single.TopK(1)[0].count);
+}
+
+}  // namespace
+}  // namespace hk

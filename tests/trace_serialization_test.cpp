@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/generators.h"
+#include "trace/trace.h"
+
+namespace hk {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceSerializationTest, RoundTripPreservesEverything) {
+  Trace trace = MakeCampusTrace(20000, 5);
+  const std::string path = TempPath("roundtrip.trace");
+  ASSERT_TRUE(trace.Save(path));
+
+  Trace loaded;
+  ASSERT_TRUE(Trace::Load(path, &loaded));
+  EXPECT_EQ(loaded.name, trace.name);
+  EXPECT_EQ(loaded.key_kind, trace.key_kind);
+  EXPECT_EQ(loaded.num_flows, trace.num_flows);
+  EXPECT_EQ(loaded.packets, trace.packets);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSerializationTest, EmptyTraceRoundTrips) {
+  Trace trace;
+  trace.name = "empty";
+  const std::string path = TempPath("empty.trace");
+  ASSERT_TRUE(trace.Save(path));
+  Trace loaded;
+  ASSERT_TRUE(Trace::Load(path, &loaded));
+  EXPECT_EQ(loaded.name, "empty");
+  EXPECT_TRUE(loaded.packets.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceSerializationTest, MissingFileFails) {
+  Trace loaded;
+  EXPECT_FALSE(Trace::Load(TempPath("does-not-exist.trace"), &loaded));
+}
+
+TEST(TraceSerializationTest, CorruptMagicRejected) {
+  const std::string path = TempPath("corrupt.trace");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "not a trace file at all, sorry";
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+  }
+  Trace loaded;
+  EXPECT_FALSE(Trace::Load(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(TraceSerializationTest, TruncatedFileRejected) {
+  Trace trace = MakeCampusTrace(5000, 9);
+  const std::string path = TempPath("truncated.trace");
+  ASSERT_TRUE(trace.Save(path));
+  // Truncate to half size.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  }
+  Trace loaded;
+  EXPECT_FALSE(Trace::Load(path, &loaded));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hk
