@@ -68,7 +68,7 @@ int main() {
   for (const size_t kb : {10, 15, 20, 30, 40}) {
     std::vector<double> prow;
     std::vector<double> arow;
-    for (const auto [opt1, opt2] :
+    for (const auto& [opt1, opt2] :
          {std::pair{false, false}, {true, false}, {false, true}, {true, true}}) {
       const auto report = RunVariant(ds, opt1, opt2, kb * 1024, kK);
       prow.push_back(report.precision);

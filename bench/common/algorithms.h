@@ -9,6 +9,7 @@
 #ifndef HK_BENCH_COMMON_ALGORITHMS_H_
 #define HK_BENCH_COMMON_ALGORITHMS_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -4,6 +4,7 @@
 #ifndef HK_BENCH_COMMON_HARNESS_H_
 #define HK_BENCH_COMMON_HARNESS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -43,8 +43,14 @@ FlowId FiveTuple::Id() const {
 
 std::string FiveTuple::ToString() const {
   std::string s = Ipv4ToString(src_ip);
-  s += ":" + std::to_string(src_port) + " -> " + Ipv4ToString(dst_ip) + ":" +
-       std::to_string(dst_port) + " proto=" + std::to_string(proto);
+  s += ':';
+  s += std::to_string(src_port);
+  s += " -> ";
+  s += Ipv4ToString(dst_ip);
+  s += ':';
+  s += std::to_string(dst_port);
+  s += " proto=";
+  s += std::to_string(proto);
   return s;
 }
 

@@ -8,6 +8,7 @@
 #ifndef HK_CORE_EPOCH_MONITOR_H_
 #define HK_CORE_EPOCH_MONITOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <utility>

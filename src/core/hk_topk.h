@@ -17,6 +17,7 @@
 #define HK_CORE_HK_TOPK_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
 

@@ -12,8 +12,9 @@ constexpr uint32_t kVersion = 1;
 
 template <typename T>
 void Append(std::vector<uint8_t>& out, const T& v) {
-  const auto* p = reinterpret_cast<const uint8_t*>(&v);
-  out.insert(out.end(), p, p + sizeof(T));
+  const size_t pos = out.size();
+  out.resize(pos + sizeof(T));
+  std::memcpy(out.data() + pos, &v, sizeof(T));
 }
 
 class Reader {

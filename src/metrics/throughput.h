@@ -3,6 +3,9 @@
 #ifndef HK_METRICS_THROUGHPUT_H_
 #define HK_METRICS_THROUGHPUT_H_
 
+#include <cstddef>
+#include <cstdint>
+
 #include "common/timer.h"
 #include "sketch/topk_algorithm.h"
 #include "trace/trace.h"

@@ -9,6 +9,7 @@
 #ifndef HK_OVS_PIPELINE_H_
 #define HK_OVS_PIPELINE_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>

@@ -12,6 +12,7 @@
 #ifndef HK_SKETCH_COLD_FILTER_H_
 #define HK_SKETCH_COLD_FILTER_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

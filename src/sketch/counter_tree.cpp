@@ -10,7 +10,9 @@ CounterTree::CounterTree(const Geometry& geometry, uint64_t seed)
   size_t width = geometry_.leaves;
   for (size_t l = 0; l < geometry_.layers; ++l) {
     levels_.emplace_back(std::max<size_t>(width, 1), 0);
-    width /= geometry_.degree;
+    // Ceiling division: parent of leaf j is j / degree, so the last leaf
+    // (width - 1) must map inside the next level.
+    width = (width + geometry_.degree - 1) / geometry_.degree;
   }
 }
 

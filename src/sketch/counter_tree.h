@@ -21,6 +21,7 @@
 #ifndef HK_SKETCH_COUNTER_TREE_H_
 #define HK_SKETCH_COUNTER_TREE_H_
 
+#include <cstdint>
 #include <memory>
 #include <unordered_set>
 #include <vector>

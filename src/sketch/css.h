@@ -13,6 +13,7 @@
 #ifndef HK_SKETCH_CSS_H_
 #define HK_SKETCH_CSS_H_
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 

@@ -10,6 +10,7 @@
 #ifndef HK_SKETCH_ELASTIC_H_
 #define HK_SKETCH_ELASTIC_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

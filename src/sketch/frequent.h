@@ -8,6 +8,7 @@
 #ifndef HK_SKETCH_FREQUENT_H_
 #define HK_SKETCH_FREQUENT_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "sketch/topk_algorithm.h"

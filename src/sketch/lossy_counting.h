@@ -12,6 +12,7 @@
 #ifndef HK_SKETCH_LOSSY_COUNTING_H_
 #define HK_SKETCH_LOSSY_COUNTING_H_
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 

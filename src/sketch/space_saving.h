@@ -5,6 +5,7 @@
 #ifndef HK_SKETCH_SPACE_SAVING_H_
 #define HK_SKETCH_SPACE_SAVING_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "sketch/topk_algorithm.h"

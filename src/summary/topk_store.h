@@ -12,6 +12,9 @@
 #ifndef HK_SUMMARY_TOPK_STORE_H_
 #define HK_SUMMARY_TOPK_STORE_H_
 
+#include <cstddef>
+#include <cstdint>
+
 #include "summary/min_heap.h"
 #include "summary/stream_summary.h"
 
