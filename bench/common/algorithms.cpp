@@ -1,68 +1,15 @@
 #include "common/algorithms.h"
 
-#include <cstdio>
-#include <cstdlib>
-
-#include "core/hk_topk.h"
-#include "sketch/cm_sketch.h"
-#include "sketch/cold_filter.h"
-#include "sketch/count_sketch.h"
-#include "sketch/counter_tree.h"
-#include "sketch/css.h"
-#include "sketch/elastic.h"
-#include "sketch/frequent.h"
-#include "sketch/heavy_guardian.h"
-#include "sketch/lossy_counting.h"
-#include "sketch/space_saving.h"
-
 namespace hk::bench {
 
 std::unique_ptr<TopKAlgorithm> MakeAlgorithm(const std::string& name, size_t memory_bytes,
                                              size_t k, KeyKind key_kind, uint64_t seed) {
-  const size_t key_bytes = KeyBytes(key_kind);
-  if (name == "HK" || name == "HK-Parallel") {
-    return HeavyKeeperTopK<>::FromMemory(HkVersion::kParallel, memory_bytes, k, key_bytes,
-                                         seed);
-  }
-  if (name == "HK-Minimum") {
-    return HeavyKeeperTopK<>::FromMemory(HkVersion::kMinimum, memory_bytes, k, key_bytes,
-                                         seed);
-  }
-  if (name == "HK-Basic") {
-    return HeavyKeeperTopK<>::FromMemory(HkVersion::kBasic, memory_bytes, k, key_bytes, seed);
-  }
-  if (name == "SS") {
-    return SpaceSaving::FromMemory(memory_bytes, key_bytes);
-  }
-  if (name == "LC") {
-    return LossyCounting::FromMemory(memory_bytes, key_bytes);
-  }
-  if (name == "CSS") {
-    return Css::FromMemory(memory_bytes, seed);
-  }
-  if (name == "CM") {
-    return CmTopK::FromMemory(memory_bytes, k, key_bytes, seed);
-  }
-  if (name == "CountSketch") {
-    return CountSketchTopK::FromMemory(memory_bytes, k, key_bytes, seed);
-  }
-  if (name == "Frequent") {
-    return Frequent::FromMemory(memory_bytes, key_bytes);
-  }
-  if (name == "Elastic") {
-    return ElasticSketch::FromMemory(memory_bytes, key_bytes, seed);
-  }
-  if (name == "ColdFilter") {
-    return ColdFilter::FromMemory(memory_bytes, key_bytes, seed);
-  }
-  if (name == "CounterTree") {
-    return CounterTree::FromMemory(memory_bytes, seed);
-  }
-  if (name == "HeavyGuardian") {
-    return HeavyGuardian::FromMemory(memory_bytes, key_bytes, seed);
-  }
-  std::fprintf(stderr, "unknown algorithm: %s\n", name.c_str());
-  std::abort();
+  SketchDefaults defaults;
+  defaults.memory_bytes = memory_bytes;
+  defaults.k = k;
+  defaults.key_kind = key_kind;
+  defaults.seed = seed;
+  return MakeSketch(name, defaults);
 }
 
 const std::vector<std::string>& ClassicContenders() {

@@ -1,11 +1,11 @@
-// Algorithm factory implementing the paper's head-to-head configuration
-// rules (Section VI-A "Implementation"):
-//   * same total byte budget for every contender,
-//   * HeavyKeeper: d = 2, 16-bit fingerprint + 16-bit counter, k-entry store,
-//   * CM sketch: 3 arrays + k-entry heap,
-//   * SS / LC / Frequent: m from the pointer-based entry cost,
-//   * CSS: m from the 4-byte compact entry cost,
-//   * Elastic / Cold Filter / Counter Tree: the splits in DESIGN.md.
+// Bench-side façade over the sketch registry (sketch/registry.h).
+//
+// MakeAlgorithm() maps the harness's sweep axes (memory / k / key kind /
+// seed) onto a registry spec's context defaults, implementing the paper's
+// head-to-head configuration rules (Section VI-A "Implementation"): same
+// total byte budget for every contender, each algorithm's split documented
+// at its registration site. `name` accepts any registry spec, so a bench
+// can sweep "HK-Minimum:d=4" next to "HK-Minimum".
 #ifndef HK_BENCH_COMMON_ALGORITHMS_H_
 #define HK_BENCH_COMMON_ALGORITHMS_H_
 
@@ -15,13 +15,16 @@
 #include <vector>
 
 #include "common/flow_key.h"
+#include "sketch/registry.h"
 #include "sketch/topk_algorithm.h"
 
 namespace hk::bench {
 
-// Known names: "HK" (= Parallel), "HK-Basic", "HK-Parallel", "HK-Minimum",
-// "SS", "LC", "CSS", "CM", "CountSketch", "Frequent", "Elastic",
-// "ColdFilter", "CounterTree", "HeavyGuardian". Aborts on unknown names.
+// Construct a contender from a registry spec with the sweep's context
+// defaults. Canonical names: "HK" (= Parallel), "HK-Basic", "HK-Parallel",
+// "HK-Minimum", "SS", "LC", "CSS", "CM", "CountSketch", "Frequent",
+// "Elastic", "ColdFilter", "CounterTree", "HeavyGuardian" - see
+// RegisteredSketches(). Throws std::invalid_argument on unknown specs.
 std::unique_ptr<TopKAlgorithm> MakeAlgorithm(const std::string& name, size_t memory_bytes,
                                              size_t k, KeyKind key_kind, uint64_t seed = 1);
 

@@ -34,9 +34,9 @@ double MetricValue(Metric metric, const AccuracyReport& report) {
 AccuracyReport RunOnce(const std::string& algo_name, const Dataset& dataset,
                        size_t memory_bytes, size_t k, uint64_t seed) {
   auto algo = MakeAlgorithm(algo_name, memory_bytes, k, dataset.trace.key_kind, seed);
-  for (const FlowId id : dataset.trace.packets) {
-    algo->Insert(id);
-  }
+  // Batch-first: identical results to per-packet Insert() by the v2
+  // contract, with the pipelined path exercised for free.
+  algo->InsertBatch(dataset.trace.packets);
   return EvaluateTopK(algo->TopK(k), dataset.oracle, k);
 }
 

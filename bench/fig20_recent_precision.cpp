@@ -1,4 +1,5 @@
-// Figure 20 of the HeavyKeeper paper: Precision vs memory size (recent works) - comparison against the
+// Figure 20 of the HeavyKeeper paper: Precision vs memory size (recent works) - comparison against
+// the
 // "recent works" (Counter Tree, Cold Filter, Elastic sketch) on the campus
 // workload with k = 100 (Section VI-E).
 #include "common/algorithms.h"

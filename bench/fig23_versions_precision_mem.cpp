@@ -1,4 +1,5 @@
-// Figure 23 of the HeavyKeeper paper: Precision vs memory size (Parallel vs Minimum) - Hardware Parallel version vs
+// Figure 23 of the HeavyKeeper paper: Precision vs memory size (Parallel vs Minimum) - Hardware
+// Parallel version vs
 // Software Minimum version (Section VI-G). Deliberately tight memory makes
 // the difference visible, as in the paper.
 #include "common/algorithms.h"

@@ -1,4 +1,5 @@
-// Figure 25 of the HeavyKeeper paper: AAE vs memory size (Parallel vs Minimum) - Hardware Parallel version vs
+// Figure 25 of the HeavyKeeper paper: AAE vs memory size (Parallel vs Minimum) - Hardware Parallel
+// version vs
 // Software Minimum version (Section VI-G). Deliberately tight memory makes
 // the difference visible, as in the paper.
 #include "common/algorithms.h"

@@ -1,4 +1,5 @@
-// Figure 26 of the HeavyKeeper paper: Precision vs k (Parallel vs Minimum) - Hardware Parallel version vs
+// Figure 26 of the HeavyKeeper paper: Precision vs k (Parallel vs Minimum) - Hardware Parallel
+// version vs
 // Software Minimum version (Section VI-G). Deliberately tight memory makes
 // the difference visible, as in the paper.
 #include "common/algorithms.h"

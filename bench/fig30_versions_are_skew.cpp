@@ -1,4 +1,5 @@
-// Figure 30 of the HeavyKeeper paper: ARE vs skewness (Parallel vs Minimum) - Hardware Parallel version vs
+// Figure 30 of the HeavyKeeper paper: ARE vs skewness (Parallel vs Minimum) - Hardware Parallel
+// version vs
 // Software Minimum version (Section VI-G). Deliberately tight memory makes
 // the difference visible, as in the paper.
 #include "common/algorithms.h"
@@ -9,7 +10,8 @@ int main() {
   using namespace hk;
   using namespace hk::bench;
 
-  PrintFigureHeader("Figure 30", "ARE vs skewness (Parallel vs Minimum)", "synthetic Zipf, skew 0.6-3.0, 10 KB, k = 100",
+  PrintFigureHeader("Figure 30", "ARE vs skewness (Parallel vs Minimum)",
+                    "synthetic Zipf, skew 0.6-3.0, 10 KB, k = 100",
                     "Minimum's ARE smaller at every skew");
   SkewSweep(VersionContenders(), PaperSkews(), 10 * 1024, 100, Metric::kLog10Are).Print(4);
   return 0;

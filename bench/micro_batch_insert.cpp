@@ -1,0 +1,109 @@
+// Batched vs scalar insertion on the HeavyKeeper pipelines (google-benchmark).
+//
+// The v2 batch API's whole value proposition is software pipelining: hash a
+// burst of packets, prefetch their d*|burst| buckets, then run the case
+// logic against warm lines. That only pays when the sketch outgrows the
+// cache, so this bench sizes HeavyKeeper well past LLC (64 MB unless
+// HK_BENCH_BATCH_MB overrides) and streams a Zipf workload whose tail
+// misses DRAM on nearly every packet - the regime a production deployment
+// with per-flow state actually runs in (Figure 33's 50 KB points all sit
+// in L2).
+//
+// insert/<spec>/scalar     one Insert() per packet
+// insert/<spec>/batchN     InsertBatch() in bursts of N
+//
+// The acceptance gate tracked in CI: batch throughput (items_per_second)
+// >= 1.2x scalar for the HeavyKeeper pipelines on this workload. CI
+// uploads the JSON (BENCH_micro_batch_insert.json) as an artifact.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sketch/registry.h"
+#include "trace/generators.h"
+
+namespace {
+
+using namespace hk;
+
+size_t SketchMegabytes() {
+  const char* env = std::getenv("HK_BENCH_BATCH_MB");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 64;
+}
+
+const std::vector<FlowId>& ZipfPackets() {
+  static const std::vector<FlowId> packets = [] {
+    ZipfTraceConfig config;
+    const char* env = std::getenv("HK_BENCH_SCALE");
+    config.num_packets = env != nullptr ? std::strtoull(env, nullptr, 10) : 4'000'000;
+    config.num_ranks = config.num_packets / 2;  // deep tail: most flows are mice
+    config.skew = 1.0;
+    config.seed = 3;
+    return MakeZipfTrace(config).packets;
+  }();
+  return packets;
+}
+
+std::unique_ptr<TopKAlgorithm> MakeContender(const std::string& spec) {
+  SketchDefaults defaults;
+  defaults.memory_bytes = SketchMegabytes() * 1024 * 1024;
+  defaults.k = 100;
+  defaults.key_kind = KeyKind::kSynthetic4B;
+  defaults.seed = 1;
+  return MakeSketch(spec, defaults);
+}
+
+void BM_ScalarInsert(benchmark::State& state, const std::string& spec) {
+  auto algo = MakeContender(spec);
+  const auto& packets = ZipfPackets();
+  size_t i = 0;
+  for (auto _ : state) {
+    algo->Insert(packets[i]);
+    if (++i == packets.size()) {
+      i = 0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BatchInsert(benchmark::State& state, const std::string& spec) {
+  auto algo = MakeContender(spec);
+  const auto& packets = ZipfPackets();
+  // A tiny HK_BENCH_SCALE must not read past the packet buffer.
+  const size_t burst = std::min(static_cast<size_t>(state.range(0)), packets.size());
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i + burst > packets.size()) {
+      i = 0;
+    }
+    algo->InsertBatch(std::span<const FlowId>(packets.data() + i, burst));
+    i += burst;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(burst));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> specs = {"HK-Minimum", "HK-Parallel"};
+  for (const auto& spec : specs) {
+    benchmark::RegisterBenchmark(("insert/" + spec + "/scalar").c_str(),
+                                 [spec](benchmark::State& state) {
+                                   BM_ScalarInsert(state, spec);
+                                 });
+    auto* batch = benchmark::RegisterBenchmark(("insert/" + spec + "/batch").c_str(),
+                                               [spec](benchmark::State& state) {
+                                                 BM_BatchInsert(state, spec);
+                                               });
+    batch->Arg(32)->Arg(256)->Arg(4096);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

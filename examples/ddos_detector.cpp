@@ -69,9 +69,15 @@ int main() {
 
   for (size_t epoch = 0; epoch < kEpochs; ++epoch) {
     const bool under_attack = epoch >= kAttackStartEpoch;
-    // Fresh sketch per epoch: 64 KB, track top-50 sources.
-    auto topk = HeavyKeeperTopK<>::FromMemory(HkVersion::kMinimum, 64 * 1024, 50, 8,
-                                              /*seed=*/epoch + 1);
+    // Fresh sketch per epoch: 64 KB, track top-50 sources (address-pair
+    // keys).
+    auto topk = HeavyKeeperTopK<>::Builder()
+                    .version(HkVersion::kMinimum)
+                    .memory_bytes(64 * 1024)
+                    .k(50)
+                    .key_kind(KeyKind::kAddrPair8B)
+                    .seed(epoch + 1)
+                    .Build();
 
     for (uint64_t p = 0; p < kEpochPackets; ++p) {
       uint32_t src;

@@ -52,8 +52,12 @@ int main() {
   constexpr size_t kTopK = 256;
   const uint64_t elephant_threshold = oracle.KthSize(kTopK);
 
-  auto detector = HeavyKeeperTopK<>::FromMemory(HkVersion::kMinimum, 64 * 1024, kTopK,
-                                                KeyBytes(trace.key_kind));
+  auto detector = HeavyKeeperTopK<>::Builder()
+                      .version(HkVersion::kMinimum)
+                      .memory_bytes(64 * 1024)
+                      .k(kTopK)
+                      .key_kind(trace.key_kind)
+                      .Build();
 
   std::deque<std::pair<uint64_t, bool>> fifo;  // (arrival tick, is_mouse)
   std::deque<uint64_t> mouse_queue;            // arrival ticks

@@ -1,21 +1,26 @@
 // hk_cli - command-line front end for the library.
 //
+//   hk_cli algos
 //   hk_cli generate --out t.trace [--packets N] [--kind campus|caida|zipf]
 //                   [--skew S] [--seed X]
 //   hk_cli topk     --trace t.trace [--algo HK] [--memory-kb 50] [--k 20]
 //   hk_cli evaluate --trace t.trace [--algo HK] [--memory-kb 50] [--k 100]
 //   hk_cli bench    --trace t.trace [--algo HK] [--memory-kb 50] [--k 100]
 //
-// `--algo` accepts any factory name from bench/common/algorithms.h (HK,
-// HK-Minimum, SS, LC, CSS, CM, Elastic, ColdFilter, CounterTree, ...).
+// `--algo` accepts any sketch registry spec (sketch/registry.h): a name
+// from `hk_cli algos` plus optional key=value overrides, e.g.
+// "HK-Minimum:d=4,b=1.05". --memory-kb/--k/--seed set the spec's context
+// defaults.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "common/algorithms.h"
 #include "metrics/accuracy.h"
 #include "metrics/throughput.h"
+#include "sketch/registry.h"
 #include "trace/generators.h"
 #include "trace/oracle.h"
 #include "trace/trace.h"
@@ -40,12 +45,14 @@ struct Options {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hk_cli <generate|topk|evaluate|bench> [options]\n"
+               "usage: hk_cli <algos|generate|topk|evaluate|bench> [options]\n"
+               "  algos    list registered algorithm names\n"
                "  generate --out FILE [--packets N] [--kind campus|caida|zipf]\n"
                "           [--skew S] [--seed X]\n"
-               "  topk     --trace FILE [--algo NAME] [--memory-kb KB] [--k K]\n"
-               "  evaluate --trace FILE [--algo NAME] [--memory-kb KB] [--k K]\n"
-               "  bench    --trace FILE [--algo NAME] [--memory-kb KB] [--k K]\n");
+               "  topk     --trace FILE [--algo SPEC] [--memory-kb KB] [--k K]\n"
+               "  evaluate --trace FILE [--algo SPEC] [--memory-kb KB] [--k K]\n"
+               "  bench    --trace FILE [--algo SPEC] [--memory-kb KB] [--k K]\n"
+               "  SPEC = NAME[:key=value,...], e.g. \"HK-Minimum:d=4,b=1.05\"\n");
   return 2;
 }
 
@@ -115,8 +122,13 @@ int RunWithTrace(const Options& opts) {
     std::fprintf(stderr, "failed to load trace %s\n", opts.trace_path.c_str());
     return 1;
   }
-  auto algo =
-      MakeAlgorithm(opts.algo, opts.memory_kb * 1024, opts.k, trace.key_kind, opts.seed);
+  std::unique_ptr<TopKAlgorithm> algo;
+  try {
+    algo = MakeAlgorithm(opts.algo, opts.memory_kb * 1024, opts.k, trace.key_kind, opts.seed);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n(try `hk_cli algos` for the registered names)\n", e.what());
+    return 2;
+  }
 
   if (opts.command == "bench") {
     const auto result = MeasureThroughput(*algo, trace);
@@ -126,9 +138,9 @@ int RunWithTrace(const Options& opts) {
     return 0;
   }
 
-  for (const FlowId id : trace.packets) {
-    algo->Insert(id);
-  }
+  // Batch insert: algorithms with a pipelined path (HeavyKeeper) amortize
+  // hashing and prefetch buckets across the burst.
+  algo->InsertBatch(trace.packets);
 
   if (opts.command == "topk") {
     std::printf("%-6s%-20s%12s\n", "rank", "flow id", "estimate");
@@ -157,6 +169,12 @@ int main(int argc, char** argv) {
   Options opts;
   if (!ParseArgs(argc, argv, &opts)) {
     return Usage();
+  }
+  if (opts.command == "algos") {
+    for (const auto& name : RegisteredSketches()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
   }
   if (opts.command == "generate") {
     return Generate(opts);

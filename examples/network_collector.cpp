@@ -33,8 +33,13 @@ int main() {
   // --- at the switches -----------------------------------------------
   std::vector<std::unique_ptr<HeavyKeeperTopK<>>> switches;
   for (size_t s = 0; s < kSwitches; ++s) {
-    switches.push_back(
-        HeavyKeeperTopK<>::FromMemory(HkVersion::kMinimum, 50 * 1024, 2 * kK, 13, s + 1));
+    switches.push_back(HeavyKeeperTopK<>::Builder()
+                           .version(HkVersion::kMinimum)
+                           .memory_bytes(50 * 1024)
+                           .k(2 * kK)
+                           .key_kind(KeyKind::kFiveTuple13B)
+                           .seed(s + 1)
+                           .Build());
   }
   for (const FlowId id : trace.packets) {
     switches[id % kSwitches]->Insert(id);  // ECMP-style shard by flow hash

@@ -31,15 +31,19 @@ int main() {
   // 2. A HeavyKeeper pipeline: Software Minimum version, k = 10 candidates,
   //    100 KB total budget (sketch + candidate store).
   constexpr size_t kK = 10;
-  auto topk = HeavyKeeperTopK<>::FromMemory(HkVersion::kMinimum, 100 * 1024, kK,
-                                            KeyBytes(trace.key_kind));
+  auto topk = HeavyKeeperTopK<>::Builder()
+                  .version(HkVersion::kMinimum)
+                  .memory_bytes(100 * 1024)
+                  .k(kK)
+                  .key_kind(trace.key_kind)
+                  .Build();
   std::printf("HeavyKeeper: %zu arrays x %zu buckets, %zu bytes total\n",
               topk->sketch().num_arrays(), topk->sketch().width(), topk->MemoryBytes());
 
-  // 3. Stream the packets.
-  for (const FlowId id : trace.packets) {
-    topk->Insert(id);
-  }
+  // 3. Stream the packets as one batch: HeavyKeeper hashes and prefetches
+  //    each burst before applying it (identical results to per-packet
+  //    Insert(), just faster).
+  topk->InsertBatch(trace.packets);
 
   // 4. Report, next to exact counts.
   const Oracle oracle(trace);

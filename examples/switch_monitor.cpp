@@ -11,8 +11,8 @@
 #include <memory>
 #include <vector>
 
-#include "core/hk_topk.h"
 #include "ovs/pipeline.h"
+#include "sketch/registry.h"
 
 int main() {
   using namespace hk;
@@ -27,12 +27,18 @@ int main() {
   PipelineConfig config;
   config.num_pipelines = kPipelines;
 
-  std::vector<std::unique_ptr<HeavyKeeperTopK<>>> monitors(kPipelines);
+  // Per-pipeline measurement algorithm from the sketch registry; any spec
+  // from `hk_cli algos` drops in here.
+  SketchDefaults defaults;
+  defaults.memory_bytes = 50 * 1024;
+  defaults.k = 100;
+  defaults.key_kind = KeyKind::kFiveTuple13B;
+  std::vector<std::unique_ptr<TopKAlgorithm>> monitors(kPipelines);
   const auto result = RunPipelines(
       packets,
       [&](size_t i) -> TopKAlgorithm* {
-        monitors[i] = HeavyKeeperTopK<>::FromMemory(HkVersion::kParallel, 50 * 1024, 100,
-                                                    KeyBytes(KeyKind::kFiveTuple13B), i + 1);
+        defaults.seed = i + 1;
+        monitors[i] = MakeSketch("HK-Parallel", defaults);
         return monitors[i].get();
       },
       config);

@@ -40,6 +40,31 @@ const char* DecayFunctionName(DecayFunction f) {
   return "?";
 }
 
+const char* DecayFunctionToken(DecayFunction f) {
+  switch (f) {
+    case DecayFunction::kExponential:
+      return "exp";
+    case DecayFunction::kPolynomial:
+      return "poly";
+    case DecayFunction::kSigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+bool ParseDecayFunction(std::string_view token, DecayFunction* out) {
+  if (token == "exp") {
+    *out = DecayFunction::kExponential;
+  } else if (token == "poly") {
+    *out = DecayFunction::kPolynomial;
+  } else if (token == "sigmoid") {
+    *out = DecayFunction::kSigmoid;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 DecayTable::DecayTable(DecayFunction f, double base) : function_(f), base_(base) {
   thresholds_.reserve(256);
   for (uint32_t c = 0; c < kMaxTableSize; ++c) {

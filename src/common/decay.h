@@ -14,6 +14,7 @@
 #define HK_COMMON_DECAY_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/random.h"
@@ -27,6 +28,11 @@ enum class DecayFunction {
 };
 
 const char* DecayFunctionName(DecayFunction f);
+
+// Short spec tokens ("exp", "poly", "sigmoid") used by the sketch registry
+// grammar (sketch/registry.h) and by canonical name() strings.
+const char* DecayFunctionToken(DecayFunction f);
+bool ParseDecayFunction(std::string_view token, DecayFunction* out);
 
 class DecayTable {
  public:

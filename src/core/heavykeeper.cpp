@@ -19,6 +19,8 @@ HeavyKeeper::HeavyKeeper(const HeavyKeeperConfig& config)
       hashes_(config.d, config.seed),
       fingerprint_(config.fingerprint_bits, Mix64(config.seed ^ 0xf1e2d3c4b5a69788ULL)),
       rng_(config.seed ^ 0xdeca1decaf00dULL) {
+  config_.max_arrays = std::min(config_.max_arrays, kMaxPreparedArrays);
+  config_.d = std::min(config_.d, kMaxPreparedArrays);
   arrays_.assign(config_.d, std::vector<Bucket>(config_.w));
   SplitMix64 sm(config_.seed ^ 0xa88a0eedULL);
   next_array_seed_ = sm.Next();
@@ -53,19 +55,19 @@ void HeavyKeeper::NoteStuck() {
   }
 }
 
-uint32_t HeavyKeeper::InsertBasic(FlowId id) {
-  // Basic = Parallel with the Optimization-II gate disabled.
-  return InsertParallel(id, /*monitored=*/true, /*nmin=*/0);
-}
-
-uint32_t HeavyKeeper::InsertParallel(FlowId id, bool monitored, uint64_t nmin) {
-  const uint32_t fp = fingerprint_(id);
+uint32_t HeavyKeeper::InsertParallelPrepared(const Prepared& p, bool monitored,
+                                             uint64_t nmin) {
+  if (p.n != arrays_.size()) {
+    // The handle predates an expansion: re-address before mutating.
+    return InsertParallelPrepared(Prepare(p.id), monitored, nmin);
+  }
+  const uint32_t fp = p.fp;
   uint32_t estimate = 0;
   size_t immovable = 0;  // mapped buckets beyond the decay cutoff (Section III-F)
 
   const size_t d = arrays_.size();
   for (size_t j = 0; j < d; ++j) {
-    Bucket& bucket = At(j, id);
+    Bucket& bucket = arrays_[j][p.idx[j]];
     if (bucket.c == 0) {
       // Case 1: empty bucket; the flow claims it.
       bucket.fp = fp;
@@ -151,8 +153,12 @@ uint32_t HeavyKeeper::InsertBasicWeighted(FlowId id, uint32_t weight) {
   return estimate;
 }
 
-uint32_t HeavyKeeper::InsertMinimum(FlowId id, bool monitored, uint64_t nmin) {
-  const uint32_t fp = fingerprint_(id);
+uint32_t HeavyKeeper::InsertMinimumPrepared(const Prepared& p, bool monitored,
+                                            uint64_t nmin) {
+  if (p.n != arrays_.size()) {
+    return InsertMinimumPrepared(Prepare(p.id), monitored, nmin);
+  }
+  const uint32_t fp = p.fp;
   const size_t d = arrays_.size();
 
   // Situation 1 (Algorithm 2, lines 10-15): a mapped bucket already holds
@@ -161,7 +167,7 @@ uint32_t HeavyKeeper::InsertMinimum(FlowId id, bool monitored, uint64_t nmin) {
   int min_j = -1;
   uint32_t min_count = 0;
   for (size_t j = 0; j < d; ++j) {
-    Bucket& bucket = At(j, id);
+    Bucket& bucket = arrays_[j][p.idx[j]];
     if (bucket.c > 0 && bucket.fp == fp) {
       if (monitored || bucket.c <= nmin) {
         if (bucket.c < counter_max_) {
@@ -183,7 +189,7 @@ uint32_t HeavyKeeper::InsertMinimum(FlowId id, bool monitored, uint64_t nmin) {
 
   // Situation 2 (lines 25-28): claim the first empty mapped bucket.
   if (first_empty >= 0) {
-    Bucket& bucket = At(static_cast<size_t>(first_empty), id);
+    Bucket& bucket = arrays_[first_empty][p.idx[first_empty]];
     bucket.fp = fp;
     bucket.c = 1;
     return 1;
@@ -191,7 +197,7 @@ uint32_t HeavyKeeper::InsertMinimum(FlowId id, bool monitored, uint64_t nmin) {
 
   // Situation 3 (lines 30-35): minimum decay on the first smallest counter.
   if (min_j >= 0) {
-    Bucket& bucket = At(static_cast<size_t>(min_j), id);
+    Bucket& bucket = arrays_[min_j][p.idx[min_j]];
     if (bucket.c >= decay_.cutoff()) {
       NoteStuck();
       return 0;
@@ -205,6 +211,71 @@ uint32_t HeavyKeeper::InsertMinimum(FlowId id, bool monitored, uint64_t nmin) {
     }
   }
   return 0;
+}
+
+uint32_t HeavyKeeper::TryParallelWeightedMonitored(const Prepared& p, uint64_t weight) {
+  if (p.n != arrays_.size()) {
+    return TryParallelWeightedMonitored(Prepare(p.id), weight);
+  }
+  if (weight == 0) {
+    return 0;  // nothing to collapse; let the caller's unit loop no-op
+  }
+  // Scan first: the whole weight is applied only when every mapped bucket
+  // is deterministic (empty, matching, or an immovable mismatch) and at
+  // least one of them absorbs the units, mirroring what `weight` unit
+  // insertions would do without ever flipping a decay coin.
+  bool absorbs = false;
+  for (uint32_t j = 0; j < p.n; ++j) {
+    const Bucket& bucket = arrays_[j][p.idx[j]];
+    if (bucket.c == 0 || bucket.fp == p.fp) {
+      absorbs = true;
+    } else if (bucket.c < decay_.cutoff()) {
+      return 0;  // decayable mismatch: per-unit coins required
+    }
+  }
+  if (!absorbs) {
+    return 0;  // all immovable: unit path owns the stuck accounting
+  }
+  uint32_t estimate = 0;
+  for (uint32_t j = 0; j < p.n; ++j) {
+    Bucket& bucket = arrays_[j][p.idx[j]];
+    if (bucket.c == 0 || bucket.fp == p.fp) {
+      bucket.fp = p.fp;
+      bucket.c = static_cast<uint32_t>(
+          std::min<uint64_t>(static_cast<uint64_t>(bucket.c) + weight, counter_max_));
+      estimate = std::max(estimate, bucket.c);
+    }
+  }
+  return estimate;
+}
+
+uint32_t HeavyKeeper::TryMinimumWeightedMonitored(const Prepared& p, uint64_t weight) {
+  if (p.n != arrays_.size()) {
+    return TryMinimumWeightedMonitored(Prepare(p.id), weight);
+  }
+  if (weight == 0) {
+    return 0;
+  }
+  // Situation 1 per unit: the first matching bucket absorbs every unit.
+  for (uint32_t j = 0; j < p.n; ++j) {
+    Bucket& bucket = arrays_[j][p.idx[j]];
+    if (bucket.c > 0 && bucket.fp == p.fp) {
+      bucket.c = static_cast<uint32_t>(
+          std::min<uint64_t>(static_cast<uint64_t>(bucket.c) + weight, counter_max_));
+      return bucket.c;
+    }
+  }
+  // Situation 2 for the first unit, then situation 1 for the rest: the
+  // first empty mapped bucket takes the whole weight.
+  for (uint32_t j = 0; j < p.n; ++j) {
+    Bucket& bucket = arrays_[j][p.idx[j]];
+    if (bucket.c == 0) {
+      bucket.fp = p.fp;
+      bucket.c = static_cast<uint32_t>(std::min<uint64_t>(weight, counter_max_));
+      return bucket.c;
+    }
+  }
+  return 0;  // minimum decay path: per-unit coins required
 }
 
 uint32_t HeavyKeeper::Query(FlowId id) const {

@@ -54,6 +54,8 @@ struct HeavyKeeperConfig {
   uint64_t seed = 1;
 
   // Section III-F dynamic expansion. Disabled unless threshold > 0.
+  // max_arrays is clamped to HeavyKeeper::kMaxPreparedArrays (8) so batch
+  // handles can address every array with fixed storage.
   uint64_t expansion_threshold = 0;  // stuck events before adding an array
   size_t max_arrays = 8;
 
@@ -77,23 +79,86 @@ class HeavyKeeper {
   // pipeline). Grows if expansion added arrays.
   size_t MemoryBytes() const { return num_arrays() * config_.w * config_.BucketBytes(); }
 
+  // --- prepared handles (batch hot path) -------------------------------
+  // The per-packet work splits into a pure addressing phase (fingerprint +
+  // d bucket indices) and a mutation phase (the case logic). Prepare()
+  // performs the addressing, Prefetch() pulls the mapped buckets toward the
+  // core, and the *Prepared inserts run the mutation phase against the
+  // precomputed addresses. Batch callers hash and prefetch a whole burst
+  // before applying it, overlapping the DRAM misses of many packets; the
+  // scalar inserts below are thin wrappers over the same path, so scalar
+  // and batched streams mutate identical state in identical order.
+  //
+  // A handle stays valid until expansion adds an array (the *Prepared
+  // inserts detect staleness and re-prepare), so handles can be computed
+  // ahead of a burst safely.
+  static constexpr size_t kMaxPreparedArrays = 8;
+
+  struct Prepared {
+    FlowId id = 0;
+    uint32_t fp = 0;
+    uint32_t n = 0;  // arrays addressed when the handle was made
+    uint32_t idx[kMaxPreparedArrays] = {};
+  };
+
+  Prepared Prepare(FlowId id) const {
+    Prepared p;
+    p.id = id;
+    p.fp = fingerprint_(id);
+    p.n = static_cast<uint32_t>(arrays_.size());
+    for (uint32_t j = 0; j < p.n; ++j) {
+      p.idx[j] = static_cast<uint32_t>(hashes_.Index(j, id, config_.w));
+    }
+    return p;
+  }
+
+  void Prefetch(const Prepared& p) const {
+    for (uint32_t j = 0; j < p.n; ++j) {
+      __builtin_prefetch(&arrays_[j][p.idx[j]], /*rw=*/1, /*locality=*/3);
+    }
+  }
+
+  uint32_t InsertBasicPrepared(const Prepared& p) {
+    return InsertParallelPrepared(p, /*monitored=*/true, /*nmin=*/0);
+  }
+  uint32_t InsertParallelPrepared(const Prepared& p, bool monitored, uint64_t nmin);
+  uint32_t InsertMinimumPrepared(const Prepared& p, bool monitored, uint64_t nmin);
+
   // --- insertion disciplines -------------------------------------------
   // `monitored` / `nmin` implement Optimization II's increment gate: a
   // matching bucket is incremented only when monitored || C <= nmin, which
   // caps an unmonitored flow's estimate at nmin + 1 - the exact admission
   // value Theorem 1 prescribes. Pass monitored=true to disable the gate
   // (Basic behaviour).
-  uint32_t InsertBasic(FlowId id);
-  uint32_t InsertParallel(FlowId id, bool monitored, uint64_t nmin);
-  uint32_t InsertMinimum(FlowId id, bool monitored, uint64_t nmin);
+  uint32_t InsertBasic(FlowId id) { return InsertBasicPrepared(Prepare(id)); }
+  uint32_t InsertParallel(FlowId id, bool monitored, uint64_t nmin) {
+    return InsertParallelPrepared(Prepare(id), monitored, nmin);
+  }
+  uint32_t InsertMinimum(FlowId id, bool monitored, uint64_t nmin) {
+    return InsertMinimumPrepared(Prepare(id), monitored, nmin);
+  }
 
   // Weighted Basic insertion (library extension; Section III-F lists
   // weighted updates as unsupported in the paper). Equivalent to `weight`
   // consecutive unit insertions of the same flow, with the matching /
   // empty-bucket cases collapsed into O(1) and the decay case performing
   // the same sequence of per-unit coin flips. Used for byte-count
-  // measurement, where a packet carries its size as the weight.
+  // measurement, where a packet carries its size as the weight. These are
+  // the semantics the TopKAlgorithm::InsertWeighted contract
+  // (sketch/topk_algorithm.h) is promoted from.
   uint32_t InsertBasicWeighted(FlowId id, uint32_t weight);
+
+  // --- weighted fast paths (for the pipelines' InsertWeighted) ----------
+  // Apply `weight` units in O(d) when no decay coin would be flipped, i.e.
+  // when every mapped bucket is empty, matching, or beyond the decay
+  // cutoff (and at least one is empty/matching, so no stuck accounting is
+  // due). Returns the resulting estimate, or 0 without touching any state
+  // when a randomized transition is reachable and the caller must fall
+  // back to per-unit insertion. Only valid with the Optimization II gate
+  // open (monitored flows): an unmonitored flow's increments depend on the
+  // evolving nmin.
+  uint32_t TryParallelWeightedMonitored(const Prepared& p, uint64_t weight);
+  uint32_t TryMinimumWeightedMonitored(const Prepared& p, uint64_t weight);
 
   // Point query (Section III-B): max counter among mapped buckets whose
   // fingerprint matches; 0 means "reported as a mouse flow".

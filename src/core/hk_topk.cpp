@@ -1,0 +1,68 @@
+// Registry hookup for the HeavyKeeper pipelines: the three insertion
+// disciplines are separate registry names so contender lists can sweep
+// them, all funneling into HeavyKeeperTopK<>::Builder.
+#include "core/hk_topk.h"
+
+#include <stdexcept>
+
+#include "sketch/registry.h"
+
+namespace hk {
+namespace {
+
+std::unique_ptr<TopKAlgorithm> BuildHk(HkVersion version, const SketchArgs& args) {
+  const uint64_t d = args.GetUint("d", 2);
+  const uint64_t fp = args.GetUint("fp", 16);
+  const uint64_t cb = args.GetUint("cb", 16);
+  if (d < 1 || d > HeavyKeeper::kMaxPreparedArrays) {
+    throw std::invalid_argument("sketch spec: d= must be 1.." +
+                                std::to_string(HeavyKeeper::kMaxPreparedArrays));
+  }
+  if (fp < 1 || fp > 32) {
+    throw std::invalid_argument("sketch spec: fp= must be 1..32");
+  }
+  if (cb < 1 || cb > 64) {
+    throw std::invalid_argument("sketch spec: cb= must be 1..64");
+  }
+  typename HeavyKeeperTopK<>::Builder builder;
+  builder.version(version)
+      .memory_bytes(args.memory_bytes())
+      .k(args.k())
+      .key_kind(args.key_kind())
+      .seed(args.seed())
+      .d(d)
+      .decay_base(args.GetDouble("b", 1.08))
+      .fingerprint_bits(static_cast<uint32_t>(fp))
+      .counter_bits(static_cast<uint32_t>(cb))
+      .expansion(args.GetUint("expand", 0));
+  if (const auto it = args.params().find("decay"); it != args.params().end()) {
+    DecayFunction f;
+    if (!ParseDecayFunction(it->second, &f)) {
+      throw std::invalid_argument("sketch spec: decay= must be exp, poly or sigmoid (got '" +
+                                  it->second + "')");
+    }
+    builder.decay_function(f);
+  }
+  return builder.Build();
+}
+
+const std::vector<std::string> kHkParamKeys = {"d", "b", "fp", "cb", "decay", "expand"};
+
+}  // namespace
+
+HK_REGISTER_SKETCHES(HeavyKeeperTopK) {
+  RegisterSketch({"HK-Parallel",
+                  {"HK", "HeavyKeeper-Parallel"},
+                  kHkParamKeys,
+                  [](const SketchArgs& args) { return BuildHk(HkVersion::kParallel, args); }});
+  RegisterSketch({"HK-Minimum",
+                  {"HeavyKeeper-Minimum"},
+                  kHkParamKeys,
+                  [](const SketchArgs& args) { return BuildHk(HkVersion::kMinimum, args); }});
+  RegisterSketch({"HK-Basic",
+                  {"HeavyKeeper-Basic"},
+                  kHkParamKeys,
+                  [](const SketchArgs& args) { return BuildHk(HkVersion::kBasic, args); }});
+}
+
+}  // namespace hk

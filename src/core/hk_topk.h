@@ -11,6 +11,13 @@
 //              from Theorem 1) and Optimization II (selective increment).
 //   Minimum  - Algorithm 2: minimum decay + the same two optimizations.
 //
+// The scalar Insert(), the weighted insert, and the batch inserts all
+// funnel into one prepared-handle path (see HeavyKeeper::Prepare), so a
+// batched stream mutates exactly the state a scalar stream would; the
+// batch entry points additionally hash and prefetch a whole burst before
+// applying it (software pipelining - the micro_batch_insert bench
+// measures the win).
+//
 // The store backend is a template parameter so the `abl_topk_store`
 // ablation can swap min-heap for Stream-Summary without touching the logic.
 #ifndef HK_CORE_HK_TOPK_H_
@@ -18,7 +25,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/heavykeeper.h"
@@ -39,15 +48,84 @@ template <typename Store = HeapTopKStore>
 class HeavyKeeperTopK : public TopKAlgorithm {
  public:
   // `key_bytes` is the width of the original flow ID; the candidate store is
-  // charged key_bytes + counter per entry (Section VI-A accounting).
+  // charged key_bytes + counter per entry (Section VI-A accounting). Prefer
+  // Builder below, which derives key_bytes from a KeyKind.
   HeavyKeeperTopK(HkVersion version, const HeavyKeeperConfig& config, size_t k,
-                  size_t key_bytes = 4)
+                  size_t key_bytes)
       : version_(version), k_(k), key_bytes_(key_bytes), sketch_(config), store_(k) {}
 
-  // Build the paper's default configuration for a byte budget: the store
-  // gets k entries, HeavyKeeper gets every remaining byte, d = 2.
+  // Fluent construction; subsumes the positional FromMemory() call. The
+  // KeyKind -> key_bytes derivation lives here (and in the sketch
+  // registry) and nowhere else.
+  //
+  //   auto topk = HeavyKeeperTopK<>::Builder()
+  //                   .version(HkVersion::kMinimum)
+  //                   .memory_bytes(100 * 1024)
+  //                   .k(100)
+  //                   .key_kind(KeyKind::kFiveTuple13B)
+  //                   .seed(7)
+  //                   .Build();
+  class Builder {
+   public:
+    Builder& version(HkVersion v) { version_ = v; return *this; }
+    // Total byte budget: the store gets k entries, the sketch every
+    // remaining byte (the paper's Section VI-A split).
+    Builder& memory_bytes(size_t bytes) { memory_bytes_ = bytes; return *this; }
+    Builder& k(size_t k) { k_ = k; return *this; }
+    Builder& key_kind(KeyKind kind) { key_kind_ = kind; return *this; }
+    Builder& seed(uint64_t seed) { seed_ = seed; return *this; }
+    Builder& d(size_t d) { d_ = d; return *this; }
+    Builder& decay_base(double b) { b_ = b; return *this; }
+    Builder& decay_function(DecayFunction f) { decay_function_ = f; return *this; }
+    Builder& fingerprint_bits(uint32_t bits) { fingerprint_bits_ = bits; return *this; }
+    Builder& counter_bits(uint32_t bits) { counter_bits_ = bits; return *this; }
+    Builder& expansion(uint64_t threshold, size_t max_arrays = 8) {
+      expansion_threshold_ = threshold;
+      max_arrays_ = max_arrays;
+      return *this;
+    }
+
+    std::unique_ptr<HeavyKeeperTopK> Build() const {
+      const size_t key_bytes = KeyBytes(key_kind_);
+      const size_t store_bytes = k_ * Store::BytesPerEntry(key_bytes);
+      const size_t sketch_bytes = memory_bytes_ > store_bytes ? memory_bytes_ - store_bytes : 0;
+      HeavyKeeperConfig config;
+      // Clamp to the sketch's supported range *before* deriving w, so the
+      // budget is spent on the arrays that will actually exist (the
+      // HeavyKeeper constructor clamps d the same way).
+      config.d = std::min(std::max<size_t>(d_, 1), HeavyKeeper::kMaxPreparedArrays);
+      config.b = b_;
+      config.decay_function = decay_function_;
+      config.fingerprint_bits = fingerprint_bits_;
+      config.counter_bits = counter_bits_;
+      config.seed = seed_;
+      config.expansion_threshold = expansion_threshold_;
+      config.max_arrays = max_arrays_;
+      // Derive w from the budget under the *configured* bucket layout.
+      config.w = std::max<size_t>(sketch_bytes / (config.BucketBytes() * config.d), 1);
+      return std::make_unique<HeavyKeeperTopK>(version_, config, k_, key_bytes);
+    }
+
+   private:
+    HkVersion version_ = HkVersion::kMinimum;
+    size_t memory_bytes_ = 50 * 1024;
+    size_t k_ = 100;
+    KeyKind key_kind_ = KeyKind::kSynthetic4B;
+    uint64_t seed_ = 1;
+    size_t d_ = 2;
+    double b_ = 1.08;
+    DecayFunction decay_function_ = DecayFunction::kExponential;
+    uint32_t fingerprint_bits_ = 16;
+    uint32_t counter_bits_ = 16;
+    uint64_t expansion_threshold_ = 0;
+    size_t max_arrays_ = 8;
+  };
+
+  // Legacy positional construction (prefer Builder). The paper's default
+  // configuration for a byte budget: the store gets k entries, HeavyKeeper
+  // gets every remaining byte, d = 2.
   static std::unique_ptr<HeavyKeeperTopK> FromMemory(HkVersion version, size_t bytes, size_t k,
-                                                     size_t key_bytes = 4, uint64_t seed = 1,
+                                                     size_t key_bytes, uint64_t seed = 1,
                                                      size_t d = 2) {
     const size_t store_bytes = k * Store::BytesPerEntry(key_bytes);
     const size_t sketch_bytes = bytes > store_bytes ? bytes - store_bytes : 0;
@@ -55,42 +133,57 @@ class HeavyKeeperTopK : public TopKAlgorithm {
         version, HeavyKeeperConfig::FromMemory(sketch_bytes, d, seed), k, key_bytes);
   }
 
-  void Insert(FlowId id) override {
-    const bool monitored = store_.Contains(id);
-    uint64_t estimate = 0;
-    switch (version_) {
-      case HkVersion::kBasic: {
-        estimate = sketch_.InsertBasic(id);
-        if (monitored) {
-          store_.RaiseCount(id, estimate);
-        } else if (!store_.Full()) {
-          if (estimate > 0) {
-            store_.Insert(id, estimate);
-          }
-        } else if (estimate > store_.MinCount()) {
-          store_.ReplaceMin(id, estimate);
-        }
-        return;
+  void Insert(FlowId id) override { InsertPrepared(sketch_.Prepare(id)); }
+
+  // Weighted insert under the TopKAlgorithm contract: monitored flows whose
+  // mapped buckets need no decay coin collapse to O(d); everything else
+  // replays per unit (the admission gates depend on the evolving nmin), so
+  // an *untracked* flow costs O(weight). Elephants are monitored after
+  // their first packets, so byte-weighted workloads amortize to O(d), but
+  // a collapsed decay path for unmonitored flows is still open (ROADMAP).
+  void InsertWeighted(FlowId id, uint64_t weight) override {
+    if (weight == 0) {
+      return;
+    }
+    InsertWeightedPrepared(sketch_.Prepare(id), weight);
+  }
+
+  // Software-pipelined burst: a rolling window hashes and prefetches
+  // packet i + kPrefetchAhead while the case logic runs against packet i's
+  // (by now resident) buckets. The steady prefetch distance keeps a bounded
+  // number of lines in flight instead of bursting them, which matters once
+  // the sketch outlives the caches.
+  void InsertBatch(std::span<const FlowId> ids) override {
+    const size_t n = ids.size();
+    HeavyKeeper::Prepared window[kPrefetchAhead];
+    const size_t lead = std::min(kPrefetchAhead, n);
+    for (size_t i = 0; i < lead; ++i) {
+      window[i] = sketch_.Prepare(ids[i]);
+      sketch_.Prefetch(window[i]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      HeavyKeeper::Prepared& slot = window[i % kPrefetchAhead];
+      const HeavyKeeper::Prepared current = slot;
+      if (i + kPrefetchAhead < n) {
+        slot = sketch_.Prepare(ids[i + kPrefetchAhead]);
+        sketch_.Prefetch(slot);
       }
-      case HkVersion::kParallel:
-      case HkVersion::kMinimum: {
-        // While the store is not full every flow is admitted on its first
-        // packet, so an unmonitored flow with a matching bucket can only
-        // exist once the store is full; the gate then uses the true nmin.
-        const uint64_t nmin = store_.Full() ? store_.MinCount() : ~0ULL;
-        estimate = version_ == HkVersion::kParallel
-                       ? sketch_.InsertParallel(id, monitored, nmin)
-                       : sketch_.InsertMinimum(id, monitored, nmin);
-        if (monitored) {
-          store_.RaiseCount(id, estimate);  // Algorithm 1 line 22 (max-update)
-        } else if (!store_.Full()) {
-          store_.Insert(id, estimate);  // Algorithm 1 line 24, first clause
-        } else if (estimate == store_.MinCount() + 1) {
-          // Optimization I: Theorem 1 says a genuinely admitted flow reports
-          // exactly nmin + 1; anything larger is a fingerprint collision.
-          store_.ReplaceMin(id, estimate);
+      InsertPrepared(current);
+    }
+  }
+
+  void InsertBatch(std::span<const FlowId> ids, std::span<const uint64_t> weights) override {
+    HeavyKeeper::Prepared prepared[kBatchChunk];
+    for (size_t base = 0; base < ids.size(); base += kBatchChunk) {
+      const size_t n = std::min(kBatchChunk, ids.size() - base);
+      for (size_t i = 0; i < n; ++i) {
+        prepared[i] = sketch_.Prepare(ids[base + i]);
+        sketch_.Prefetch(prepared[i]);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (weights[base + i] > 0) {
+          InsertWeightedPrepared(prepared[i], weights[base + i]);
         }
-        return;
       }
     }
   }
@@ -106,19 +199,115 @@ class HeavyKeeperTopK : public TopKAlgorithm {
     return sketch_.Query(id);
   }
 
+  // Canonical registry spec: base name plus any non-default sketch
+  // parameters, so MakeSketch(name()) rebuilds an equivalent pipeline.
   std::string name() const override {
-    return std::string("HeavyKeeper-") + HkVersionName(version_);
+    std::string spec = std::string("HeavyKeeper-") + HkVersionName(version_);
+    const HeavyKeeperConfig& c = sketch_.config();
+    char buf[32];
+    auto append = [&spec](const std::string& kv) {
+      spec += spec.find(':') == std::string::npos ? ':' : ',';
+      spec += kv;
+    };
+    if (c.d != 2) {
+      std::snprintf(buf, sizeof(buf), "d=%zu", c.d);
+      append(buf);
+    }
+    if (c.b != 1.08) {
+      std::snprintf(buf, sizeof(buf), "b=%g", c.b);
+      append(buf);
+    }
+    if (c.fingerprint_bits != 16) {
+      std::snprintf(buf, sizeof(buf), "fp=%u", c.fingerprint_bits);
+      append(buf);
+    }
+    if (c.counter_bits != 16) {
+      std::snprintf(buf, sizeof(buf), "cb=%u", c.counter_bits);
+      append(buf);
+    }
+    if (c.decay_function != DecayFunction::kExponential) {
+      append(std::string("decay=") + DecayFunctionToken(c.decay_function));
+    }
+    if (c.expansion_threshold != 0) {
+      std::snprintf(buf, sizeof(buf), "expand=%llu",
+                    static_cast<unsigned long long>(c.expansion_threshold));
+      append(buf);
+    }
+    return spec;
   }
 
   size_t MemoryBytes() const override {
     return sketch_.MemoryBytes() + k_ * Store::BytesPerEntry(key_bytes_);
   }
 
+  HkVersion version() const { return version_; }
   const HeavyKeeper& sketch() const { return sketch_; }
   HeavyKeeper& sketch() { return sketch_; }
   const Store& store() const { return store_; }
 
  private:
+  static constexpr size_t kBatchChunk = 32;
+  static constexpr size_t kPrefetchAhead = 12;
+
+  void InsertPrepared(const HeavyKeeper::Prepared& p) {
+    const bool monitored = store_.Contains(p.id);
+    uint64_t estimate = 0;
+    switch (version_) {
+      case HkVersion::kBasic: {
+        estimate = sketch_.InsertBasicPrepared(p);
+        if (monitored) {
+          store_.RaiseCount(p.id, estimate);
+        } else if (!store_.Full()) {
+          if (estimate > 0) {
+            store_.Insert(p.id, estimate);
+          }
+        } else if (estimate > store_.MinCount()) {
+          store_.ReplaceMin(p.id, estimate);
+        }
+        return;
+      }
+      case HkVersion::kParallel:
+      case HkVersion::kMinimum: {
+        // While the store is not full every flow is admitted on its first
+        // packet, so an unmonitored flow with a matching bucket can only
+        // exist once the store is full; the gate then uses the true nmin.
+        const uint64_t nmin = store_.Full() ? store_.MinCount() : ~0ULL;
+        estimate = version_ == HkVersion::kParallel
+                       ? sketch_.InsertParallelPrepared(p, monitored, nmin)
+                       : sketch_.InsertMinimumPrepared(p, monitored, nmin);
+        if (monitored) {
+          store_.RaiseCount(p.id, estimate);  // Algorithm 1 line 22 (max-update)
+        } else if (!store_.Full()) {
+          store_.Insert(p.id, estimate);  // Algorithm 1 line 24, first clause
+        } else if (estimate == store_.MinCount() + 1) {
+          // Optimization I: Theorem 1 says a genuinely admitted flow reports
+          // exactly nmin + 1; anything larger is a fingerprint collision.
+          store_.ReplaceMin(p.id, estimate);
+        }
+        return;
+      }
+    }
+  }
+
+  void InsertWeightedPrepared(const HeavyKeeper::Prepared& p, uint64_t weight) {
+    if (store_.Contains(p.id)) {
+      // Monitored flow: the Optimization II gate is open, so when no decay
+      // coin is reachable the whole weight collapses into O(d) updates -
+      // identical to `weight` unit insertions (see the v2 contract).
+      const uint32_t estimate = version_ == HkVersion::kMinimum
+                                    ? sketch_.TryMinimumWeightedMonitored(p, weight)
+                                    : sketch_.TryParallelWeightedMonitored(p, weight);
+      if (estimate > 0) {
+        store_.RaiseCount(p.id, estimate);
+        return;
+      }
+    }
+    // Decay coins or admission gates in play: replay unit by unit.
+    for (uint64_t u = 0; u < weight; ++u) {
+      InsertPrepared(p);
+    }
+  }
+
   HkVersion version_;
   size_t k_;
   size_t key_bytes_;

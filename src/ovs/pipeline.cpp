@@ -1,6 +1,7 @@
 #include "ovs/pipeline.h"
 
 #include <algorithm>
+#include <span>
 #include <thread>
 
 #include "common/timer.h"
@@ -56,17 +57,28 @@ PipelineResult RunPipelines(const std::vector<RawPacket>& packets, const Algorit
     threads.emplace_back([&, i] {
       SpscRing<FlowId>& ring = *rings[i];
       TopKAlgorithm* algo = algorithms[i];
-      FlowId id;
-      while (true) {
-        if (!ring.TryPop(&id)) {
+      // Drain in bursts: one InsertBatch per drain lets the measurement
+      // algorithm amortize hashing and prefetch its buckets while the
+      // datapath keeps filling the ring.
+      constexpr size_t kDrainBatch = 256;
+      FlowId batch[kDrainBatch];
+      bool done = false;
+      while (!done) {
+        size_t n = 0;
+        FlowId id;
+        while (n < kDrainBatch && ring.TryPop(&id)) {
+          if (id == kEndOfStream) {
+            done = true;
+            break;
+          }
+          batch[n++] = id;
+        }
+        if (n > 0) {
+          if (algo != nullptr) {
+            algo->InsertBatch(std::span<const FlowId>(batch, n));
+          }
+        } else if (!done) {
           std::this_thread::yield();
-          continue;
-        }
-        if (id == kEndOfStream) {
-          break;
-        }
-        if (algo != nullptr) {
-          algo->Insert(id);
         }
       }
     });

@@ -1,6 +1,9 @@
 #include "sketch/cm_sketch.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "sketch/registry.h"
 
 namespace hk {
 
@@ -36,8 +39,23 @@ std::unique_ptr<CmTopK> CmTopK::FromMemory(size_t bytes, size_t k, size_t key_by
   return std::make_unique<CmTopK>(d, w, k, key_bytes, seed);
 }
 
-void CmTopK::Insert(FlowId id) {
-  sketch_.Add(id);
+void CmTopK::Insert(FlowId id) { InsertWeighted(id, 1); }
+
+void CmTopK::InsertWeighted(FlowId id, uint64_t weight) {
+  if (weight == 0) {
+    return;
+  }
+  // Identical end state to `weight` unit inserts: the counters saturate at
+  // UINT32_MAX whether the weight arrives in one add or unit by unit
+  // (chunked so a > 32-bit weight is not truncated), and the heap only
+  // sees the final, largest estimate of the run.
+  uint64_t remaining = weight;
+  while (remaining > 0) {
+    const uint32_t delta =
+        remaining > ~0u ? ~0u : static_cast<uint32_t>(remaining);
+    sketch_.Add(id, delta);
+    remaining -= delta;
+  }
   const uint64_t estimate = sketch_.Query(id);
   if (heap_.Contains(id)) {
     heap_.RaiseCount(id, estimate);
@@ -52,6 +70,20 @@ std::vector<FlowCount> CmTopK::TopK(size_t k) const { return heap_.TopK(k); }
 
 size_t CmTopK::MemoryBytes() const {
   return sketch_.MemoryBytes() + heap_.capacity() * IndexedMinHeap::BytesPerEntry(key_bytes_);
+}
+
+HK_REGISTER_SKETCHES(CmTopK) {
+  RegisterSketch({"CM",
+                  {"CM-Sketch"},
+                  {"d"},
+                  [](const SketchArgs& args) -> std::unique_ptr<TopKAlgorithm> {
+                    const uint64_t d = args.GetUint("d", 3);
+                    if (d < 1 || d > 16) {
+                      throw std::invalid_argument("sketch spec: d= must be 1..16");
+                    }
+                    return CmTopK::FromMemory(args.memory_bytes(), args.k(), args.key_bytes(),
+                                              args.seed(), d);
+                  }});
 }
 
 }  // namespace hk

@@ -43,13 +43,19 @@ class CmTopK : public TopKAlgorithm {
  public:
   CmTopK(size_t d, size_t w, size_t k, size_t key_bytes, uint64_t seed);
 
-  static std::unique_ptr<CmTopK> FromMemory(size_t bytes, size_t k, size_t key_bytes = 4,
+  static std::unique_ptr<CmTopK> FromMemory(size_t bytes, size_t k, size_t key_bytes,
                                             uint64_t seed = 1, size_t d = 3);
 
   void Insert(FlowId id) override;
+  // Counter adds are deterministic and the heap keeps a running max, so the
+  // weighted insert collapses exactly (v2 contract).
+  void InsertWeighted(FlowId id, uint64_t weight) override;
   std::vector<FlowCount> TopK(size_t k) const override;
   uint64_t EstimateSize(FlowId id) const override { return sketch_.Query(id); }
-  std::string name() const override { return "CM-Sketch"; }
+  std::string name() const override {
+    // Canonical registry spec (alias of "CM"); carries a non-default depth.
+    return sketch_.depth() == 3 ? "CM-Sketch" : "CM-Sketch:d=" + std::to_string(sketch_.depth());
+  }
   size_t MemoryBytes() const override;
 
   const CmSketch& sketch() const { return sketch_; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sketch/registry.h"
+
 namespace hk {
 
 ColdFilter::ColdFilter(size_t l1_counters, size_t l2_counters, size_t backend_entries,
@@ -108,6 +110,16 @@ std::vector<FlowCount> ColdFilter::TopK(size_t k) const {
 
 size_t ColdFilter::MemoryBytes() const {
   return l1_.size() + l2_.size() + backend_.MemoryBytes();
+}
+
+HK_REGISTER_SKETCHES(ColdFilter) {
+  RegisterSketch({"ColdFilter",
+                  {"Cold-Filter"},
+                  {},
+                  [](const SketchArgs& args) -> std::unique_ptr<TopKAlgorithm> {
+                    return ColdFilter::FromMemory(args.memory_bytes(), args.key_bytes(),
+                                                  args.seed());
+                  }});
 }
 
 }  // namespace hk

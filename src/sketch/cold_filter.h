@@ -28,7 +28,7 @@ class ColdFilter : public TopKAlgorithm {
              uint64_t seed);
 
   // 25% L1 / 25% L2 / 50% Space-Saving split.
-  static std::unique_ptr<ColdFilter> FromMemory(size_t bytes, size_t key_bytes = 4,
+  static std::unique_ptr<ColdFilter> FromMemory(size_t bytes, size_t key_bytes,
                                                 uint64_t seed = 1);
 
   void Insert(FlowId id) override;

@@ -1,6 +1,9 @@
 #include "sketch/count_sketch.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "sketch/registry.h"
 
 namespace hk {
 
@@ -15,7 +18,11 @@ CountSketch::CountSketch(size_t d, size_t w, uint64_t seed)
 void CountSketch::Add(FlowId id, int32_t delta) {
   for (size_t j = 0; j < d_; ++j) {
     const int32_t sign = (sign_hashes_.Value(j, id) & 1) != 0 ? 1 : -1;
-    counters_[j][index_hashes_.Index(j, id, w_)] += sign * delta;
+    int32_t& c = counters_[j][index_hashes_.Index(j, id, w_)];
+    // Saturate instead of overflowing: int32 wraparound is UB and a counter
+    // pinned at the rail is the least-wrong answer either way.
+    const int64_t next = static_cast<int64_t>(c) + sign * static_cast<int64_t>(delta);
+    c = next > INT32_MAX ? INT32_MAX : next < INT32_MIN ? INT32_MIN : static_cast<int32_t>(next);
   }
 }
 
@@ -44,8 +51,22 @@ std::unique_ptr<CountSketchTopK> CountSketchTopK::FromMemory(size_t bytes, size_
   return std::make_unique<CountSketchTopK>(d, w, k, key_bytes, seed);
 }
 
-void CountSketchTopK::Insert(FlowId id) {
-  sketch_.Add(id);
+void CountSketchTopK::Insert(FlowId id) { InsertWeighted(id, 1); }
+
+void CountSketchTopK::InsertWeighted(FlowId id, uint64_t weight) {
+  if (weight == 0) {
+    return;
+  }
+  // Chunked so a > 31-bit weight neither truncates nor flips sign; the
+  // saturating counter sums are the same as `weight` unit adds.
+  uint64_t remaining = weight;
+  while (remaining > 0) {
+    const int32_t delta = remaining > static_cast<uint64_t>(INT32_MAX)
+                              ? INT32_MAX
+                              : static_cast<int32_t>(remaining);
+    sketch_.Add(id, delta);
+    remaining -= static_cast<uint64_t>(delta);
+  }
   const uint64_t estimate = sketch_.Query(id);
   if (heap_.Contains(id)) {
     heap_.RaiseCount(id, estimate);
@@ -60,6 +81,20 @@ std::vector<FlowCount> CountSketchTopK::TopK(size_t k) const { return heap_.TopK
 
 size_t CountSketchTopK::MemoryBytes() const {
   return sketch_.MemoryBytes() + heap_.capacity() * IndexedMinHeap::BytesPerEntry(key_bytes_);
+}
+
+HK_REGISTER_SKETCHES(CountSketchTopK) {
+  RegisterSketch({"CountSketch",
+                  {"Count-Sketch"},
+                  {"d"},
+                  [](const SketchArgs& args) -> std::unique_ptr<TopKAlgorithm> {
+                    const uint64_t d = args.GetUint("d", 3);
+                    if (d < 1 || d > 16) {
+                      throw std::invalid_argument("sketch spec: d= must be 1..16");
+                    }
+                    return CountSketchTopK::FromMemory(args.memory_bytes(), args.k(),
+                                                       args.key_bytes(), args.seed(), d);
+                  }});
 }
 
 }  // namespace hk

@@ -22,6 +22,7 @@ class CountSketch {
   // Median-of-d estimate, clamped below at 0.
   uint64_t Query(FlowId id) const;
 
+  size_t depth() const { return d_; }
   size_t MemoryBytes() const { return d_ * w_ * sizeof(int32_t); }
 
  private:
@@ -37,13 +38,20 @@ class CountSketchTopK : public TopKAlgorithm {
   CountSketchTopK(size_t d, size_t w, size_t k, size_t key_bytes, uint64_t seed);
 
   static std::unique_ptr<CountSketchTopK> FromMemory(size_t bytes, size_t k,
-                                                     size_t key_bytes = 4, uint64_t seed = 1,
+                                                     size_t key_bytes, uint64_t seed = 1,
                                                      size_t d = 3);
 
   void Insert(FlowId id) override;
+  // Signed counter adds are deterministic, so the weighted insert collapses
+  // exactly (v2 contract).
+  void InsertWeighted(FlowId id, uint64_t weight) override;
   std::vector<FlowCount> TopK(size_t k) const override;
   uint64_t EstimateSize(FlowId id) const override { return sketch_.Query(id); }
-  std::string name() const override { return "Count-Sketch"; }
+  std::string name() const override {
+    // Canonical registry spec (alias of "CountSketch").
+    return sketch_.depth() == 3 ? "Count-Sketch"
+                                : "Count-Sketch:d=" + std::to_string(sketch_.depth());
+  }
   size_t MemoryBytes() const override;
 
  private:

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sketch/registry.h"
+
 namespace hk {
 
 CounterTree::CounterTree(const Geometry& geometry, uint64_t seed)
@@ -92,6 +94,15 @@ size_t CounterTree::MemoryBytes() const {
     bytes += level.size();
   }
   return bytes;
+}
+
+HK_REGISTER_SKETCHES(CounterTree) {
+  RegisterSketch({"CounterTree",
+                  {"Counter-Tree"},
+                  {},
+                  [](const SketchArgs& args) -> std::unique_ptr<TopKAlgorithm> {
+                    return CounterTree::FromMemory(args.memory_bytes(), args.seed());
+                  }});
 }
 
 }  // namespace hk

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sketch/registry.h"
+
 namespace hk {
 
 namespace {
@@ -57,6 +59,15 @@ std::vector<FlowCount> Css::TopK(size_t k) const {
 uint64_t Css::EstimateSize(FlowId id) const {
   // Fingerprint collisions conflate counts exactly as a real TinyTable does.
   return summary_.Count(fingerprint_(id));
+}
+
+HK_REGISTER_SKETCHES(Css) {
+  RegisterSketch({"CSS",
+                  {},
+                  {},
+                  [](const SketchArgs& args) -> std::unique_ptr<TopKAlgorithm> {
+                    return Css::FromMemory(args.memory_bytes(), args.seed());
+                  }});
 }
 
 }  // namespace hk

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sketch/registry.h"
+
 namespace hk {
 
 ElasticSketch::ElasticSketch(size_t heavy_buckets, size_t light_counters, size_t key_bytes,
@@ -86,6 +88,16 @@ std::vector<FlowCount> ElasticSketch::TopK(size_t k) const {
 
 size_t ElasticSketch::MemoryBytes() const {
   return heavy_.size() * HeavyBucketBytes() + light_.size();
+}
+
+HK_REGISTER_SKETCHES(ElasticSketch) {
+  RegisterSketch({"Elastic",
+                  {},
+                  {},
+                  [](const SketchArgs& args) -> std::unique_ptr<TopKAlgorithm> {
+                    return ElasticSketch::FromMemory(args.memory_bytes(), args.key_bytes(),
+                                                     args.seed());
+                  }});
 }
 
 }  // namespace hk

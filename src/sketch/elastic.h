@@ -25,7 +25,7 @@ class ElasticSketch : public TopKAlgorithm {
 
   // 75% heavy / 25% light split, as configured in the Elastic paper's
   // software deployments.
-  static std::unique_ptr<ElasticSketch> FromMemory(size_t bytes, size_t key_bytes = 4,
+  static std::unique_ptr<ElasticSketch> FromMemory(size_t bytes, size_t key_bytes,
                                                    uint64_t seed = 1);
 
   void Insert(FlowId id) override;

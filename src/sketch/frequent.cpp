@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sketch/registry.h"
+
 namespace hk {
 
 Frequent::Frequent(size_t m, size_t key_bytes)
@@ -47,6 +49,15 @@ std::vector<FlowCount> Frequent::TopK(size_t k) const {
 uint64_t Frequent::EstimateSize(FlowId id) const {
   const uint64_t raw = summary_.Count(id);
   return raw > offset_ ? raw - offset_ : 0;
+}
+
+HK_REGISTER_SKETCHES(Frequent) {
+  RegisterSketch({"Frequent",
+                  {"Misra-Gries"},
+                  {},
+                  [](const SketchArgs& args) -> std::unique_ptr<TopKAlgorithm> {
+                    return Frequent::FromMemory(args.memory_bytes(), args.key_bytes());
+                  }});
 }
 
 }  // namespace hk

@@ -20,7 +20,7 @@ class Frequent : public TopKAlgorithm {
  public:
   Frequent(size_t m, size_t key_bytes);
 
-  static std::unique_ptr<Frequent> FromMemory(size_t bytes, size_t key_bytes = 4);
+  static std::unique_ptr<Frequent> FromMemory(size_t bytes, size_t key_bytes);
 
   void Insert(FlowId id) override;
   std::vector<FlowCount> TopK(size_t k) const override;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sketch/registry.h"
+
 namespace hk {
 
 HeavyGuardian::HeavyGuardian(size_t buckets, size_t slots, size_t key_bytes, double b,
@@ -72,6 +74,16 @@ std::vector<FlowCount> HeavyGuardian::TopK(size_t k) const {
   std::partial_sort(all.begin(), all.begin() + take, all.end(), cmp);
   all.resize(take);
   return all;
+}
+
+HK_REGISTER_SKETCHES(HeavyGuardian) {
+  RegisterSketch({"HeavyGuardian",
+                  {},
+                  {},
+                  [](const SketchArgs& args) -> std::unique_ptr<TopKAlgorithm> {
+                    return HeavyGuardian::FromMemory(args.memory_bytes(), args.key_bytes(),
+                                                     args.seed());
+                  }});
 }
 
 }  // namespace hk

@@ -27,7 +27,7 @@ class HeavyGuardian : public TopKAlgorithm {
  public:
   HeavyGuardian(size_t buckets, size_t slots, size_t key_bytes, double b, uint64_t seed);
 
-  static std::unique_ptr<HeavyGuardian> FromMemory(size_t bytes, size_t key_bytes = 4,
+  static std::unique_ptr<HeavyGuardian> FromMemory(size_t bytes, size_t key_bytes,
                                                    uint64_t seed = 1);
 
   void Insert(FlowId id) override;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "sketch/registry.h"
+
 namespace hk {
 
 LossyCounting::LossyCounting(size_t m, size_t key_bytes)
@@ -85,6 +87,15 @@ std::vector<FlowCount> LossyCounting::TopK(size_t k) const {
 uint64_t LossyCounting::EstimateSize(FlowId id) const {
   const auto it = entries_.find(id);
   return it == entries_.end() ? 0 : it->second.count + it->second.delta;
+}
+
+HK_REGISTER_SKETCHES(LossyCounting) {
+  RegisterSketch({"LC",
+                  {"Lossy-Counting"},
+                  {},
+                  [](const SketchArgs& args) -> std::unique_ptr<TopKAlgorithm> {
+                    return LossyCounting::FromMemory(args.memory_bytes(), args.key_bytes());
+                  }});
 }
 
 }  // namespace hk

@@ -26,7 +26,7 @@ class LossyCounting : public TopKAlgorithm {
   // m: max tracked entries; epoch width is also m (epsilon = 1/m).
   LossyCounting(size_t m, size_t key_bytes);
 
-  static std::unique_ptr<LossyCounting> FromMemory(size_t bytes, size_t key_bytes = 4);
+  static std::unique_ptr<LossyCounting> FromMemory(size_t bytes, size_t key_bytes);
 
   void Insert(FlowId id) override;
   std::vector<FlowCount> TopK(size_t k) const override;

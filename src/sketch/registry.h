@@ -1,0 +1,120 @@
+// Spec-string registry over every top-k algorithm in the library.
+//
+// One parser constructs every contender - bench binaries, the examples,
+// hk_cli, the OVS pipeline and the tests all go through MakeSketch(), so a
+// new algorithm becomes available everywhere by registering itself once.
+//
+// Spec grammar:
+//
+//   spec       := name [":" param ("," param)*]
+//   param      := key "=" value
+//
+//   "HK-Minimum"                          default configuration
+//   "HK-Minimum:d=4,b=1.05,fp=12"         algorithm-specific overrides
+//   "CM:d=3,mem=64kb,k=50"                common overrides ride along
+//
+// Common keys, understood for every algorithm (defaults come from the
+// SketchDefaults context the caller passes):
+//
+//   mem   total byte budget; plain bytes or with a kb/mb suffix ("50kb")
+//   k     number of reported flows
+//   key   original flow-id width: 4 | 8 | 13 (KeyKind, Section VI-A)
+//   seed  hash/decay seed
+//
+// Algorithm-specific keys are declared at registration; anything else is
+// rejected with std::invalid_argument (as are unknown names, malformed
+// values and duplicate keys).
+//
+// Every algorithm's name() returns its canonical spec (display aliases such
+// as "Space-Saving" are registered too), so MakeSketch(algo->name()) with
+// the same defaults reconstructs an equivalent instance.
+//
+// The KeyKind -> key_bytes derivation for memory accounting happens once,
+// in SketchArgs::key_bytes(), instead of per call site.
+#ifndef HK_SKETCH_REGISTRY_H_
+#define HK_SKETCH_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flow_key.h"
+#include "sketch/topk_algorithm.h"
+
+namespace hk {
+
+// Context defaults for the common parameters; a spec's mem/k/key/seed keys
+// override them. These mirror the axes every experiment sweeps.
+struct SketchDefaults {
+  size_t memory_bytes = 50 * 1024;
+  size_t k = 100;
+  KeyKind key_kind = KeyKind::kSynthetic4B;
+  uint64_t seed = 1;
+};
+
+// A parsed spec as handed to an algorithm factory: resolved common
+// parameters plus the algorithm-specific key=value pairs.
+class SketchArgs {
+ public:
+  SketchArgs(const SketchDefaults& defaults, std::map<std::string, std::string> params);
+
+  size_t memory_bytes() const { return memory_bytes_; }
+  size_t k() const { return k_; }
+  KeyKind key_kind() const { return key_kind_; }
+  uint64_t seed() const { return seed_; }
+
+  // Width of the original flow ID under the Section VI-A accounting; the
+  // single place KeyKind becomes bytes.
+  size_t key_bytes() const { return KeyBytes(key_kind_); }
+
+  // Algorithm-specific parameter accessors. Throw std::invalid_argument on
+  // malformed values; return `def` when the key is absent.
+  uint64_t GetUint(const std::string& key, uint64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+
+  const std::map<std::string, std::string>& params() const { return params_; }
+
+ private:
+  size_t memory_bytes_;
+  size_t k_;
+  KeyKind key_kind_;
+  uint64_t seed_;
+  std::map<std::string, std::string> params_;  // algorithm-specific leftovers
+};
+
+using SketchFactory = std::function<std::unique_ptr<TopKAlgorithm>(const SketchArgs&)>;
+
+struct SketchEntry {
+  std::string name;                      // canonical spec name ("HK-Minimum")
+  std::vector<std::string> aliases;      // display / legacy names ("HeavyKeeper-Minimum")
+  std::vector<std::string> param_keys;   // accepted algorithm-specific keys
+  SketchFactory factory;
+};
+
+// Self-registration hook: each algorithm's .cpp defines one registration
+// block with HK_REGISTER_SKETCHES(Token) { RegisterSketch({...}); }. A
+// static library drops unreferenced objects, so registry.cpp pins every
+// token; adding an algorithm = one block next to its implementation plus
+// one pin line there.
+#define HK_REGISTER_SKETCHES(token) void HkRegisterSketches_##token()
+
+void RegisterSketch(SketchEntry entry);
+
+// Construct an algorithm from a spec string (grammar above). Throws
+// std::invalid_argument on unknown names, unknown/duplicate keys or
+// malformed values.
+std::unique_ptr<TopKAlgorithm> MakeSketch(const std::string& spec,
+                                          const SketchDefaults& defaults = {});
+
+// Canonical registered names, sorted (aliases excluded).
+std::vector<std::string> RegisteredSketches();
+
+// Canonical name for `name_or_alias`, or the empty string if unknown.
+std::string ResolveSketchName(const std::string& name_or_alias);
+
+}  // namespace hk
+
+#endif  // HK_SKETCH_REGISTRY_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sketch/registry.h"
+
 namespace hk {
 
 SpaceSaving::SpaceSaving(size_t m, size_t key_bytes)
@@ -18,6 +20,17 @@ std::vector<FlowCount> SpaceSaving::TopK(size_t k) const {
     out.push_back({e.id, e.count});
   }
   return out;
+}
+
+// Registry hookup (sketch/registry.h): constructible as "SS" everywhere a
+// contender can be named.
+HK_REGISTER_SKETCHES(SpaceSaving) {
+  RegisterSketch({"SS",
+                  {"Space-Saving"},
+                  {},
+                  [](const SketchArgs& args) -> std::unique_ptr<TopKAlgorithm> {
+                    return SpaceSaving::FromMemory(args.memory_bytes(), args.key_bytes());
+                  }});
 }
 
 }  // namespace hk

@@ -18,9 +18,15 @@ class SpaceSaving : public TopKAlgorithm {
   SpaceSaving(size_t m, size_t key_bytes);
 
   // Paper accounting: m = bytes / (key + count + Stream-Summary overhead).
-  static std::unique_ptr<SpaceSaving> FromMemory(size_t bytes, size_t key_bytes = 4);
+  static std::unique_ptr<SpaceSaving> FromMemory(size_t bytes, size_t key_bytes);
 
   void Insert(FlowId id) override { summary_.SpaceSavingUpdate(id); }
+
+  // All Space-Saving transitions are deterministic, so the weighted insert
+  // collapses exactly (v2 contract, sketch/topk_algorithm.h).
+  void InsertWeighted(FlowId id, uint64_t weight) override {
+    summary_.SpaceSavingUpdate(id, weight);
+  }
   std::vector<FlowCount> TopK(size_t k) const override;
   uint64_t EstimateSize(FlowId id) const override { return summary_.Count(id); }
   std::string name() const override { return "Space-Saving"; }

@@ -1,14 +1,48 @@
-// Uniform interface over every top-k algorithm in the library.
+// Uniform interface over every top-k algorithm in the library (v2).
 //
-// The experiment harness (bench/common) feeds packets through Insert() and
-// asks for TopK()/EstimateSize() at the end, exactly as the paper's
-// head-to-head comparison does. MemoryBytes() reports the bytes the
+// The experiment harness (bench/common) feeds packets through the insert
+// family and asks for TopK()/EstimateSize() at the end, exactly as the
+// paper's head-to-head comparison does. MemoryBytes() reports the bytes the
 // algorithm was charged for under the Section VI-A accounting rules so a
 // test can verify every contender respects its budget.
+//
+// v2 extends the one-unit-packet-at-a-time interface of the paper's
+// evaluation with weights and batches, the two levers every software
+// deployment pulls on the per-packet hot path:
+//
+//   * InsertWeighted(id, w) - process one packet carrying weight w (byte
+//     counts, sampled-out packet trains, ...).
+//   * InsertBatch(ids)      - process a burst of packets in arrival order,
+//     letting the implementation amortize hashing and prefetch its buckets
+//     across the burst.
+//
+// Contract (every override must preserve it; the equivalence tests in
+// tests/sketch_batch_equivalence_test.cpp enforce it per algorithm):
+//
+//   1. InsertWeighted(id, w) is equivalent to w consecutive Insert(id)
+//      calls. Deterministic transitions (empty/matching buckets, counter
+//      bumps, table admissions) may be collapsed into O(1) arithmetic, but
+//      any randomized transition must spend its randomness per unit: a
+//      decay-style eviction flips one coin per unit at the *current*
+//      counter value, exactly as HeavyKeeper::InsertBasicWeighted does
+//      (the semantics this contract is promoted from). With a shared seed,
+//      the final TopK()/EstimateSize() state must be identical to the
+//      repeated-unit run whenever no randomized transition is reached, and
+//      identically distributed otherwise.
+//   2. InsertBatch(ids[, weights]) is equivalent to calling
+//      Insert/InsertWeighted element by element in order. Batching may
+//      reorder *work* (hash all ids up front, prefetch buckets) but never
+//      observable *effects*: with a shared seed the final state is
+//      identical to the scalar run.
+//
+// The default implementations below realize both contracts trivially, so
+// every algorithm keeps working unmodified; override them only to go
+// faster.
 #ifndef HK_SKETCH_TOPK_ALGORITHM_H_
 #define HK_SKETCH_TOPK_ALGORITHM_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +57,29 @@ class TopKAlgorithm {
   // Process one packet of flow `id`.
   virtual void Insert(FlowId id) = 0;
 
+  // Process one packet of flow `id` carrying `weight` units (contract rule
+  // 1 above; weight 0 is a no-op).
+  virtual void InsertWeighted(FlowId id, uint64_t weight) {
+    for (uint64_t u = 0; u < weight; ++u) {
+      Insert(id);
+    }
+  }
+
+  // Process a burst of unit-weight packets in order (contract rule 2).
+  virtual void InsertBatch(std::span<const FlowId> ids) {
+    for (const FlowId id : ids) {
+      Insert(id);
+    }
+  }
+
+  // Weighted burst: ids[i] carries weights[i] units. `weights` must be at
+  // least as long as `ids`.
+  virtual void InsertBatch(std::span<const FlowId> ids, std::span<const uint64_t> weights) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      InsertWeighted(ids[i], weights[i]);
+    }
+  }
+
   // The k largest tracked flows with their estimated sizes,
   // ordered by (estimate desc, id asc).
   virtual std::vector<FlowCount> TopK(size_t k) const = 0;
@@ -31,6 +88,9 @@ class TopKAlgorithm {
   // untracked).
   virtual uint64_t EstimateSize(FlowId id) const = 0;
 
+  // Display name; also a canonical registry spec: MakeSketch(name())
+  // reconstructs an equivalently configured instance (see
+  // sketch/registry.h).
   virtual std::string name() const = 0;
 
   // Bytes charged under the paper's memory accounting.

@@ -48,6 +48,23 @@ FlowId StreamSummary::SpaceSavingUpdate(FlowId id) {
   return victim.id;
 }
 
+FlowId StreamSummary::SpaceSavingUpdate(FlowId id, uint64_t weight) {
+  if (weight == 0) {
+    return 0;
+  }
+  if (Contains(id)) {
+    RaiseCount(id, Count(id) + weight);
+    return 0;
+  }
+  if (!Full()) {
+    Insert(id, weight, 0);
+    return 0;
+  }
+  const Entry victim = PopMin();
+  Insert(id, victim.count + weight, victim.count);
+  return victim.id;
+}
+
 void StreamSummary::Increment(FlowId id) {
   const auto it = index_.find(id);
   assert(it != index_.end());

@@ -52,6 +52,11 @@ class StreamSummary {
   // count = min+1, error = min. Returns the id that was evicted, or 0.
   FlowId SpaceSavingUpdate(FlowId id);
 
+  // Space-Saving update for one packet carrying `weight` units; identical
+  // end state to `weight` consecutive SpaceSavingUpdate(id) calls (the
+  // per-unit transitions are all deterministic, so they collapse exactly).
+  FlowId SpaceSavingUpdate(FlowId id, uint64_t weight);
+
   // Increment an existing item by 1. Pre: Contains(id).
   void Increment(FlowId id);
 
