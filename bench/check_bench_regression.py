@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""CI gate over the google-benchmark JSON artifacts.
+
+Checks (see ROADMAP "Throughput trajectory" and ISSUE 3):
+
+  * batch (hard): for each HeavyKeeper pipeline in
+    BENCH_micro_batch_insert.json, the best InsertBatch throughput must be
+    >= 1.2x the scalar Insert throughput. This is the acceptance gate the
+    batch API shipped with; falling under it is a regression -> exit 1.
+
+  * baseline (soft): if a committed baseline JSON is given, warn when a
+    scalar/batch data point drops below 50% of the baseline's
+    items_per_second. Cross-machine variance is large, so this only warns.
+
+  * sharded (soft for now): in BENCH_micro_sharded_insert.json, the
+    8-shard throughput should be >= 3.5x the 1-shard throughput. CI
+    runners rarely have 8 free cores, so a miss prints a prominent warning
+    but exits 0; pass --sharded-hard to enforce once a capable runner
+    exists.
+
+Usage:
+  check_bench_regression.py --batch build/BENCH_micro_batch_insert.json \
+      [--baseline bench/results/BENCH_micro_batch_insert.json] \
+      [--sharded build/BENCH_micro_sharded_insert.json] \
+      [--sharded-baseline bench/results/BENCH_micro_sharded_insert.json] \
+      [--sharded-hard]
+"""
+
+import argparse
+import json
+import sys
+
+BATCH_MIN_RATIO = 1.2
+SHARDED_MIN_RATIO = 3.5
+BASELINE_MIN_FRACTION = 0.5
+
+
+def load_items(path):
+    """name -> items_per_second for every benchmark in a JSON report."""
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for bench in report.get("benchmarks", []):
+        ips = bench.get("items_per_second")
+        if ips is not None:
+            out[bench["name"]] = ips
+    return out
+
+
+def check_batch(items):
+    failures = []
+    specs = sorted({name.split("/")[1] for name in items if name.startswith("insert/")})
+    if not specs:
+        failures.append("batch JSON contains no insert/<spec>/... benchmarks")
+    for spec in specs:
+        scalar = items.get(f"insert/{spec}/scalar")
+        batches = {n: v for n, v in items.items() if n.startswith(f"insert/{spec}/batch")}
+        if scalar is None or not batches:
+            failures.append(f"{spec}: missing scalar or batch data points")
+            continue
+        best_name, best = max(batches.items(), key=lambda kv: kv[1])
+        ratio = best / scalar
+        status = "OK" if ratio >= BATCH_MIN_RATIO else "FAIL"
+        print(f"[batch] {spec}: best batch {best:.3e} ({best_name}) vs scalar {scalar:.3e}"
+              f" -> {ratio:.2f}x (need >= {BATCH_MIN_RATIO}x) {status}")
+        if ratio < BATCH_MIN_RATIO:
+            failures.append(f"{spec}: batch only {ratio:.2f}x scalar")
+    return failures
+
+
+def check_baseline(items, baseline_items):
+    for name, base in sorted(baseline_items.items()):
+        now = items.get(name)
+        if now is None:
+            continue
+        frac = now / base if base > 0 else 1.0
+        if frac < BASELINE_MIN_FRACTION:
+            print(f"[baseline] WARNING: {name} at {frac:.0%} of the committed baseline"
+                  f" ({now:.3e} vs {base:.3e} items/s)")
+
+
+def check_sharded(items, hard):
+    base = items.get("sharded/insert/n/1/real_time") or items.get("sharded/insert/n/1")
+    at8 = items.get("sharded/insert/n/8/real_time") or items.get("sharded/insert/n/8")
+    if base is None or at8 is None:
+        print("[sharded] WARNING: missing n=1 or n=8 data point; nothing checked")
+        return []
+    ratio = at8 / base
+    ok = ratio >= SHARDED_MIN_RATIO
+    status = "OK" if ok else ("FAIL" if hard else "WARNING (soft)")
+    print(f"[sharded] n=8 {at8:.3e} vs n=1 {base:.3e} items/s"
+          f" -> {ratio:.2f}x (target >= {SHARDED_MIN_RATIO}x) {status}")
+    if not ok and hard:
+        return [f"sharded scaling only {ratio:.2f}x at 8 shards"]
+    return []
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch", required=True, help="fresh BENCH_micro_batch_insert.json")
+    parser.add_argument("--baseline", help="committed baseline JSON to warn against")
+    parser.add_argument("--sharded", help="fresh BENCH_micro_sharded_insert.json")
+    parser.add_argument("--sharded-baseline",
+                        help="committed sharded baseline JSON to warn against")
+    parser.add_argument("--sharded-hard", action="store_true",
+                        help="fail (not warn) when the sharded scaling target is missed")
+    args = parser.parse_args()
+
+    failures = check_batch(load_items(args.batch))
+    if args.baseline:
+        check_baseline(load_items(args.batch), load_items(args.baseline))
+    if args.sharded:
+        failures += check_sharded(load_items(args.sharded), args.sharded_hard)
+        if args.sharded_baseline:
+            check_baseline(load_items(args.sharded), load_items(args.sharded_baseline))
+
+    if failures:
+        print("\nbench regression check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

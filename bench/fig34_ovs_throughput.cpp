@@ -3,8 +3,18 @@
 // shared-memory rings; "OVS" is the no-measurement baseline. The reproduced
 // shape: HeavyKeeper costs almost nothing relative to plain OVS, while
 // CM / SS / LC back-pressure the datapath noticeably.
+//
+// N-consumer mode (the scale-out experiment): HK_OVS_CONSUMERS=N adds
+// sharded rows where each pipeline's measurement side is a threaded
+// "Sharded:n=N" consumer - the pipeline's consumer thread scatters bursts
+// into N per-shard rings drained by N workers (src/shard/). Each pipeline
+// then occupies 2 + N threads, so the hardware clamp usually reduces the
+// pipeline count; the interesting number is the sharded rows' Mps against
+// the single-consumer HK rows at the same total memory.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/algorithms.h"
@@ -28,10 +38,21 @@ int main() {
 
   const auto packets = MakeWirePackets(packets_per_pipeline, packets_per_pipeline / 10, 0.9, 1);
 
-  const std::vector<std::string> names = {"OVS",         "HK-Parallel", "HK-Minimum",
-                                          "CM",          "SS",          "LC"};
-  std::printf("%-16s%16s%16s\n", "algorithm", "Mps", "pipelines");
-  for (const auto& name : names) {
+  std::vector<std::string> rows = {"OVS", "HK-Parallel", "HK-Minimum", "CM", "SS", "LC"};
+  if (const char* env = std::getenv("HK_OVS_CONSUMERS"); env != nullptr) {
+    char* end = nullptr;
+    const unsigned long long consumers = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || consumers < 1 || consumers > 64) {
+      std::fprintf(stderr, "HK_OVS_CONSUMERS must be 1..64 (got '%s')\n", env);
+      return 2;
+    }
+    const std::string n = std::to_string(consumers);
+    rows.push_back("Sharded:n=" + n + ",threads=1,inner=HK-Parallel");
+    rows.push_back("Sharded:n=" + n + ",threads=1,inner=HK-Minimum");
+  }
+
+  std::printf("%-44s%16s%16s\n", "algorithm", "Mps", "pipelines");
+  for (const auto& name : rows) {
     PipelineConfig config;
     config.num_pipelines = 4;  // clamped to the hardware inside RunPipelines
     std::vector<std::unique_ptr<TopKAlgorithm>> algos(config.num_pipelines);
@@ -43,7 +64,7 @@ int main() {
       };
     }
     const auto result = RunPipelines(packets, factory, config);
-    std::printf("%-16s%16.2f%16zu\n", name.c_str(), result.mps, result.pipelines);
+    std::printf("%-44s%16.2f%16zu\n", name.c_str(), result.mps, result.pipelines);
     std::fflush(stdout);
   }
   return 0;

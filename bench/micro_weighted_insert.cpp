@@ -1,0 +1,131 @@
+// Byte-weighted insertion throughput (google-benchmark) - the first bench
+// to exercise InsertWeighted / weighted InsertBatch end-to-end.
+//
+// Workload: a Zipf packet stream where every packet carries a wire length
+// in bytes (64..1500, seeded), i.e. byte-count measurement rather than
+// packet-count. For HeavyKeeper, monitored flows collapse the whole weight
+// into O(d) coin-free updates, while an *unmonitored* flow replays its
+// weight unit by unit (the open ROADMAP item this bench makes visible):
+// the skewed head keeps most packets on the fast path, and the measured
+// gap between HK and the O(d)-weighted CM quantifies the replay tax.
+//
+//   weighted/<spec>/scalar    one InsertWeighted() per packet
+//   weighted/<spec>/batchN    InsertBatch(ids, weights) in bursts of N
+//
+// items_per_second counts packets; the "bytes" counter reports the
+// measured payload rate. CI uploads BENCH_micro_weighted_insert.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sketch/registry.h"
+#include "trace/generators.h"
+
+namespace {
+
+using namespace hk;
+
+struct WeightedTrace {
+  std::vector<FlowId> ids;
+  std::vector<uint64_t> weights;
+  uint64_t total_bytes = 0;
+};
+
+const WeightedTrace& BytesTrace() {
+  static const WeightedTrace trace = [] {
+    ZipfTraceConfig config;
+    const char* env = std::getenv("HK_BENCH_SCALE");
+    config.num_packets = env != nullptr ? std::strtoull(env, nullptr, 10) : 1'000'000;
+    // Skewed head so HeavyKeeper's monitored fast path dominates; the tail
+    // still exercises the per-unit replay path.
+    config.num_ranks = config.num_packets / 50;
+    config.skew = 1.2;
+    config.seed = 5;
+    WeightedTrace t;
+    t.ids = MakeZipfTrace(config).packets;
+    t.weights.reserve(t.ids.size());
+    Rng rng(17);
+    for (size_t i = 0; i < t.ids.size(); ++i) {
+      const uint64_t bytes = 64 + rng.NextBounded(1437);  // min-size .. MTU
+      t.weights.push_back(bytes);
+      t.total_bytes += bytes;
+    }
+    return t;
+  }();
+  return trace;
+}
+
+std::unique_ptr<TopKAlgorithm> MakeContender(const std::string& spec) {
+  SketchDefaults defaults;
+  defaults.memory_bytes = 1024 * 1024;  // byte counters need headroom (cb=32)
+  defaults.k = 100;
+  defaults.key_kind = KeyKind::kSynthetic4B;
+  defaults.seed = 1;
+  return MakeSketch(spec, defaults);
+}
+
+void BM_WeightedScalar(benchmark::State& state, const std::string& spec) {
+  auto algo = MakeContender(spec);
+  const WeightedTrace& trace = BytesTrace();
+  size_t i = 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    algo->InsertWeighted(trace.ids[i], trace.weights[i]);
+    bytes += trace.weights[i];
+    if (++i == trace.ids.size()) {
+      i = 0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["bytes"] =
+      benchmark::Counter(static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+
+void BM_WeightedBatch(benchmark::State& state, const std::string& spec) {
+  auto algo = MakeContender(spec);
+  const WeightedTrace& trace = BytesTrace();
+  const size_t burst = std::min(static_cast<size_t>(state.range(0)), trace.ids.size());
+  size_t i = 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    if (i + burst > trace.ids.size()) {
+      i = 0;
+    }
+    algo->InsertBatch(std::span<const FlowId>(trace.ids.data() + i, burst),
+                      std::span<const uint64_t>(trace.weights.data() + i, burst));
+    for (size_t j = 0; j < burst; ++j) {
+      bytes += trace.weights[i + j];
+    }
+    i += burst;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(burst));
+  state.counters["bytes"] =
+      benchmark::Counter(static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // cb=32: byte counts overflow 16-bit counters within one MTU-sized burst.
+  const std::vector<std::string> specs = {"HK-Minimum:cb=32", "HK-Parallel:cb=32", "CM", "SS"};
+  for (const auto& spec : specs) {
+    benchmark::RegisterBenchmark(("weighted/" + spec + "/scalar").c_str(),
+                                 [spec](benchmark::State& state) {
+                                   BM_WeightedScalar(state, spec);
+                                 });
+    auto* batch = benchmark::RegisterBenchmark(("weighted/" + spec + "/batch").c_str(),
+                                               [spec](benchmark::State& state) {
+                                                 BM_WeightedBatch(state, spec);
+                                               });
+    batch->Arg(256)->Arg(4096);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

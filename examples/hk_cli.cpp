@@ -9,8 +9,10 @@
 //
 // `--algo` accepts any sketch registry spec (sketch/registry.h): a name
 // from `hk_cli algos` plus optional key=value overrides, e.g.
-// "HK-Minimum:d=4,b=1.05". --memory-kb/--k/--seed set the spec's context
-// defaults.
+// "HK-Minimum:d=4,b=1.05". The sharded multi-core pipeline rides the same
+// grammar - "Sharded:n=8,inner=HK-Minimum" partitions the key space over
+// 8 shards, and "Sharded:n=8,threads=1,inner=..." runs them on worker
+// threads. --memory-kb/--k/--seed set the spec's context defaults.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,7 +54,8 @@ int Usage() {
                "  topk     --trace FILE [--algo SPEC] [--memory-kb KB] [--k K]\n"
                "  evaluate --trace FILE [--algo SPEC] [--memory-kb KB] [--k K]\n"
                "  bench    --trace FILE [--algo SPEC] [--memory-kb KB] [--k K]\n"
-               "  SPEC = NAME[:key=value,...], e.g. \"HK-Minimum:d=4,b=1.05\"\n");
+               "  SPEC = NAME[:key=value,...], e.g. \"HK-Minimum:d=4,b=1.05\"\n"
+               "         or \"Sharded:n=8,threads=1,inner=HK-Minimum\" (multi-core)\n");
   return 2;
 }
 

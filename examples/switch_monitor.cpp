@@ -2,33 +2,54 @@
 // consumer next to a simulated OVS datapath, connected by a shared-memory
 // ring, and report the top flows plus datapath/measurement statistics.
 //
-//   $ ./switch_monitor
+//   $ ./switch_monitor            # 1 consumer per pipeline (the paper's setup)
+//   $ ./switch_monitor 4          # sharded: 4 measurement workers per pipeline
 //
-// Two pipelines (datapath thread + measurement thread each) forward one
-// million min-size packets; afterwards the per-pipeline top-5 reports and
-// the end-to-end throughput are printed.
+// Two pipelines (datapath thread + measurement side each) forward one
+// million min-size packets. With an argument N > 1 the measurement side is
+// a threaded "Sharded:n=N" consumer (src/shard/): the pipeline's consumer
+// thread scatters bursts into N per-shard rings and N workers run
+// HeavyKeeper on disjoint key slices - same registry spec grammar as
+// `hk_cli --algo`. Afterwards the per-pipeline top-5 reports (merged
+// across shards) and the end-to-end throughput are printed.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ovs/pipeline.h"
 #include "sketch/registry.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hk;
 
   constexpr uint64_t kPackets = 1'000'000;
   constexpr size_t kPipelines = 2;
+  unsigned long long consumers = 1;
+  if (argc > 1) {
+    char* end = nullptr;
+    consumers = std::strtoull(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || consumers < 1 || consumers > 64) {
+      std::fprintf(stderr, "usage: switch_monitor [consumers]  (1..64; got '%s')\n", argv[1]);
+      return 2;
+    }
+  }
 
   std::printf("packing %llu wire packets (5-tuple headers, Zipf skew 1.0)...\n",
               static_cast<unsigned long long>(kPackets));
   const auto packets = MakeWirePackets(kPackets, kPackets / 10, 1.0, 11);
 
+  // Per-pipeline measurement algorithm from the sketch registry; any spec
+  // from `hk_cli algos` drops in here.
+  const std::string spec =
+      consumers > 1 ? "Sharded:n=" + std::to_string(consumers) + ",threads=1,inner=HK-Parallel"
+                    : std::string("HK-Parallel");
+  std::printf("measurement spec: %s\n", spec.c_str());
+
   PipelineConfig config;
   config.num_pipelines = kPipelines;
 
-  // Per-pipeline measurement algorithm from the sketch registry; any spec
-  // from `hk_cli algos` drops in here.
   SketchDefaults defaults;
   defaults.memory_bytes = 50 * 1024;
   defaults.k = 100;
@@ -38,7 +59,7 @@ int main() {
       packets,
       [&](size_t i) -> TopKAlgorithm* {
         defaults.seed = i + 1;
-        monitors[i] = MakeSketch("HK-Parallel", defaults);
+        monitors[i] = MakeSketch(spec, defaults);
         return monitors[i].get();
       },
       config);
@@ -60,7 +81,8 @@ int main() {
   }
 
   // The pipelines see identical packet streams, so their reports must agree
-  // on the heaviest flow - a cheap cross-check of the whole path.
+  // on the heaviest flow - a cheap cross-check of the whole path (including
+  // the per-shard merge when sharded).
   if (pipelines > 1) {
     const auto a = monitors[0]->TopK(1);
     const auto b = monitors[1]->TopK(1);

@@ -174,6 +174,8 @@ class HeavyKeeper {
   struct Bucket {
     uint32_t fp = 0;
     uint32_t c = 0;
+
+    bool operator==(const Bucket&) const = default;
   };
 
   // Test/diagnostic introspection: a copy of every bucket, per array.

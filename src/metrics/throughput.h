@@ -23,6 +23,10 @@ inline ThroughputResult MeasureThroughput(TopKAlgorithm& algo, const Trace& trac
   for (const FlowId id : trace.packets) {
     algo.Insert(id);
   }
+  // Asynchronous front-ends (threaded ShardedTopK) only enqueued above;
+  // wait inside the timed region so Mps reports applied packets, not the
+  // enqueue rate (no-op for synchronous algorithms).
+  algo.Flush();
   ThroughputResult result;
   result.seconds = timer.ElapsedSeconds();
   result.packets = trace.num_packets();

@@ -37,6 +37,12 @@ class SimulatedDatapath {
   // Full per-packet datapath work; returns the flow id to publish.
   FlowId Process(const RawPacket& packet);
 
+  // Batched datapath work, software-pipelined: parse every header in the
+  // burst and prefetch its cache slot, then run the forwarding loop
+  // against warm lines. Writes the flow ids to publish into `out`;
+  // observable effects match per-packet Process() calls in order.
+  void ProcessBatch(const RawPacket* packets, size_t n, FlowId* out);
+
   uint64_t cache_hits() const { return hits_; }
   uint64_t cache_misses() const { return misses_; }
   uint64_t forwarded(size_t port) const { return port_counts_[port]; }
@@ -48,6 +54,9 @@ class SimulatedDatapath {
     uint32_t port = 0;
     bool valid = false;
   };
+
+  // Cache lookup + port accounting for an already-parsed flow id.
+  void Forward(FlowId id);
 
   std::vector<CacheEntry> cache_;
   size_t mask_;

@@ -6,6 +6,16 @@
 // throughput is total packets over wall time. When the consumer is slower
 // than the datapath the ring fills and back-pressures the datapath - the
 // effect Figure 34 quantifies per algorithm.
+//
+// Scale-out (1 -> N consumers): hand the factory a threaded
+// ShardedTopK ("Sharded:n=8,threads=1,inner=..."; shard/sharded_topk.h).
+// The pipeline's consumer thread then becomes a scatter stage - it drains
+// the datapath ring in bursts and InsertBatch() fans the burst out to the
+// per-shard rings, where N worker threads run the sketches. The consumer
+// Flush()es at end-of-stream inside the timed region, so reported
+// throughput covers every applied packet. The hardware clamp asks the
+// algorithm for its worker-thread count (TopKAlgorithm::WorkerThreads),
+// so sharded consumers budget their cores automatically.
 #ifndef HK_OVS_PIPELINE_H_
 #define HK_OVS_PIPELINE_H_
 
@@ -20,9 +30,10 @@
 namespace hk {
 
 struct PipelineConfig {
-  // Requested pipelines (paper: 4). Clamped to hardware_concurrency/2 at
-  // run time: each pipeline is a producer/consumer thread pair and
-  // oversubscribed spinning threads measure the scheduler, not the sketch.
+  // Requested pipelines (paper: 4). Clamped at run time so that
+  // num_pipelines * (producer + consumer + the algorithm's own worker
+  // threads) stays within the hardware: oversubscribed spinning threads
+  // measure the scheduler, not the sketch.
   size_t num_pipelines = 4;
   size_t ring_capacity = 4096;   // flow-id slots in shared memory
   size_t cache_slots = 1 << 16;  // datapath exact-match cache

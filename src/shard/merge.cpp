@@ -1,0 +1,26 @@
+#include "shard/merge.h"
+
+#include <algorithm>
+
+namespace hk {
+
+std::vector<FlowCount> MergeTopK(const std::vector<std::vector<FlowCount>>& per_shard, size_t k) {
+  std::vector<FlowCount> merged;
+  size_t total = 0;
+  for (const auto& list : per_shard) {
+    total += list.size();
+  }
+  merged.reserve(total);
+  for (const auto& list : per_shard) {
+    merged.insert(merged.end(), list.begin(), list.end());
+  }
+  std::sort(merged.begin(), merged.end(), [](const FlowCount& a, const FlowCount& b) {
+    return a.count != b.count ? a.count > b.count : a.id < b.id;
+  });
+  if (merged.size() > k) {
+    merged.resize(k);
+  }
+  return merged;
+}
+
+}  // namespace hk

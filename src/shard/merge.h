@@ -1,0 +1,35 @@
+// Merging per-shard top-k reports into a global top-k.
+//
+// Estimate semantics: shards partition the key space (shard/partition.h),
+// so every flow is tracked by exactly one shard and its merged estimate is
+// that shard's estimate, unchanged - merging never adds cross-shard error.
+// If each input list is its shard's top-k by the shard's own estimates,
+// the merged list is the global top-k by those same estimates: a flow
+// ranked r-th globally is ranked <= r-th inside its shard, so it appears
+// in the shard's list whenever the shard reports >= k entries.
+//
+// Relative to one sketch with the same *total* memory, a k-shard split
+// changes the error profile in two documented ways: each shard's arrays
+// are 1/N the width but see only ~1/N of the flows (collision pressure per
+// bucket stays comparable), and each shard keeps its own k-entry candidate
+// store, so the sharded instance spends up to (N-1) * k extra entries on
+// candidates. tests/differential_test.cpp pins the resulting tolerance.
+#ifndef HK_SHARD_MERGE_H_
+#define HK_SHARD_MERGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/flow_key.h"
+
+namespace hk {
+
+// Union the per-shard reports, order by (estimate desc, id asc) - the
+// TopKAlgorithm reporting order - and keep the k largest. Inputs need not
+// be sorted; ids must be disjoint across lists (key-partitioned shards
+// guarantee this).
+std::vector<FlowCount> MergeTopK(const std::vector<std::vector<FlowCount>>& per_shard, size_t k);
+
+}  // namespace hk
+
+#endif  // HK_SHARD_MERGE_H_

@@ -1,0 +1,47 @@
+// Key partitioning for the sharded top-k pipeline (shard/sharded_topk.h).
+//
+// A flow is assigned to exactly one shard by hashing its 64-bit flow id -
+// the same quantity every sketch fingerprint is derived from - with a
+// dedicated salt, so all packets of a flow land in the same shard and a
+// flow's counter state never splits. The salt is independent of every
+// sketch hash seed, so partitioning introduces no correlation with bucket
+// placement inside a shard.
+//
+// The reduction uses Lemire's multiply-shift instead of a modulo, matching
+// the rest of the library's index math: shard counts do not need to be
+// powers of two and the mapping stays unbiased.
+#ifndef HK_SHARD_PARTITION_H_
+#define HK_SHARD_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/flow_key.h"
+#include "common/hash.h"
+
+namespace hk {
+
+class ShardPartitioner {
+ public:
+  explicit ShardPartitioner(size_t num_shards) : num_shards_(num_shards) {}
+
+  size_t num_shards() const { return num_shards_; }
+
+  // Deterministic flow -> shard mapping: depends only on the flow id and
+  // the shard count, never on arrival order or thread timing.
+  size_t ShardOf(FlowId id) const {
+    const uint64_t h = HashU64(id, kPartitionSalt);
+    return static_cast<size_t>((static_cast<__uint128_t>(h) * num_shards_) >> 64);
+  }
+
+ private:
+  // Fixed salt shared by every partitioner so producers and consumers agree
+  // on the mapping without coordination.
+  static constexpr uint64_t kPartitionSalt = 0x8f0c6e1d2b5a4937ULL;
+
+  size_t num_shards_;
+};
+
+}  // namespace hk
+
+#endif  // HK_SHARD_PARTITION_H_

@@ -1,0 +1,163 @@
+// ShardedTopK: a key-partitioned, multi-core top-k pipeline.
+//
+// The paper's OVS deployment (Section VII) runs HeavyKeeper on a single
+// user-space thread; this layer is the scale-out path. N independent inner
+// algorithms (any sketch registry spec; HeavyKeeper pipelines by default)
+// each own a disjoint slice of the key space chosen by a salted hash of
+// the flow id (shard/partition.h), so a flow's state never splits and the
+// per-shard stream is just the arrival stream filtered to that shard.
+//
+// Two execution modes share the same shards:
+//
+//   * Synchronous (threads=0, the default): inserts route directly to the
+//     owning shard; batches are scattered into per-shard runs and applied
+//     through the inner InsertBatch fast path. No threads, no queues -
+//     bit-for-bit reproducible and safe anywhere a plain sketch is.
+//   * Threaded (threads=1): each shard gets an SPSC ring (ovs/spsc_ring.h)
+//     and a worker thread that drains it in bursts through InsertBatch.
+//     The caller's thread is the single producer; workers are the single
+//     consumers. A full ring back-pressures the producer.
+//
+// Determinism: the partition depends only on the flow id, each ring is
+// FIFO, and the inner batch path is contractually identical to the scalar
+// path (sketch/topk_algorithm.h), so for a fixed seed and shard count the
+// final state is identical across runs, across burst sizes, and across the
+// two execution modes - regardless of how the OS schedules the workers.
+// Every shard is built with the *same* seed; with one shard the instance
+// is therefore bit-identical to the unsharded inner algorithm.
+//
+// Query semantics: TopK() waits for all queued packets to drain, then
+// unions the per-shard reports (shard/merge.h - a flow's estimate is its
+// owning shard's estimate, unchanged). EstimateSize() asks the owning
+// shard. Flush() blocks until every accepted packet has been applied;
+// destruction drains outstanding packets before joining the workers, so a
+// shutdown mid-burst loses nothing.
+//
+// Thread model (threaded mode): the insert API and Flush()/TopK()/
+// EstimateSize() must be called from one thread at a time (the producer);
+// the N workers are internal. Cross-thread visibility is established by
+// the per-shard queued counters (release on the worker's drain, acquire in
+// WaitIdle), so post-Flush() queries read fully published sketch state.
+#ifndef HK_SHARD_SHARDED_TOPK_H_
+#define HK_SHARD_SHARDED_TOPK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ovs/spsc_ring.h"
+#include "shard/partition.h"
+#include "sketch/registry.h"
+#include "sketch/topk_algorithm.h"
+
+namespace hk {
+
+struct ShardedTopKOptions {
+  size_t num_shards = 8;
+  // Registry spec for each shard's algorithm; the shard is built with the
+  // total budget's 1/num_shards slice and the caller's k/key/seed context.
+  std::string inner_spec = "HK-Minimum";
+  bool threaded = false;      // spin up one worker + ring per shard
+  size_t ring_capacity = 4096;  // per-shard ring slots (threaded mode)
+  size_t drain_burst = 256;     // packets per worker InsertBatch (threaded mode)
+};
+
+class ShardedTopK : public TopKAlgorithm {
+ public:
+  // Sanity cap on the shard count: far above any sensible core count, low
+  // enough that a garbage n= in a spec fails loudly instead of allocating
+  // (and possibly spawning) millions of shards.
+  static constexpr size_t kMaxShards = 1024;
+
+  // Throws std::invalid_argument on zero shards, a degenerate ring/burst,
+  // or an inner spec that is itself sharded (nested partitioning is a
+  // configuration error, not a feature).
+  ShardedTopK(const ShardedTopKOptions& options, const SketchDefaults& defaults);
+
+  // Embedding constructor: shard over pre-built algorithms instead of a
+  // registry spec (custom TopKAlgorithm implementations, instrumented
+  // test doubles). `inners.size()` is the shard count; options.num_shards
+  // and options.inner_spec are ignored, the threading options apply as
+  // usual. Caveats that the spec path handles for you: memory budgeting
+  // is the caller's problem (the inners were already built), and name()
+  // embeds shard 0's name - it is only a valid registry spec when the
+  // inners are homogeneous registry-built instances.
+  ShardedTopK(const ShardedTopKOptions& options,
+              std::vector<std::unique_ptr<TopKAlgorithm>> inners);
+
+  ~ShardedTopK() override;
+
+  ShardedTopK(const ShardedTopK&) = delete;
+  ShardedTopK& operator=(const ShardedTopK&) = delete;
+
+  void Insert(FlowId id) override;
+  void InsertWeighted(FlowId id, uint64_t weight) override;
+  void InsertBatch(std::span<const FlowId> ids) override;
+  void InsertBatch(std::span<const FlowId> ids, std::span<const uint64_t> weights) override;
+
+  // Block until every accepted packet is applied to its shard (no-op in
+  // synchronous mode).
+  void Flush() override;
+
+  std::vector<FlowCount> TopK(size_t k) const override;
+  uint64_t EstimateSize(FlowId id) const override;
+  std::string name() const override;
+  size_t MemoryBytes() const override;
+  size_t WorkerThreads() const override { return options_.threaded ? shards_.size() : 0; }
+
+  size_t num_shards() const { return shards_.size(); }
+  bool threaded() const { return options_.threaded; }
+  size_t ShardOf(FlowId id) const { return partitioner_.ShardOf(id); }
+
+  // The shard algorithms, for tests and for pipelines that feed shards
+  // from their own threads (one external thread per shard is safe: shards
+  // share no state).
+  TopKAlgorithm& shard(size_t i) { return *shards_[i]->algo; }
+  const TopKAlgorithm& shard(size_t i) const { return *shards_[i]->algo; }
+
+ private:
+  struct Packet {
+    FlowId id = 0;
+    uint64_t weight = 0;
+  };
+
+  struct Shard {
+    std::unique_ptr<TopKAlgorithm> algo;
+    std::unique_ptr<SpscRing<Packet>> ring;  // threaded mode only
+    // Producer-side scatter buffers (reused across batches). Declared
+    // before `queued` so their frequently-written vector headers stay off
+    // its cache line (the counter must not be false-shared).
+    std::vector<FlowId> run_ids;
+    std::vector<uint64_t> run_weights;
+    // Packets enqueued but not yet applied by the worker. The worker's
+    // release-decrement after mutating `algo` pairs with acquire loads in
+    // WaitIdle() to publish sketch state to the querying thread. Last
+    // member + alignas: the counter owns its line alone.
+    alignas(64) std::atomic<uint64_t> queued{0};
+  };
+
+  void Enqueue(FlowId id, uint64_t weight);
+  // The count-before-push + backpressure protocol every threaded insert
+  // path funnels through (Flush()'s cannot-miss-packets invariant lives
+  // here and nowhere else). nullptr weights = unit weights.
+  void PushRun(Shard& shard, std::span<const FlowId> ids, const uint64_t* weights);
+  void WorkerLoop(size_t shard_index);
+  void WaitIdle() const;
+  // Shared constructor tail: wrap `inners` into shards, then spin up the
+  // rings and workers when threaded.
+  void InitShards(std::vector<std::unique_ptr<TopKAlgorithm>> inners);
+
+  ShardedTopKOptions options_;
+  ShardPartitioner partitioner_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace hk
+
+#endif  // HK_SHARD_SHARDED_TOPK_H_

@@ -25,6 +25,7 @@ HK_PIN_SKETCHES(ElasticSketch)
 HK_PIN_SKETCHES(ColdFilter)
 HK_PIN_SKETCHES(CounterTree)
 HK_PIN_SKETCHES(HeavyGuardian)
+HK_PIN_SKETCHES(ShardedTopK)
 #undef HK_PIN_SKETCHES
 
 namespace {
@@ -53,6 +54,7 @@ void EnsureRegistered() {
     HkRegisterSketches_ColdFilter();
     HkRegisterSketches_CounterTree();
     HkRegisterSketches_HeavyGuardian();
+    HkRegisterSketches_ShardedTopK();
   });
 }
 
@@ -185,8 +187,18 @@ std::unique_ptr<TopKAlgorithm> MakeSketch(const std::string& spec,
   std::map<std::string, std::string> params;
   if (colon != std::string::npos) {
     const std::string tail = spec.substr(colon + 1);
+    const std::string greedy_prefix =
+        entry.greedy_key.empty() ? std::string() : entry.greedy_key + "=";
     size_t pos = 0;
     while (pos <= tail.size()) {
+      // The greedy key (e.g. "inner=") swallows the rest of the spec so a
+      // full inner spec - commas and colons included - can be embedded.
+      if (!greedy_prefix.empty() && tail.compare(pos, greedy_prefix.size(), greedy_prefix) == 0) {
+        if (!params.emplace(entry.greedy_key, tail.substr(pos + greedy_prefix.size())).second) {
+          Fail("sketch spec '" + spec + "': duplicate key '" + entry.greedy_key + "'");
+        }
+        break;
+      }
       const size_t comma = std::min(tail.find(',', pos), tail.size());
       const std::string param = tail.substr(pos, comma - pos);
       const size_t eq = param.find('=');

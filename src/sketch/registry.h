@@ -13,6 +13,13 @@
 //   "HK-Minimum:d=4,b=1.05,fp=12"         algorithm-specific overrides
 //   "CM:d=3,mem=64kb,k=50"                common overrides ride along
 //
+// An algorithm may declare one *greedy* key (SketchEntry::greedy_key).
+// Once `greedy_key "="` is seen, the rest of the spec - commas, colons and
+// all - is that key's value, so composite algorithms can embed a full
+// inner spec. The greedy key therefore must come last:
+//
+//   "Sharded:n=8,inner=HK-Minimum:d=4,b=1.05"   inner = "HK-Minimum:d=4,b=1.05"
+//
 // Common keys, understood for every algorithm (defaults come from the
 // SketchDefaults context the caller passes):
 //
@@ -88,10 +95,23 @@ class SketchArgs {
 using SketchFactory = std::function<std::unique_ptr<TopKAlgorithm>(const SketchArgs&)>;
 
 struct SketchEntry {
+  SketchEntry() = default;
+  // greedy_key (optional): a key whose value swallows the remainder of the
+  // spec (grammar note above). Must also be listed in param_keys.
+  SketchEntry(std::string name, std::vector<std::string> aliases,
+              std::vector<std::string> param_keys, SketchFactory factory,
+              std::string greedy_key = std::string())
+      : name(std::move(name)),
+        aliases(std::move(aliases)),
+        param_keys(std::move(param_keys)),
+        factory(std::move(factory)),
+        greedy_key(std::move(greedy_key)) {}
+
   std::string name;                      // canonical spec name ("HK-Minimum")
   std::vector<std::string> aliases;      // display / legacy names ("HeavyKeeper-Minimum")
   std::vector<std::string> param_keys;   // accepted algorithm-specific keys
   SketchFactory factory;
+  std::string greedy_key;
 };
 
 // Self-registration hook: each algorithm's .cpp defines one registration

@@ -80,6 +80,20 @@ class TopKAlgorithm {
     }
   }
 
+  // Make every accepted packet observable. Synchronous algorithms apply
+  // inserts inline, so the default is a no-op; concurrent front-ends
+  // (shard/sharded_topk.h) override it to wait until their worker threads
+  // have drained all queued packets. Queries must behave as if Flush() ran
+  // first, so calling it explicitly is only needed to bound *when* the
+  // work happens (e.g. inside a timed region).
+  virtual void Flush() {}
+
+  // Internal worker threads this instance runs (0 for synchronous
+  // algorithms; a threaded sharded front-end reports its shard count).
+  // Hosts that budget cores (ovs/pipeline.h's hardware clamp) ask this
+  // instead of being told out of band.
+  virtual size_t WorkerThreads() const { return 0; }
+
   // The k largest tracked flows with their estimated sizes,
   // ordered by (estimate desc, id asc).
   virtual std::vector<FlowCount> TopK(size_t k) const = 0;

@@ -16,7 +16,7 @@ const std::vector<std::string>& AllNames() {
   static const std::vector<std::string> names = {
       "HK",       "HK-Parallel", "HK-Minimum", "HK-Basic",    "SS",
       "LC",       "CSS",         "CM",         "CountSketch", "Frequent",
-      "Elastic",  "ColdFilter",  "CounterTree", "HeavyGuardian"};
+      "Elastic",  "ColdFilter",  "CounterTree", "HeavyGuardian", "Sharded"};
   return names;
 }
 

@@ -8,11 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
 #include <tuple>
 
 #include "common/random.h"
 #include "core/heavykeeper.h"
 #include "core/hk_topk.h"
+#include "ovs/pipeline.h"
+#include "sketch/registry.h"
 #include "trace/generators.h"
 #include "trace/oracle.h"
 
@@ -146,6 +149,73 @@ INSTANTIATE_TEST_SUITE_P(Sweep, PipelinePrecisionSweep,
                          ::testing::Combine(::testing::Values(1, 2),  // Parallel, Minimum
                                             ::testing::Values(0.8, 1.0, 1.5, 2.0),
                                             ::testing::Values<uint64_t>(5, 6)));
+
+// --- seed determinism (the audit the sharded pipeline depends on) ---------
+//
+// Everything downstream - differential tests, sharded-vs-single
+// comparisons, bench JSON trajectories - assumes a seed pins the world:
+// trace generators must be pure functions of their config, and the
+// sharded pipeline must be a pure function of (seed, shard count, stream),
+// no matter how packets are grouped into bursts or which internal order
+// the shards are touched in.
+
+TEST(SeedDeterminismTest, TraceGeneratorsArePureFunctionsOfTheirConfig) {
+  ZipfTraceConfig config;
+  config.num_packets = 50'000;
+  config.num_ranks = 5'000;
+  config.skew = 1.1;
+  config.seed = 77;
+  EXPECT_EQ(MakeZipfTrace(config).packets, MakeZipfTrace(config).packets);
+
+  config.seed = 78;
+  const auto other = MakeZipfTrace(config).packets;
+  config.seed = 77;
+  EXPECT_NE(MakeZipfTrace(config).packets, other);
+
+  EXPECT_EQ(MakeCampusTrace(20'000, 5).packets, MakeCampusTrace(20'000, 5).packets);
+  EXPECT_EQ(MakeCaidaTrace(20'000, 5).packets, MakeCaidaTrace(20'000, 5).packets);
+}
+
+TEST(SeedDeterminismTest, WirePacketsArePureFunctionsOfTheirConfig) {
+  const auto a = MakeWirePackets(20'000, 2'000, 1.0, 9);
+  const auto b = MakeWirePackets(20'000, 2'000, 1.0, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(ParseHeader(a[i]).Id(), ParseHeader(b[i]).Id()) << i;
+  }
+}
+
+TEST(SeedDeterminismTest, ShardedPipelineIsAPureFunctionOfSeedAndShardCount) {
+  ZipfTraceConfig tconfig;
+  tconfig.num_packets = 60'000;
+  tconfig.num_ranks = 8'000;
+  tconfig.skew = 1.2;
+  tconfig.seed = 41;
+  const auto packets = MakeZipfTrace(tconfig).packets;
+
+  SketchDefaults defaults;
+  defaults.memory_bytes = 40 * 1024;
+  defaults.k = 40;
+  defaults.seed = 6;
+
+  for (const size_t shards : {1u, 2u, 5u, 8u}) {
+    const std::string spec = "Sharded:n=" + std::to_string(shards) + ",inner=HK-Minimum";
+    // Scalar inserts (shards touched in arrival order) vs one whole-stream
+    // batch (shards touched in index order): grouping must not matter.
+    auto scalar = MakeSketch(spec, defaults);
+    auto batched = MakeSketch(spec, defaults);
+    for (const FlowId id : packets) {
+      scalar->Insert(id);
+    }
+    batched->InsertBatch(packets);
+    EXPECT_EQ(scalar->TopK(40), batched->TopK(40)) << spec;
+
+    // And an independent rebuild from the same seed reproduces the state.
+    auto rebuilt = MakeSketch(spec, defaults);
+    rebuilt->InsertBatch(packets);
+    EXPECT_EQ(batched->TopK(40), rebuilt->TopK(40)) << spec;
+  }
+}
 
 }  // namespace
 }  // namespace hk

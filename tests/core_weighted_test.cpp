@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "common/random.h"
 #include "core/heavykeeper.h"
+#include "core/hk_topk.h"
 
 namespace hk {
 namespace {
@@ -100,6 +103,85 @@ TEST(WeightedInsertTest, NeverOverestimatesOnWeightedStream) {
   }
   for (const auto& [id, total] : truth) {
     EXPECT_LE(sketch.Query(id), total) << "flow " << id;
+  }
+}
+
+// --- unmonitored-flow weighted decay path ---------------------------------
+//
+// At the pipeline level, InsertWeighted on a flow *not* in the candidate
+// store must replay its weight unit by unit (the admission gates depend on
+// the evolving nmin, and decay coins must be spent at the per-unit counter
+// values). With a shared seed that replay is bit-identical to the repeated
+// unit insertions - including the decay coins it flips against resident
+// fingerprints - which is exactly the TopKAlgorithm contract rule 1.
+
+// A pipeline whose store is saturated by `hot` flows, so `challenger` is
+// unmonitored and its weighted inserts take the decay/admission path.
+std::unique_ptr<HeavyKeeperTopK<>> SaturatedPipeline(uint64_t seed) {
+  HeavyKeeperConfig config;
+  config.d = 2;
+  config.w = 64;  // small arrays: the challenger collides with residents
+  config.counter_bits = 32;
+  config.seed = seed;
+  auto pipeline = std::make_unique<HeavyKeeperTopK<>>(HkVersion::kMinimum, config, /*k=*/8,
+                                                      /*key_bytes=*/4);
+  for (FlowId hot = 100; hot < 108; ++hot) {
+    for (int i = 0; i < 50; ++i) {
+      pipeline->Insert(hot);
+    }
+  }
+  return pipeline;
+}
+
+TEST(WeightedInsertTest, UnmonitoredWeightedReplaysUnitByUnitExactly) {
+  for (const uint64_t seed : {3u, 11u, 29u}) {
+    auto weighted = SaturatedPipeline(seed);
+    auto repeated = SaturatedPipeline(seed);
+    ASSERT_FALSE(weighted->store().Contains(7));  // the challenger is unmonitored
+
+    weighted->InsertWeighted(7, 40);
+    for (int u = 0; u < 40; ++u) {
+      repeated->Insert(7);
+    }
+
+    // Bit-identical sketch state (decay coins included) and reports.
+    EXPECT_EQ(weighted->sketch().DebugDump(), repeated->sketch().DebugDump()) << seed;
+    EXPECT_EQ(weighted->TopK(8), repeated->TopK(8)) << seed;
+    EXPECT_EQ(weighted->EstimateSize(7), repeated->EstimateSize(7)) << seed;
+  }
+}
+
+TEST(WeightedInsertTest, UnmonitoredWeightedBatchMatchesScalarWeighted) {
+  for (const uint64_t seed : {5u, 17u}) {
+    auto batched = SaturatedPipeline(seed);
+    auto scalar = SaturatedPipeline(seed);
+
+    const std::vector<FlowId> ids = {7, 9, 7, 11, 9, 7};
+    const std::vector<uint64_t> weights = {12, 3, 0, 25, 7, 5};
+    batched->InsertBatch(ids, weights);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      scalar->InsertWeighted(ids[i], weights[i]);
+    }
+
+    EXPECT_EQ(batched->sketch().DebugDump(), scalar->sketch().DebugDump()) << seed;
+    EXPECT_EQ(batched->TopK(8), scalar->TopK(8)) << seed;
+  }
+}
+
+TEST(WeightedInsertTest, WeightedAdmissionMatchesUnitAdmission) {
+  // The challenger's weighted insert must admit it to the store at exactly
+  // the same point in the stream as the unit-by-unit run - Theorem 1's
+  // nmin + 1 gate evaluated per unit.
+  for (const uint64_t seed : {7u, 13u, 23u}) {
+    auto weighted = SaturatedPipeline(seed);
+    auto repeated = SaturatedPipeline(seed);
+    const uint64_t big = 200;  // enough to decay through any resident here
+    weighted->InsertWeighted(9, big);
+    for (uint64_t u = 0; u < big; ++u) {
+      repeated->Insert(9);
+    }
+    EXPECT_EQ(weighted->store().Contains(9), repeated->store().Contains(9)) << seed;
+    EXPECT_EQ(weighted->EstimateSize(9), repeated->EstimateSize(9)) << seed;
   }
 }
 

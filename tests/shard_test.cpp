@@ -1,0 +1,293 @@
+// Concurrency and determinism tests for the sharded pipeline (src/shard/):
+// partition stability, merge semantics, producer/consumer stress with
+// random burst sizes, shutdown while rings are still draining, and the
+// determinism contract - same seed and shard count means bit-identical
+// results across execution modes, burst shapes, and runs (the TSan CI job
+// runs this suite with full race detection).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "shard/merge.h"
+#include "shard/partition.h"
+#include "shard/sharded_topk.h"
+#include "sketch/registry.h"
+#include "trace/generators.h"
+#include "trace/oracle.h"
+
+namespace hk {
+namespace {
+
+SketchDefaults TestDefaults() {
+  SketchDefaults d;
+  d.memory_bytes = 50 * 1024;
+  d.k = 50;
+  d.key_kind = KeyKind::kSynthetic4B;
+  d.seed = 3;
+  return d;
+}
+
+std::vector<FlowId> ZipfPackets(uint64_t n, uint64_t seed) {
+  ZipfTraceConfig config;
+  config.num_packets = n;
+  config.num_ranks = n / 8;
+  config.skew = 1.1;
+  config.seed = seed;
+  return MakeZipfTrace(config).packets;
+}
+
+TEST(ShardPartitionTest, StableAndBalanced) {
+  const ShardPartitioner partitioner(8);
+  std::vector<uint64_t> load(8, 0);
+  SplitMix64 sm(42);
+  for (int i = 0; i < 100'000; ++i) {
+    const FlowId id = sm.Next();
+    const size_t shard = partitioner.ShardOf(id);
+    ASSERT_LT(shard, 8u);
+    EXPECT_EQ(shard, partitioner.ShardOf(id));  // stable per flow
+    ++load[shard];
+  }
+  for (const uint64_t l : load) {
+    // 100k uniform keys over 8 shards: each shard within 10% of 12.5k.
+    EXPECT_NEAR(static_cast<double>(l), 12'500.0, 1'250.0);
+  }
+}
+
+TEST(ShardMergeTest, OrdersUnionAndTruncates) {
+  const std::vector<std::vector<FlowCount>> per_shard = {
+      {{7, 100}, {1, 5}},
+      {},
+      {{9, 100}, {2, 80}, {3, 5}},
+  };
+  const auto merged = MergeTopK(per_shard, 4);
+  const std::vector<FlowCount> expected = {{7, 100}, {9, 100}, {2, 80}, {1, 5}};
+  EXPECT_EQ(merged, expected);  // count desc, id asc on the tie, k-truncated
+  EXPECT_EQ(MergeTopK({}, 10), std::vector<FlowCount>{});
+}
+
+TEST(ShardedTopKTest, RejectsDegenerateSpecs) {
+  EXPECT_THROW(MakeSketch("Sharded:n=0"), std::invalid_argument);
+  EXPECT_THROW(MakeSketch("Sharded:n=2000"), std::invalid_argument);  // > kMaxShards
+  EXPECT_THROW(MakeSketch("Sharded:inner=Sharded:n=2"), std::invalid_argument);
+  EXPECT_THROW(MakeSketch("Sharded:threads=1,ring=0"), std::invalid_argument);
+  EXPECT_THROW(MakeSketch("Sharded:threads=1,burst=0"), std::invalid_argument);
+  EXPECT_THROW(MakeSketch("Sharded:n=2,inner=NotARealSketch"), std::invalid_argument);
+  EXPECT_THROW(MakeSketch("Sharded:bogus=1"), std::invalid_argument);
+  // Worker count is always the shard count; threads= is a 0/1 mode switch.
+  EXPECT_THROW(MakeSketch("Sharded:threads=2"), std::invalid_argument);
+  // Ring tuning without the threaded mode would be silently inert.
+  EXPECT_THROW(MakeSketch("Sharded:ring=64"), std::invalid_argument);
+  EXPECT_THROW(MakeSketch("Sharded:burst=16"), std::invalid_argument);
+}
+
+TEST(ShardedTopKTest, RoutesEveryFlowToItsOwningShard) {
+  ShardedTopKOptions options;
+  options.num_shards = 4;
+  options.inner_spec = "SS:mem=64kb";
+  auto algo = std::make_unique<ShardedTopK>(options, TestDefaults());
+  const auto packets = ZipfPackets(20'000, 11);
+  algo->InsertBatch(packets);
+  // Each packet must be counted by exactly the shard the partitioner
+  // names: per-shard totals add up to the stream, and a sampled flow is
+  // visible only in its owning shard.
+  uint64_t total = 0;
+  for (size_t s = 0; s < algo->num_shards(); ++s) {
+    for (const auto& fc : algo->shard(s).TopK(100'000)) {
+      total += fc.count;
+    }
+  }
+  EXPECT_EQ(total, packets.size());
+  for (size_t i = 0; i < 50; ++i) {
+    const FlowId id = packets[i * 97 % packets.size()];
+    const size_t owner = algo->ShardOf(id);
+    for (size_t s = 0; s < algo->num_shards(); ++s) {
+      if (s != owner) {
+        EXPECT_EQ(algo->shard(s).EstimateSize(id), 0u) << "flow " << id << " leaked to " << s;
+      }
+    }
+  }
+}
+
+// --- determinism ----------------------------------------------------------
+
+TEST(ShardedDeterminismTest, SingleShardThreadedEqualsSequentialInsertBatch) {
+  const auto packets = ZipfPackets(100'000, 7);
+  auto sequential = MakeSketch("HK-Minimum", TestDefaults());
+  auto threaded = MakeSketch("Sharded:n=1,threads=1,inner=HK-Minimum", TestDefaults());
+  sequential->InsertBatch(packets);
+  threaded->InsertBatch(packets);
+  threaded->Flush();
+  EXPECT_EQ(sequential->TopK(50), threaded->TopK(50));
+  for (FlowId id = 1; id <= 32; ++id) {
+    EXPECT_EQ(sequential->EstimateSize(id), threaded->EstimateSize(id)) << id;
+  }
+}
+
+TEST(ShardedDeterminismTest, ThreadedEqualsSynchronousAcrossBurstShapes) {
+  const auto packets = ZipfPackets(120'000, 13);
+  auto sync = MakeSketch("Sharded:n=4,inner=HK-Minimum", TestDefaults());
+  auto threaded = MakeSketch("Sharded:n=4,threads=1,inner=HK-Minimum", TestDefaults());
+  auto scalar = MakeSketch("Sharded:n=4,inner=HK-Minimum", TestDefaults());
+
+  sync->InsertBatch(packets);
+
+  // Threaded side: random burst sizes so ring drains interleave with
+  // production arbitrarily.
+  Rng rng(99);
+  size_t pos = 0;
+  while (pos < packets.size()) {
+    const size_t burst = std::min<size_t>(1 + rng.NextBounded(1000), packets.size() - pos);
+    threaded->InsertBatch(std::span<const FlowId>(packets.data() + pos, burst));
+    pos += burst;
+  }
+  threaded->Flush();
+
+  for (const FlowId id : packets) {
+    scalar->Insert(id);
+  }
+
+  EXPECT_EQ(sync->TopK(50), threaded->TopK(50));
+  EXPECT_EQ(sync->TopK(50), scalar->TopK(50));
+}
+
+TEST(ShardedDeterminismTest, RepeatedThreadedRunsAreIdentical) {
+  const auto packets = ZipfPackets(80'000, 17);
+  std::vector<FlowCount> first;
+  for (int run = 0; run < 3; ++run) {
+    auto algo = MakeSketch("Sharded:n=8,threads=1,inner=HK-Minimum", TestDefaults());
+    algo->InsertBatch(packets);
+    const auto top = algo->TopK(50);
+    if (run == 0) {
+      first = top;
+      EXPECT_FALSE(first.empty());
+    } else {
+      EXPECT_EQ(top, first) << "run " << run << " diverged";
+    }
+  }
+}
+
+// --- producer/consumer stress ---------------------------------------------
+
+TEST(ShardedStressTest, RandomBurstsCountExactlyWithExactInner) {
+  // An exact inner (Space-Saving with ample capacity) turns the stress run
+  // into a lossless accounting check: after Flush, the merged counts must
+  // reproduce the oracle exactly, whatever the ring/burst interleaving.
+  ShardedTopKOptions options;
+  options.num_shards = 4;
+  options.threaded = true;
+  options.ring_capacity = 256;  // small ring: force back-pressure often
+  options.drain_burst = 64;
+  options.inner_spec = "SS:mem=256kb";
+  auto algo = std::make_unique<ShardedTopK>(options, TestDefaults());
+
+  ZipfTraceConfig config;
+  config.num_packets = 300'000;
+  config.num_ranks = 2'000;
+  config.skew = 1.0;
+  config.seed = 23;
+  const auto packets = MakeZipfTrace(config).packets;
+  Oracle oracle;
+  for (const FlowId id : packets) {
+    oracle.Add(id);
+  }
+
+  Rng rng(7);
+  size_t pos = 0;
+  while (pos < packets.size()) {
+    const size_t burst = std::min<size_t>(1 + rng.NextBounded(2048), packets.size() - pos);
+    if (burst == 1) {
+      algo->Insert(packets[pos]);
+    } else {
+      algo->InsertBatch(std::span<const FlowId>(packets.data() + pos, burst));
+    }
+    pos += burst;
+  }
+  algo->Flush();
+
+  for (const auto& truth : oracle.TopK(200)) {
+    EXPECT_EQ(algo->EstimateSize(truth.id), truth.count) << "flow " << truth.id;
+  }
+}
+
+TEST(ShardedStressTest, WeightedStreamThreadedMatchesSynchronous) {
+  const auto ids = ZipfPackets(40'000, 29);
+  std::vector<uint64_t> weights;
+  weights.reserve(ids.size());
+  Rng rng(31);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    weights.push_back(rng.NextBounded(4));  // exercises weight-0 skipping too
+  }
+  auto sync = MakeSketch("Sharded:n=4,inner=HK-Minimum:cb=32", TestDefaults());
+  auto threaded = MakeSketch("Sharded:n=4,threads=1,inner=HK-Minimum:cb=32", TestDefaults());
+  sync->InsertBatch(ids, weights);
+  threaded->InsertBatch(ids, weights);
+  threaded->Flush();
+  EXPECT_EQ(sync->TopK(50), threaded->TopK(50));
+}
+
+// A test double that counts applied packets into caller-owned storage, so
+// the drain guarantee stays observable after the ShardedTopK is gone.
+class CountingAlgorithm : public TopKAlgorithm {
+ public:
+  explicit CountingAlgorithm(uint64_t* applied) : applied_(applied) {}
+
+  void Insert(FlowId) override { ++*applied_; }
+  std::vector<FlowCount> TopK(size_t) const override { return {}; }
+  uint64_t EstimateSize(FlowId) const override { return 0; }
+  std::string name() const override { return "counting-test-double"; }
+  size_t MemoryBytes() const override { return sizeof(*this); }
+
+ private:
+  uint64_t* applied_;  // written only by this shard's worker
+};
+
+TEST(ShardedStressTest, ShutdownWhileDrainingAppliesEverything) {
+  // Destroy the instance the moment the producer is done: the rings are
+  // still full of queued packets, and the destructor must drain them (not
+  // drop them) before joining. Injected counting inners write into
+  // storage that outlives the instance, so the guarantee is checked on
+  // the rounds that really do race the drain.
+  constexpr size_t kShards = 4;
+  constexpr uint64_t kPackets = 50'000;
+  for (int round = 0; round < 5; ++round) {
+    uint64_t applied[kShards] = {};
+    ShardedTopKOptions options;
+    options.num_shards = kShards;
+    options.threaded = true;
+    options.ring_capacity = 128;  // small rings: the producer finishes well
+    options.drain_burst = 32;     // ahead of the workers
+    std::vector<std::unique_ptr<TopKAlgorithm>> inners;
+    for (size_t s = 0; s < kShards; ++s) {
+      inners.push_back(std::make_unique<CountingAlgorithm>(&applied[s]));
+    }
+    auto algo = std::make_unique<ShardedTopK>(options, std::move(inners));
+    SplitMix64 sm(1000 + round);
+    for (uint64_t i = 0; i < kPackets; ++i) {
+      algo->Insert(sm.Next());
+    }
+    algo.reset();  // no Flush: the destructor races the drain
+    uint64_t total = 0;
+    for (const uint64_t a : applied) {
+      total += a;
+    }
+    EXPECT_EQ(total, kPackets) << "round " << round << " lost packets on shutdown";
+  }
+}
+
+TEST(ShardedStressTest, FlushFromProducerMakesAllInsertsVisible) {
+  auto algo = MakeSketch("Sharded:n=8,threads=1,ring=64,inner=SS:mem=128kb", TestDefaults());
+  for (int i = 0; i < 5'000; ++i) {
+    algo->Insert(42);
+    algo->Insert(static_cast<FlowId>(100 + (i % 10)));
+  }
+  algo->Flush();
+  EXPECT_EQ(algo->EstimateSize(42), 5'000u);
+}
+
+}  // namespace
+}  // namespace hk

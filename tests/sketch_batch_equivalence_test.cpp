@@ -7,6 +7,7 @@
 // default fallbacks.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <memory>
 #include <span>
 #include <string>
@@ -22,7 +23,11 @@ const std::vector<std::string>& AllNames() {
   static const std::vector<std::string> names = {
       "HK",       "HK-Parallel", "HK-Minimum",  "HK-Basic",      "SS",
       "LC",       "CSS",         "CM",          "CountSketch",   "Frequent",
-      "Elastic",  "ColdFilter",  "CounterTree", "HeavyGuardian"};
+      "Elastic",  "ColdFilter",  "CounterTree", "HeavyGuardian",
+      // The sharded front-end must honor the same contracts, in both
+      // execution modes (scatter + per-shard batching reorders *work*
+      // only; rings + workers must not change observable state either).
+      "Sharded",  "Sharded:n=4,threads=1,ring=128,burst=32"};
   return names;
 }
 
@@ -153,8 +158,8 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, EquivalenceSweep, ::testing::ValuesIn(Al
                          [](const auto& info) {
                            std::string s = info.param;
                            for (auto& c : s) {
-                             if (c == '-') {
-                               c = '_';
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';  // spec strings carry ':' ',' '=' too
                              }
                            }
                            return s;

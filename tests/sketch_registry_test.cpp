@@ -11,13 +11,13 @@
 namespace hk {
 namespace {
 
-// The paper's contender set plus the library extensions: all 14 public
-// registry names (13 canonical + the "HK" alias).
+// The paper's contender set plus the library extensions: all 15 public
+// registry names (14 canonical + the "HK" alias).
 const std::vector<std::string>& AllNames() {
   static const std::vector<std::string> names = {
       "HK",       "HK-Parallel", "HK-Minimum",  "HK-Basic",      "SS",
       "LC",       "CSS",         "CM",          "CountSketch",   "Frequent",
-      "Elastic",  "ColdFilter",  "CounterTree", "HeavyGuardian"};
+      "Elastic",  "ColdFilter",  "CounterTree", "HeavyGuardian", "Sharded"};
   return names;
 }
 
@@ -69,7 +69,7 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, RegistrySweep, ::testing::ValuesIn(AllNa
 
 TEST(RegistryTest, RegisteredSketchesAreSortedCanonicalNames) {
   const auto names = RegisteredSketches();
-  EXPECT_EQ(names.size(), 13u);  // aliases ("HK", display names) excluded
+  EXPECT_EQ(names.size(), 14u);  // aliases ("HK", display names) excluded
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
   for (const auto& name : AllNames()) {
     EXPECT_FALSE(ResolveSketchName(name).empty()) << name;
@@ -91,6 +91,31 @@ TEST(RegistryTest, AlgorithmParamsOverrideAndRoundTrip) {
   auto cm = MakeSketch("CM:d=4", defaults);
   EXPECT_EQ(cm->name(), "CM-Sketch:d=4");
   EXPECT_EQ(MakeSketch(cm->name(), defaults)->name(), "CM-Sketch:d=4");
+}
+
+TEST(RegistryTest, GreedyInnerKeySwallowsTheRestOfTheSpec) {
+  const SketchDefaults defaults = SmallDefaults();
+  // The inner value keeps its own commas and colons: b=1.05 belongs to the
+  // inner HeavyKeeper, not to Sharded.
+  auto a = MakeSketch("Sharded:n=2,inner=HK-Minimum:d=3,b=1.05", defaults);
+  EXPECT_EQ(a->name(), "Sharded:n=2,inner=HeavyKeeper-Minimum:d=3,b=1.05");
+  auto b = MakeSketch(a->name(), defaults);
+  EXPECT_EQ(a->name(), b->name());
+  EXPECT_EQ(a->MemoryBytes(), b->MemoryBytes());
+
+  // Keys after the greedy key are part of its value, so a Sharded key
+  // "misplaced" after inner= lands in the inner parser and is rejected
+  // there (HeavyKeeper has no n=).
+  EXPECT_THROW(MakeSketch("Sharded:inner=HK-Minimum,n=4", defaults), std::invalid_argument);
+
+  // Threaded specs round-trip too (n stays explicit, options canonical).
+  auto threaded = MakeSketch("Sharded:n=4,threads=1,burst=64,inner=HK-Parallel", defaults);
+  EXPECT_EQ(threaded->name(), "Sharded:n=4,threads=1,burst=64,inner=HeavyKeeper-Parallel");
+  EXPECT_EQ(MakeSketch(threaded->name(), defaults)->name(), threaded->name());
+
+  // Defaults: 8 synchronous HK-Minimum shards.
+  auto plain = MakeSketch("Sharded", defaults);
+  EXPECT_EQ(plain->name(), "Sharded:n=8,inner=HeavyKeeper-Minimum");
 }
 
 TEST(RegistryTest, CommonKeysOverrideContextDefaults) {
