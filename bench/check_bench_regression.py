@@ -1,16 +1,34 @@
 #!/usr/bin/env python3
 """CI gate over the google-benchmark JSON artifacts.
 
-Checks (see ROADMAP "Throughput trajectory" and ISSUE 3):
+Checks (see ROADMAP "Throughput trajectory", ISSUE 3 and ISSUE 4):
 
   * batch (hard): for each HeavyKeeper pipeline in
     BENCH_micro_batch_insert.json, the best InsertBatch throughput must be
     >= 1.2x the scalar Insert throughput. This is the acceptance gate the
     batch API shipped with; falling under it is a regression -> exit 1.
 
+  * scalar (hard): the packed-slab refactor (ISSUE 4) shipped with a
+    measured >= 1.15x scalar-insert speedup over the pre-refactor layout.
+    Given --algorithms (the committed post-refactor
+    BENCH_micro_algorithms.json) and --algorithms-prerefactor (the
+    committed pre-refactor baseline recorded on the same machine), every
+    insert/HK-* data point must hold that ratio. Both files are committed
+    artifacts from one machine, so the gate is deterministic in CI; a
+    violation means someone re-recorded the baseline pair and lost the
+    speedup -> exit 1.
+
   * baseline (soft): if a committed baseline JSON is given, warn when a
     scalar/batch data point drops below 50% of the baseline's
     items_per_second. Cross-machine variance is large, so this only warns.
+    --algorithms-fresh and --primitives/--primitives-baseline feed the
+    same soft comparison for the CI runner's own numbers.
+
+  * weighted (soft): BENCH_micro_weighted_insert.json carries a
+    `replay_tax` counter on weighted/unmonitored/collapsed - how many
+    times slower the per-unit replay path is than the collapsed geometric
+    path on the same mouse flood. Warn when the collapse stops paying
+    (tax < 2x); it ships at two orders of magnitude.
 
   * sharded (soft for now): in BENCH_micro_sharded_insert.json, the
     8-shard throughput should be >= 3.5x the 1-shard throughput. CI
@@ -21,6 +39,12 @@ Checks (see ROADMAP "Throughput trajectory" and ISSUE 3):
 Usage:
   check_bench_regression.py --batch build/BENCH_micro_batch_insert.json \
       [--baseline bench/results/BENCH_micro_batch_insert.json] \
+      [--algorithms bench/results/BENCH_micro_algorithms.json] \
+      [--algorithms-prerefactor bench/results/BENCH_micro_algorithms_prerefactor.json] \
+      [--algorithms-fresh build/BENCH_micro_algorithms.json] \
+      [--primitives build/BENCH_micro_primitives.json] \
+      [--primitives-baseline bench/results/BENCH_micro_primitives.json] \
+      [--weighted build/BENCH_micro_weighted_insert.json] \
       [--sharded build/BENCH_micro_sharded_insert.json] \
       [--sharded-baseline bench/results/BENCH_micro_sharded_insert.json] \
       [--sharded-hard]
@@ -31,8 +55,10 @@ import json
 import sys
 
 BATCH_MIN_RATIO = 1.2
+SCALAR_MIN_RATIO = 1.15
 SHARDED_MIN_RATIO = 3.5
 BASELINE_MIN_FRACTION = 0.5
+REPLAY_TAX_MIN = 2.0
 
 
 def load_items(path):
@@ -68,6 +94,67 @@ def check_batch(items):
     return failures
 
 
+def check_scalar(items, prerefactor_items):
+    failures = []
+    hk_names = sorted(n for n in prerefactor_items
+                      if n.startswith("insert/HK-") and "/" not in n[len("insert/"):])
+    if not hk_names:
+        failures.append("pre-refactor JSON contains no insert/HK-* benchmarks")
+    for name in hk_names:
+        before = prerefactor_items[name]
+        after = items.get(name)
+        if after is None:
+            failures.append(f"{name}: missing from the post-refactor JSON")
+            continue
+        ratio = after / before
+        status = "OK" if ratio >= SCALAR_MIN_RATIO else "FAIL"
+        print(f"[scalar] {name}: packed-slab {after:.3e} vs pre-refactor {before:.3e}"
+              f" -> {ratio:.2f}x (need >= {SCALAR_MIN_RATIO}x) {status}")
+        if ratio < SCALAR_MIN_RATIO:
+            failures.append(f"{name}: packed-slab scalar only {ratio:.2f}x pre-refactor")
+    return failures
+
+
+def load_counters(path, counter):
+    """name -> counters[counter] for benchmarks carrying that counter."""
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for bench in report.get("benchmarks", []):
+        if counter in bench:
+            out[bench["name"]] = bench[counter]
+    return out
+
+
+def check_weighted(path):
+    taxes = load_counters(path, "replay_tax")
+    if not taxes:
+        print("[weighted] WARNING: no replay_tax counter found; nothing checked")
+        return
+    for name, tax in sorted(taxes.items()):
+        status = "OK" if tax >= REPLAY_TAX_MIN else "WARNING (collapse not paying)"
+        print(f"[weighted] {name}: replay tax {tax:.1f}x"
+              f" (collapsed path speedup over per-unit replay) {status}")
+
+
+def load_times(path):
+    """name -> cpu_time for every benchmark (for time-based microbenches)."""
+    with open(path) as f:
+        report = json.load(f)
+    return {b["name"]: b["cpu_time"] for b in report.get("benchmarks", [])
+            if "cpu_time" in b}
+
+
+def check_primitives(items, baseline_items):
+    for name, base in sorted(baseline_items.items()):
+        now = items.get(name)
+        if now is None or base <= 0:
+            continue
+        if now > base * 2.0:
+            print(f"[primitives] WARNING: {name} at {now / base:.1f}x the committed"
+                  f" baseline cpu_time ({now:.2f} vs {base:.2f} ns)")
+
+
 def check_baseline(items, baseline_items):
     for name, base in sorted(baseline_items.items()):
         now = items.get(name)
@@ -99,6 +186,17 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--batch", required=True, help="fresh BENCH_micro_batch_insert.json")
     parser.add_argument("--baseline", help="committed baseline JSON to warn against")
+    parser.add_argument("--algorithms",
+                        help="committed post-refactor BENCH_micro_algorithms.json")
+    parser.add_argument("--algorithms-prerefactor",
+                        help="committed pre-refactor scalar baseline (hard 1.15x gate)")
+    parser.add_argument("--algorithms-fresh",
+                        help="this run's BENCH_micro_algorithms.json (soft warn vs committed)")
+    parser.add_argument("--primitives", help="fresh BENCH_micro_primitives.json")
+    parser.add_argument("--primitives-baseline",
+                        help="committed primitives baseline (soft cpu_time warn)")
+    parser.add_argument("--weighted",
+                        help="fresh BENCH_micro_weighted_insert.json (replay_tax watch)")
     parser.add_argument("--sharded", help="fresh BENCH_micro_sharded_insert.json")
     parser.add_argument("--sharded-baseline",
                         help="committed sharded baseline JSON to warn against")
@@ -109,6 +207,15 @@ def main():
     failures = check_batch(load_items(args.batch))
     if args.baseline:
         check_baseline(load_items(args.batch), load_items(args.baseline))
+    if args.algorithms and args.algorithms_prerefactor:
+        failures += check_scalar(load_items(args.algorithms),
+                                 load_items(args.algorithms_prerefactor))
+    if args.algorithms_fresh and args.algorithms:
+        check_baseline(load_items(args.algorithms_fresh), load_items(args.algorithms))
+    if args.primitives and args.primitives_baseline:
+        check_primitives(load_times(args.primitives), load_times(args.primitives_baseline))
+    if args.weighted:
+        check_weighted(args.weighted)
     if args.sharded:
         failures += check_sharded(load_items(args.sharded), args.sharded_hard)
         if args.sharded_baseline:

@@ -11,6 +11,14 @@
 //
 //   weighted/<spec>/scalar    one InsertWeighted() per packet
 //   weighted/<spec>/batchN    InsertBatch(ids, weights) in bursts of N
+//   weighted/unmonitored/*    a mouse flood of distinct flows against an
+//                             entrenched sketch - every packet takes the
+//                             unmonitored path. The collapsed variant
+//                             (wdecay=collapsed) emits a `replay_tax`
+//                             counter: how many times slower the per-unit
+//                             replay path is on the same workload, i.e.
+//                             the factor the geometric collapse recovers.
+//                             check_bench_regression.py watches it.
 //
 // items_per_second counts packets; the "bytes" counter reports the
 // measured payload rate. CI uploads BENCH_micro_weighted_insert.json.
@@ -23,6 +31,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/timer.h"
 #include "sketch/registry.h"
 #include "trace/generators.h"
 
@@ -108,11 +117,66 @@ void BM_WeightedBatch(benchmark::State& state, const std::string& spec) {
       benchmark::Counter(static_cast<double>(bytes), benchmark::Counter::kIsRate);
 }
 
+// --- unmonitored replay tax -------------------------------------------
+
+// A pipeline whose store and buckets are saturated by elephants, so every
+// subsequent distinct flow takes the unmonitored weighted path.
+std::unique_ptr<TopKAlgorithm> EntrenchedPipeline(const std::string& spec) {
+  SketchDefaults defaults;
+  defaults.memory_bytes = 64 * 1024;  // small arrays: mice hit residents
+  defaults.k = 100;
+  defaults.key_kind = KeyKind::kSynthetic4B;
+  defaults.seed = 1;
+  auto algo = MakeSketch(spec, defaults);
+  Rng rng(29);
+  for (int e = 0; e < 8000; ++e) {
+    algo->InsertWeighted(1'000'000 + e, 300 + rng.NextBounded(200));
+  }
+  return algo;
+}
+
+constexpr uint64_t kMouseWeight = 1000;
+
+// Seconds per mouse packet through `spec`'s InsertWeighted, measured with a
+// plain wall timer (used to derive the replay_tax counter below).
+double MeasureUnmonitoredSecondsPerPacket(const std::string& spec) {
+  auto algo = EntrenchedPipeline(spec);
+  constexpr int kPackets = 20000;
+  WallTimer timer;
+  for (int i = 0; i < kPackets; ++i) {
+    algo->InsertWeighted(2'000'000 + static_cast<FlowId>(i), kMouseWeight);
+  }
+  return timer.ElapsedSeconds() / kPackets;
+}
+
+void BM_UnmonitoredWeighted(benchmark::State& state, const std::string& spec,
+                            bool report_tax) {
+  auto algo = EntrenchedPipeline(spec);
+  // Derived outside the timed loop: the replay path's per-packet cost on
+  // this same workload shape.
+  const double replay_sec_per_packet =
+      report_tax ? MeasureUnmonitoredSecondsPerPacket("HK-Minimum:cb=32") : 0.0;
+  FlowId next = 2'000'000;
+  for (auto _ : state) {
+    algo->InsertWeighted(next++, kMouseWeight);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (report_tax) {
+    // kIsRate divides by elapsed seconds: value = t_replay * packets, so the
+    // reported counter is t_replay / t_collapsed - the replay tax ratio.
+    state.counters["replay_tax"] = benchmark::Counter(
+        replay_sec_per_packet * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // cb=32: byte counts overflow 16-bit counters within one MTU-sized burst.
-  const std::vector<std::string> specs = {"HK-Minimum:cb=32", "HK-Parallel:cb=32", "CM", "SS"};
+  const std::vector<std::string> specs = {"HK-Minimum:cb=32",
+                                          "HK-Minimum:cb=32,wdecay=collapsed",
+                                          "HK-Parallel:cb=32", "CM", "SS"};
   for (const auto& spec : specs) {
     benchmark::RegisterBenchmark(("weighted/" + spec + "/scalar").c_str(),
                                  [spec](benchmark::State& state) {
@@ -124,6 +188,15 @@ int main(int argc, char** argv) {
                                                });
     batch->Arg(256)->Arg(4096);
   }
+  benchmark::RegisterBenchmark("weighted/unmonitored/replay",
+                               [](benchmark::State& state) {
+                                 BM_UnmonitoredWeighted(state, "HK-Minimum:cb=32", false);
+                               });
+  benchmark::RegisterBenchmark("weighted/unmonitored/collapsed",
+                               [](benchmark::State& state) {
+                                 BM_UnmonitoredWeighted(
+                                     state, "HK-Minimum:cb=32,wdecay=collapsed", true);
+                               });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

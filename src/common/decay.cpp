@@ -1,6 +1,8 @@
 #include "common/decay.h"
 
 #include <cmath>
+#include <map>
+#include <mutex>
 
 namespace hk {
 namespace {
@@ -67,6 +69,7 @@ bool ParseDecayFunction(std::string_view token, DecayFunction* out) {
 
 DecayTable::DecayTable(DecayFunction f, double base) : function_(f), base_(base) {
   thresholds_.reserve(256);
+  inv_log1m_.reserve(256);
   for (uint32_t c = 0; c < kMaxTableSize; ++c) {
     const double p = RawProbability(f, base, c);
     if (p < kZeroProbability) {
@@ -74,10 +77,49 @@ DecayTable::DecayTable(DecayFunction f, double base) : function_(f), base_(base)
     }
     if (p >= 1.0) {
       thresholds_.push_back(~0ULL);
+      inv_log1m_.push_back(0.0);  // certain success: one trial, no sampling
     } else {
       thresholds_.push_back(static_cast<uint64_t>(p * 0x1.0p64));
+      inv_log1m_.push_back(1.0 / std::log1p(-p));
     }
   }
+}
+
+uint64_t DecayTable::GeometricTrials(uint32_t c, Rng& rng) const {
+  if (c >= thresholds_.size()) {
+    return kNeverDecays;
+  }
+  if (thresholds_[c] == ~0ULL) {
+    return 1;  // p == 1: the first coin always lands
+  }
+  // Inverse transform: trials = 1 + floor(log(U) / log(1 - p)), U in (0, 1].
+  // Map the top 53 bits to (0, 1] so log() never sees zero.
+  const double u =
+      (static_cast<double>(rng.NextU64() >> 11) + 1.0) * 0x1.0p-53;
+  const double trials = std::log(u) * inv_log1m_[c];
+  // Both logs are negative, so trials >= 0; clamp the astronomically large
+  // tail before the float -> int conversion can overflow.
+  if (trials >= 0x1.0p62) {
+    return kNeverDecays;
+  }
+  return 1 + static_cast<uint64_t>(trials);
+}
+
+const DecayTable& SharedDecayTable(DecayFunction f, double base) {
+  struct Key {
+    DecayFunction f;
+    double base;
+    bool operator<(const Key& o) const {
+      return f != o.f ? f < o.f : base < o.base;
+    }
+  };
+  static std::mutex mu;
+  // node-stable map: references handed out stay valid as the cache grows.
+  static std::map<Key, DecayTable>* cache = new std::map<Key, DecayTable>();
+  std::lock_guard<std::mutex> lock(mu);
+  const auto [it, inserted] = cache->try_emplace(Key{f, base}, f, base);
+  (void)inserted;
+  return it->second;
 }
 
 double DecayTable::Probability(uint32_t c) const {

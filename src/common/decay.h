@@ -10,6 +10,16 @@
 // rng.NextU64() < table[C]. Beyond a cutoff the probability is below 2^-40
 // and is treated as exactly zero, matching the paper's observation that large
 // counters are effectively immune (and making the hot path branch-cheap).
+//
+// Two further LUT-backed fast paths ride on the same precomputation:
+//   * GeometricTrials(c): sample how many unit-coins at counter value c are
+//     flipped up to and including the first success - one uniform draw plus
+//     a precomputed 1/log1p(-p) multiply instead of E[1/p] coin flips. This
+//     is what collapses an unmonitored weighted insert from O(weight) to
+//     O(counter) (HeavyKeeperConfig::collapsed_weighted_decay).
+//   * SharedDecayTable(f, b): process-wide cache of immutable tables keyed
+//     by (function, base), so sharded deployments building N sketches per
+//     pipeline do not recompute the pow() series N times.
 #ifndef HK_COMMON_DECAY_H_
 #define HK_COMMON_DECAY_H_
 
@@ -58,11 +68,52 @@ class DecayTable {
   // First counter value whose decay probability is treated as zero.
   uint32_t cutoff() const { return static_cast<uint32_t>(thresholds_.size()); }
 
+  // Number of coin flips at counter value c up to and including the first
+  // success, sampled in one draw (inverse-transform of the geometric
+  // distribution). Returns kNeverDecays when c is at or past the cutoff.
+  // Statistically equivalent to calling ShouldDecay until it returns true
+  // and counting the calls; the RNG consumption differs (one draw here),
+  // which is why the collapsed weighted path is opt-in.
+  static constexpr uint64_t kNeverDecays = ~0ULL;
+  uint64_t GeometricTrials(uint32_t c, Rng& rng) const;
+
+  // Collapsed decay run: spend up to *remaining unit-coins against a
+  // counter at level *c, one geometric sample per level, decrementing *c
+  // for every success until the coins or the counter run out. The single
+  // remaining unit always flips a plain ShouldDecay coin, so a weight-1
+  // run is bit-identical to the per-unit replay. On return either
+  // *remaining == 0 (coins exhausted) or *c == 0 (counter emptied; the
+  // landing coin's unit has been deducted from *remaining). Shared by
+  // every collapsed weighted path so the stochastic kernel exists once.
+  void DecayRun(uint32_t* c, uint64_t* remaining, Rng& rng) const {
+    while (*remaining > 0 && *c > 0) {
+      if (*remaining == 1) {
+        *remaining = 0;
+        if (ShouldDecay(*c, rng)) {
+          --*c;
+        }
+        break;
+      }
+      const uint64_t trials = GeometricTrials(*c, rng);
+      if (trials > *remaining) {
+        *remaining = 0;  // every remaining coin missed
+        break;
+      }
+      *remaining -= trials;
+      --*c;
+    }
+  }
+
  private:
   DecayFunction function_;
   double base_;
   std::vector<uint64_t> thresholds_;
+  std::vector<double> inv_log1m_;  // 1 / log(1 - p) per counter value; 0 when p == 1
 };
+
+// Process-wide immutable table cache keyed by (function, base). The returned
+// reference lives for the duration of the program. Thread-safe.
+const DecayTable& SharedDecayTable(DecayFunction f, double base);
 
 }  // namespace hk
 

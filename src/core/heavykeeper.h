@@ -8,6 +8,17 @@
 //   Case 3  C > 0, FP != Fi   -> decay C by 1 with probability b^-C; if C
 //                                reaches 0, the new flow claims the bucket
 //
+// Storage layout: one contiguous cache-line-aligned slab (common/slab.h) in
+// which each bucket is a single packed word - counter in the low
+// CounterFieldBits() bits, fingerprint directly above it - sized 4 bytes
+// when both fields fit in 32 bits (the paper's default 16+16 geometry) and
+// 8 bytes otherwise. An empty bucket is the all-zero word. Array j occupies
+// words [j*w, (j+1)*w), so the per-packet case logic is one word load, a
+// mask/compare, and one word store; Section III-F expansion appends rows to
+// the slab without disturbing the packing. The layout follows the
+// data-plane formulations of Sivaraman et al. (heavy hitters entirely in
+// the data plane) where bucket state must fit one memory word per stage.
+//
 // Three insertion disciplines are provided:
 //   * InsertBasic    (Section III-B/C): apply the three cases to all d
 //     mapped buckets.
@@ -29,7 +40,7 @@
 // late-arriving elephants regain a foothold.
 //
 // Counters are fixed-width (default 16 bits per the paper's setup) and
-// saturate; fingerprints are non-zero so FP==0, C==0 encodes an empty
+// saturate; fingerprints are non-zero so the all-zero word encodes an empty
 // bucket.
 #ifndef HK_CORE_HEAVYKEEPER_H_
 #define HK_CORE_HEAVYKEEPER_H_
@@ -41,6 +52,7 @@
 #include "common/flow_key.h"
 #include "common/hash.h"
 #include "common/random.h"
+#include "common/slab.h"
 
 namespace hk {
 
@@ -50,8 +62,17 @@ struct HeavyKeeperConfig {
   double b = 1.08;    // exponential decay base (Section III-B)
   DecayFunction decay_function = DecayFunction::kExponential;
   uint32_t fingerprint_bits = 16;
-  uint32_t counter_bits = 16;  // saturating
+  uint32_t counter_bits = 16;  // saturating (values above 32 behave as 32)
+
   uint64_t seed = 1;
+
+  // Collapse an unmonitored weighted insert's decay coins into one
+  // geometric sample per counter level (DecayTable::GeometricTrials):
+  // O(counter) instead of O(weight). Statistically equivalent to the
+  // per-unit replay but consumes the RNG stream differently, so it is
+  // opt-in; the default preserves the bit-exact weighted == repeated-unit
+  // contract of TopKAlgorithm::InsertWeighted.
+  bool collapsed_weighted_decay = false;
 
   // Section III-F dynamic expansion. Disabled unless threshold > 0.
   // max_arrays is clamped to HeavyKeeper::kMaxPreparedArrays (8) so batch
@@ -59,8 +80,17 @@ struct HeavyKeeperConfig {
   uint64_t expansion_threshold = 0;  // stuck events before adding an array
   size_t max_arrays = 8;
 
-  // Bytes of sketch state for a given geometry (bucket = FP + C bits).
-  size_t BucketBytes() const { return (fingerprint_bits + counter_bits + 7) / 8; }
+  // Width of the counter field inside the packed word. Counters are stored
+  // in (at most) 32 bits; a configured width beyond that saturates at the
+  // 32-bit limit exactly as the pre-slab uint32 bucket field did.
+  uint32_t CounterFieldBits() const { return counter_bits < 32 ? counter_bits : 32; }
+
+  // Bytes of one packed bucket word: 4 when fingerprint + counter fit in 32
+  // bits, 8 otherwise. This is the actual slab stride, so FromMemory /
+  // Builder byte budgets and MemoryBytes() describe real allocations.
+  size_t BucketBytes() const {
+    return fingerprint_bits + CounterFieldBits() <= 32 ? 4 : 8;
+  }
 
   // Derive w from a byte budget, holding d and field widths fixed; this is
   // how every experiment sizes the sketch (Section VI-A).
@@ -72,12 +102,12 @@ class HeavyKeeper {
   explicit HeavyKeeper(const HeavyKeeperConfig& config);
 
   const HeavyKeeperConfig& config() const { return config_; }
-  size_t num_arrays() const { return arrays_.size(); }
+  size_t num_arrays() const { return rows_; }
   size_t width() const { return config_.w; }
 
   // Sketch memory in bytes (arrays only; the top-k store is accounted by the
-  // pipeline). Grows if expansion added arrays.
-  size_t MemoryBytes() const { return num_arrays() * config_.w * config_.BucketBytes(); }
+  // pipeline). Grows if expansion added arrays. Matches the slab allocation.
+  size_t MemoryBytes() const { return rows_ * config_.w * word_bytes_; }
 
   // --- prepared handles (batch hot path) -------------------------------
   // The per-packet work splits into a pure addressing phase (fingerprint +
@@ -91,7 +121,8 @@ class HeavyKeeper {
   //
   // A handle stays valid until expansion adds an array (the *Prepared
   // inserts detect staleness and re-prepare), so handles can be computed
-  // ahead of a burst safely.
+  // ahead of a burst safely. idx[] holds absolute slab word indices
+  // (j * w + bucket), so the mutation loop is a single base + index access.
   static constexpr size_t kMaxPreparedArrays = 8;
 
   struct Prepared {
@@ -105,16 +136,19 @@ class HeavyKeeper {
     Prepared p;
     p.id = id;
     p.fp = fingerprint_(id);
-    p.n = static_cast<uint32_t>(arrays_.size());
+    p.n = static_cast<uint32_t>(rows_);
     for (uint32_t j = 0; j < p.n; ++j) {
-      p.idx[j] = static_cast<uint32_t>(hashes_.Index(j, id, config_.w));
+      p.idx[j] = static_cast<uint32_t>(j * config_.w + hashes_.Index(j, id, config_.w));
     }
     return p;
   }
 
   void Prefetch(const Prepared& p) const {
+    const uint8_t* base = slab_.data();
+    const size_t shift = word_bytes_ == 8 ? 3 : 2;
     for (uint32_t j = 0; j < p.n; ++j) {
-      __builtin_prefetch(&arrays_[j][p.idx[j]], /*rw=*/1, /*locality=*/3);
+      __builtin_prefetch(base + (static_cast<size_t>(p.idx[j]) << shift), /*rw=*/1,
+                         /*locality=*/3);
     }
   }
 
@@ -141,11 +175,13 @@ class HeavyKeeper {
   // Weighted Basic insertion (library extension; Section III-F lists
   // weighted updates as unsupported in the paper). Equivalent to `weight`
   // consecutive unit insertions of the same flow, with the matching /
-  // empty-bucket cases collapsed into O(1) and the decay case performing
-  // the same sequence of per-unit coin flips. Used for byte-count
-  // measurement, where a packet carries its size as the weight. These are
-  // the semantics the TopKAlgorithm::InsertWeighted contract
-  // (sketch/topk_algorithm.h) is promoted from.
+  // empty-bucket cases collapsed into O(1). The decay case performs the
+  // same sequence of per-unit coin flips by default; with
+  // config.collapsed_weighted_decay it instead samples one geometric
+  // variable per counter level (statistically identical, O(counter) time).
+  // Used for byte-count measurement, where a packet carries its size as the
+  // weight. These are the semantics the TopKAlgorithm::InsertWeighted
+  // contract (sketch/topk_algorithm.h) is promoted from.
   uint32_t InsertBasicWeighted(FlowId id, uint32_t weight);
 
   // --- weighted fast paths (for the pipelines' InsertWeighted) ----------
@@ -159,6 +195,22 @@ class HeavyKeeper {
   // evolving nmin.
   uint32_t TryParallelWeightedMonitored(const Prepared& p, uint64_t weight);
   uint32_t TryMinimumWeightedMonitored(const Prepared& p, uint64_t weight);
+
+  // Collapsed run of `weight` InsertMinimum units for an *unmonitored* flow
+  // under a fixed Optimization II gate (requires
+  // config.collapsed_weighted_decay; expansion must be disabled so stuck
+  // accounting cannot restructure the sketch mid-run). nmin is constant for
+  // the whole run because an unmonitored flow never mutates the candidate
+  // store before its admission - which is exactly where this run stops:
+  // on true, *units_consumed units were applied and *admitted reports
+  // whether the last unit produced estimate nmin + 1 (Theorem 1 admission;
+  // the caller admits the flow and continues monitored). The deterministic
+  // situations (gate-open match, empty claim, blocked no-ops) collapse to
+  // arithmetic; minimum decay spends one geometric sample per counter level
+  // (DecayTable::GeometricTrials) instead of one coin per unit. Returns
+  // false without touching state when the run cannot apply.
+  bool MinimumWeightedUnmonitoredRun(const Prepared& p, uint64_t weight, uint64_t nmin,
+                                     uint64_t* units_consumed, bool* admitted);
 
   // Point query (Section III-B): max counter among mapped buckets whose
   // fingerprint matches; 0 means "reported as a mouse flow".
@@ -178,8 +230,9 @@ class HeavyKeeper {
     bool operator==(const Bucket&) const = default;
   };
 
-  // Test/diagnostic introspection: a copy of every bucket, per array.
-  std::vector<std::vector<Bucket>> DebugDump() const { return arrays_; }
+  // Test/diagnostic introspection: a copy of every bucket, per array,
+  // unpacked from the slab words.
+  std::vector<std::vector<Bucket>> DebugDump() const;
 
   // The bucket index flow `id` maps to in array j (for tests constructing
   // collisions deliberately).
@@ -190,28 +243,49 @@ class HeavyKeeper {
 
   // Rebuild a sketch from snapshotted state (see core/serialization.h).
   // `arrays` must match the config geometry: config.d + expansions arrays of
-  // config.w buckets each.
+  // config.w buckets each. Field values are masked into the packed word.
   static HeavyKeeper Restore(const HeavyKeeperConfig& config,
                              std::vector<std::vector<Bucket>> arrays, uint64_t stuck_events,
                              uint64_t expansions);
 
  private:
-
-  Bucket& At(size_t j, FlowId id) { return arrays_[j][hashes_.Index(j, id, config_.w)]; }
-  const Bucket& At(size_t j, FlowId id) const {
-    return arrays_[j][hashes_.Index(j, id, config_.w)];
+  template <typename W>
+  W* Words() {
+    return reinterpret_cast<W*>(slab_.data());
   }
+  template <typename W>
+  const W* Words() const {
+    return reinterpret_cast<const W*>(slab_.data());
+  }
+
+  template <typename W>
+  uint32_t InsertParallelImpl(const Prepared& p, bool monitored, uint64_t nmin);
+  template <typename W>
+  uint32_t InsertMinimumImpl(const Prepared& p, bool monitored, uint64_t nmin);
+  template <typename W>
+  uint32_t InsertBasicWeightedImpl(const Prepared& p, uint32_t weight);
+  template <typename W>
+  uint32_t TryParallelWeightedImpl(const Prepared& p, uint64_t weight);
+  template <typename W>
+  uint32_t TryMinimumWeightedImpl(const Prepared& p, uint64_t weight);
+  template <typename W>
+  uint32_t QueryImpl(const Prepared& p) const;
+
+  bool wide() const { return word_bytes_ == 8; }
 
   // Record a stuck event and expand with a fresh array if configured.
   void NoteStuck();
 
   HeavyKeeperConfig config_;
+  uint32_t counter_bits_eff_;  // counter field width inside the word
   uint32_t counter_max_;
-  DecayTable decay_;
+  size_t word_bytes_;
+  const DecayTable* decay_;  // shared, immutable (SharedDecayTable)
   HashFamily hashes_;
   Fingerprinter fingerprint_;
   Rng rng_;
-  std::vector<std::vector<Bucket>> arrays_;
+  Slab<uint8_t> slab_;  // rows_ * w packed words, cache-line aligned
+  size_t rows_ = 0;
   uint64_t stuck_events_ = 0;
   uint64_t expansions_ = 0;
   uint64_t next_array_seed_;

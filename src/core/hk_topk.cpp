@@ -43,10 +43,28 @@ std::unique_ptr<TopKAlgorithm> BuildHk(HkVersion version, const SketchArgs& args
     }
     builder.decay_function(f);
   }
+  if (const auto it = args.params().find("wdecay"); it != args.params().end()) {
+    if (it->second == "collapsed") {
+      // The pipeline-level collapse is implemented for the Minimum
+      // discipline only (the Basic/Parallel admission rules evaluate the
+      // evolving estimate per unit); accepting it elsewhere would be a
+      // silent no-op, so reject like any other unusable spec.
+      if (version != HkVersion::kMinimum) {
+        throw std::invalid_argument(
+            "sketch spec: wdecay=collapsed requires HK-Minimum (the Basic/Parallel "
+            "pipelines replay unmonitored weighted inserts per unit)");
+      }
+      builder.collapsed_weighted_decay(true);
+    } else if (it->second != "replay") {
+      throw std::invalid_argument("sketch spec: wdecay= must be replay or collapsed (got '" +
+                                  it->second + "')");
+    }
+  }
   return builder.Build();
 }
 
-const std::vector<std::string> kHkParamKeys = {"d", "b", "fp", "cb", "decay", "expand"};
+const std::vector<std::string> kHkParamKeys = {"d",     "b",      "fp",    "cb",
+                                               "decay", "wdecay", "expand"};
 
 }  // namespace
 

@@ -19,11 +19,17 @@
 // measures the win).
 //
 // The store backend is a template parameter so the `abl_topk_store`
-// ablation can swap min-heap for Stream-Summary without touching the logic.
+// ablation can swap backends without touching the logic. The default is
+// the lazy-threshold store (summary/lazy_topk.h): the monitored fast path
+// is one hash lookup plus a compare-only count raise, and the min-heap is
+// re-synced only when the threshold nmin itself may have moved - with
+// reports identical to the eager min-heap's up to eviction tie-breaks at
+// the minimum count.
 #ifndef HK_CORE_HK_TOPK_H_
 #define HK_CORE_HK_TOPK_H_
 
 #include <algorithm>
+#include <concepts>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -44,7 +50,16 @@ enum class HkVersion {
 
 const char* HkVersionName(HkVersion v);
 
-template <typename Store = HeapTopKStore>
+// Stores exposing the Find/Raise slot API (LazyTopKStore) get the
+// compare-only monitored fast path; duck-typed stores fall back to
+// Contains + RaiseCount.
+template <typename S>
+concept HasFindSlot = requires(S s, FlowId id, uint64_t* slot) {
+  { s.Find(id) } -> std::same_as<uint64_t*>;
+  s.Raise(id, slot, uint64_t{});
+};
+
+template <typename Store = LazyTopKStore>
 class HeavyKeeperTopK : public TopKAlgorithm {
  public:
   // `key_bytes` is the width of the original flow ID; the candidate store is
@@ -84,6 +99,12 @@ class HeavyKeeperTopK : public TopKAlgorithm {
       max_arrays_ = max_arrays;
       return *this;
     }
+    // Opt into the O(counter) geometric weighted-decay collapse for
+    // unmonitored flows (HeavyKeeperConfig::collapsed_weighted_decay).
+    Builder& collapsed_weighted_decay(bool on) {
+      collapsed_weighted_decay_ = on;
+      return *this;
+    }
 
     std::unique_ptr<HeavyKeeperTopK> Build() const {
       const size_t key_bytes = KeyBytes(key_kind_);
@@ -99,6 +120,7 @@ class HeavyKeeperTopK : public TopKAlgorithm {
       config.fingerprint_bits = fingerprint_bits_;
       config.counter_bits = counter_bits_;
       config.seed = seed_;
+      config.collapsed_weighted_decay = collapsed_weighted_decay_;
       config.expansion_threshold = expansion_threshold_;
       config.max_arrays = max_arrays_;
       // Derive w from the budget under the *configured* bucket layout.
@@ -117,6 +139,7 @@ class HeavyKeeperTopK : public TopKAlgorithm {
     DecayFunction decay_function_ = DecayFunction::kExponential;
     uint32_t fingerprint_bits_ = 16;
     uint32_t counter_bits_ = 16;
+    bool collapsed_weighted_decay_ = false;
     uint64_t expansion_threshold_ = 0;
     size_t max_arrays_ = 8;
   };
@@ -162,13 +185,15 @@ class HeavyKeeperTopK : public TopKAlgorithm {
       sketch_.Prefetch(window[i]);
     }
     for (size_t i = 0; i < n; ++i) {
+      // Apply in place, then refill the slot with packet i + ahead: the
+      // handle is consumed before it is overwritten, so no copy is needed
+      // (kPrefetchAhead is a power of two; the ring index is an AND).
       HeavyKeeper::Prepared& slot = window[i % kPrefetchAhead];
-      const HeavyKeeper::Prepared current = slot;
+      InsertPrepared(slot);
       if (i + kPrefetchAhead < n) {
         slot = sketch_.Prepare(ids[i + kPrefetchAhead]);
         sketch_.Prefetch(slot);
       }
-      InsertPrepared(current);
     }
   }
 
@@ -228,6 +253,9 @@ class HeavyKeeperTopK : public TopKAlgorithm {
     if (c.decay_function != DecayFunction::kExponential) {
       append(std::string("decay=") + DecayFunctionToken(c.decay_function));
     }
+    if (c.collapsed_weighted_decay) {
+      append("wdecay=collapsed");
+    }
     if (c.expansion_threshold != 0) {
       std::snprintf(buf, sizeof(buf), "expand=%llu",
                     static_cast<unsigned long long>(c.expansion_threshold));
@@ -247,16 +275,34 @@ class HeavyKeeperTopK : public TopKAlgorithm {
 
  private:
   static constexpr size_t kBatchChunk = 32;
-  static constexpr size_t kPrefetchAhead = 12;
+  static constexpr size_t kPrefetchAhead = 16;
+
+  // One store lookup per packet: Find() yields the monitored bit and the
+  // raise slot together on stores that support it (the lazy default); the
+  // raise is then a compare-and-store, no heap maintenance. Duck-typed
+  // stores answer Contains() and return no slot. The slot stays valid only
+  // while the store is unmutated (FlowSlotMap relocation rules) - both
+  // insert paths below raise through it before any store change.
+  uint64_t* FindTracked(FlowId id, bool* monitored) {
+    if constexpr (HasFindSlot<Store>) {
+      uint64_t* tracked = store_.Find(id);
+      *monitored = tracked != nullptr;
+      return tracked;
+    } else {
+      *monitored = store_.Contains(id);
+      return nullptr;
+    }
+  }
 
   void InsertPrepared(const HeavyKeeper::Prepared& p) {
-    const bool monitored = store_.Contains(p.id);
+    bool monitored;
+    uint64_t* tracked = FindTracked(p.id, &monitored);
     uint64_t estimate = 0;
     switch (version_) {
       case HkVersion::kBasic: {
         estimate = sketch_.InsertBasicPrepared(p);
         if (monitored) {
-          store_.RaiseCount(p.id, estimate);
+          RaiseTracked(p.id, tracked, estimate);
         } else if (!store_.Full()) {
           if (estimate > 0) {
             store_.Insert(p.id, estimate);
@@ -276,7 +322,7 @@ class HeavyKeeperTopK : public TopKAlgorithm {
                        ? sketch_.InsertParallelPrepared(p, monitored, nmin)
                        : sketch_.InsertMinimumPrepared(p, monitored, nmin);
         if (monitored) {
-          store_.RaiseCount(p.id, estimate);  // Algorithm 1 line 22 (max-update)
+          RaiseTracked(p.id, tracked, estimate);  // Algorithm 1 line 22 (max-update)
         } else if (!store_.Full()) {
           store_.Insert(p.id, estimate);  // Algorithm 1 line 24, first clause
         } else if (estimate == store_.MinCount() + 1) {
@@ -289,23 +335,59 @@ class HeavyKeeperTopK : public TopKAlgorithm {
     }
   }
 
+  void RaiseTracked(FlowId id, uint64_t* tracked, uint64_t estimate) {
+    if constexpr (HasFindSlot<Store>) {
+      store_.Raise(id, tracked, estimate);
+    } else {
+      (void)tracked;
+      store_.RaiseCount(id, estimate);
+    }
+  }
+
   void InsertWeightedPrepared(const HeavyKeeper::Prepared& p, uint64_t weight) {
-    if (store_.Contains(p.id)) {
+    bool monitored;
+    uint64_t* tracked = FindTracked(p.id, &monitored);
+    if (monitored) {
       // Monitored flow: the Optimization II gate is open, so when no decay
       // coin is reachable the whole weight collapses into O(d) updates -
-      // identical to `weight` unit insertions (see the v2 contract).
+      // identical to `weight` unit insertions (see the v2 contract). The
+      // sketch calls never touch the store, so the Find slot stays valid.
       const uint32_t estimate = version_ == HkVersion::kMinimum
                                     ? sketch_.TryMinimumWeightedMonitored(p, weight)
                                     : sketch_.TryParallelWeightedMonitored(p, weight);
       if (estimate > 0) {
-        store_.RaiseCount(p.id, estimate);
+        RaiseTracked(p.id, tracked, estimate);
         return;
       }
+    } else if (version_ == HkVersion::kMinimum && store_.Full() &&
+               InsertWeightedCollapsedMinimum(p, weight)) {
+      // Collapsed unmonitored path (opt-in, config.collapsed_weighted_decay):
+      // the whole run up to admission is O(counter levels), not O(weight).
+      return;
     }
     // Decay coins or admission gates in play: replay unit by unit.
     for (uint64_t u = 0; u < weight; ++u) {
       InsertPrepared(p);
     }
+  }
+
+  // Returns true when the collapsed geometric run handled the whole weight
+  // (including admission and the monitored remainder); false leaves state
+  // untouched so the per-unit replay owns the insert.
+  bool InsertWeightedCollapsedMinimum(const HeavyKeeper::Prepared& p, uint64_t weight) {
+    const uint64_t nmin = store_.MinCount();
+    uint64_t consumed = 0;
+    bool admitted = false;
+    if (!sketch_.MinimumWeightedUnmonitoredRun(p, weight, nmin, &consumed, &admitted)) {
+      return false;  // collapse disabled or expansion configured
+    }
+    if (admitted) {
+      store_.ReplaceMin(p.id, nmin + 1);
+      if (consumed < weight) {
+        InsertWeightedPrepared(p, weight - consumed);  // monitored from here on
+      }
+    }
+    return true;
   }
 
   HkVersion version_;

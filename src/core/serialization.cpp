@@ -8,7 +8,14 @@ namespace hk {
 namespace {
 
 constexpr uint64_t kMagic = 0x484b534b45544348ULL;  // "HKSKETCH"
-constexpr uint32_t kVersion = 1;
+
+// Format history:
+//   v1  one (uint32 fp, uint32 c) pair per bucket - the pre-slab layout.
+//   v2  one packed word per bucket (counter low, fingerprint high), sized
+//       HeavyKeeperConfig::BucketBytes(); the on-disk image of the slab.
+// The loader accepts both; the writer emits v2.
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersion = 2;
 
 template <typename T>
 void Append(std::vector<uint8_t>& out, const T& v) {
@@ -61,10 +68,17 @@ std::vector<uint8_t> SerializeSketch(const HeavyKeeper& sketch) {
   Append(out, sketch.stuck_events());
   Append(out, sketch.expansions());
   Append(out, static_cast<uint64_t>(arrays.size()));
+  // v2 payload: the packed slab words. Self-describing via the config
+  // fields above (BucketBytes() and CounterFieldBits() derive from them).
+  const uint32_t cb = config.CounterFieldBits();
+  const bool wide = config.BucketBytes() == 8;
   for (const auto& array : arrays) {
     for (const auto& bucket : array) {
-      Append(out, bucket.fp);
-      Append(out, bucket.c);
+      if (wide) {
+        Append(out, (static_cast<uint64_t>(bucket.fp) << cb) | bucket.c);
+      } else {
+        Append(out, (bucket.fp << cb) | bucket.c);
+      }
     }
   }
   return out;
@@ -75,7 +89,7 @@ std::optional<HeavyKeeper> DeserializeSketch(const uint8_t* data, size_t size) {
   uint64_t magic = 0;
   uint32_t version = 0;
   if (!reader.Read(&magic) || magic != kMagic || !reader.Read(&version) ||
-      version != kVersion) {
+      (version != kVersionV1 && version != kVersion)) {
     return std::nullopt;
   }
 
@@ -98,16 +112,50 @@ std::optional<HeavyKeeper> DeserializeSketch(const uint8_t* data, size_t size) {
   config.w = w;
   config.decay_function = static_cast<DecayFunction>(decay_function);
   config.max_arrays = max_arrays;
+  // Geometry limits: a legitimate writer can never exceed
+  // kMaxPreparedArrays arrays (the constructor clamps d and max_arrays),
+  // and Prepare() addresses arrays through a fixed idx[kMaxPreparedArrays]
+  // handle - so a header claiming more is corrupt, not just unusual.
+  if (d == 0 || d > HeavyKeeper::kMaxPreparedArrays ||
+      num_arrays > HeavyKeeper::kMaxPreparedArrays) {
+    return std::nullopt;
+  }
   if (num_arrays != d + expansions || num_arrays > max_arrays + d || w == 0) {
     return std::nullopt;
   }
 
+  const uint32_t cb = config.CounterFieldBits();
+  const bool wide = config.BucketBytes() == 8;
+  const uint64_t cmask = cb >= 64 ? ~0ULL : ((1ULL << cb) - 1);
+  const uint64_t fp_limit = config.fingerprint_bits >= 32
+                                ? (1ULL << 32)
+                                : (1ULL << config.fingerprint_bits);
   std::vector<std::vector<HeavyKeeper::Bucket>> arrays(
       num_arrays, std::vector<HeavyKeeper::Bucket>(w));
   for (auto& array : arrays) {
     for (auto& bucket : array) {
-      if (!reader.Read(&bucket.fp) || !reader.Read(&bucket.c)) {
-        return std::nullopt;
+      if (version == kVersionV1) {
+        // v1: unpacked (fp, c) uint32 pairs from the pre-slab layout.
+        if (!reader.Read(&bucket.fp) || !reader.Read(&bucket.c)) {
+          return std::nullopt;
+        }
+      } else if (wide) {
+        uint64_t word = 0;
+        if (!reader.Read(&word)) {
+          return std::nullopt;
+        }
+        bucket.fp = static_cast<uint32_t>(word >> cb);
+        bucket.c = static_cast<uint32_t>(word & cmask);
+      } else {
+        uint32_t word = 0;
+        if (!reader.Read(&word)) {
+          return std::nullopt;
+        }
+        bucket.fp = word >> cb;
+        bucket.c = static_cast<uint32_t>(word & cmask);
+      }
+      if (bucket.fp >= fp_limit) {
+        return std::nullopt;  // field overflows the packed word: corrupt
       }
     }
   }

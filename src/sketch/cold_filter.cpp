@@ -8,8 +8,8 @@ namespace hk {
 
 ColdFilter::ColdFilter(size_t l1_counters, size_t l2_counters, size_t backend_entries,
                        size_t key_bytes, uint64_t seed)
-    : l1_((std::max<size_t>(l1_counters, 2) + 1) / 2, 0),
-      l2_(std::max<size_t>(l2_counters, 1), 0),
+    : l1_((std::max<size_t>(l1_counters, 2) + 1) / 2),
+      l2_(std::max<size_t>(l2_counters, 1)),
       l1_counters_(std::max<size_t>(l1_counters, 2)),
       l1_hashes_(kHashes, seed ^ 0xc01dULL),
       l2_hashes_(kHashes, Mix64(seed ^ 0xf117e2ULL)),

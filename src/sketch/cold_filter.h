@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/slab.h"
 #include "sketch/space_saving.h"
 #include "sketch/topk_algorithm.h"
 
@@ -59,8 +60,9 @@ class ColdFilter : public TopKAlgorithm {
   uint32_t MinLayer1(FlowId id) const;
   uint32_t MinLayer2(FlowId id) const;
 
-  std::vector<uint8_t> l1_;  // packed 4-bit counters
-  std::vector<uint8_t> l2_;
+  // Counter layers on the shared cache-aligned slab primitive (common/slab.h).
+  Slab<uint8_t> l1_;  // packed 4-bit counters
+  Slab<uint8_t> l2_;
   size_t l1_counters_;
   HashFamily l1_hashes_;
   HashFamily l2_hashes_;

@@ -8,11 +8,12 @@ namespace hk {
 
 HeavyGuardian::HeavyGuardian(size_t buckets, size_t slots, size_t key_bytes, double b,
                              uint64_t seed)
-    : buckets_(std::max<size_t>(buckets, 1), std::vector<Slot>(std::max<size_t>(slots, 1))),
+    : grid_(std::max<size_t>(buckets, 1) * std::max<size_t>(slots, 1)),
+      buckets_(std::max<size_t>(buckets, 1)),
       slots_(std::max<size_t>(slots, 1)),
       key_bytes_(key_bytes),
       hash_(TwoWiseHash::FromSeed(seed ^ 0x96aadULL)),
-      decay_(DecayFunction::kExponential, b),
+      decay_(&SharedDecayTable(DecayFunction::kExponential, b)),
       rng_(Mix64(seed ^ 0x9d1aULL)) {}
 
 std::unique_ptr<HeavyGuardian> HeavyGuardian::FromMemory(size_t bytes, size_t key_bytes,
@@ -23,9 +24,10 @@ std::unique_ptr<HeavyGuardian> HeavyGuardian::FromMemory(size_t bytes, size_t ke
 }
 
 void HeavyGuardian::Insert(FlowId id) {
-  auto& bucket = buckets_[hash_.Index(id, buckets_.size())];
-  Slot* weakest = &bucket[0];
-  for (auto& slot : bucket) {
+  Slot* const row = Row(hash_.Index(id, buckets_));
+  Slot* weakest = row;
+  for (size_t s = 0; s < slots_; ++s) {
+    Slot& slot = row[s];
     if (slot.count > 0 && slot.id == id) {
       ++slot.count;
       return;
@@ -38,7 +40,7 @@ void HeavyGuardian::Insert(FlowId id) {
     *weakest = {id, 1};
     return;
   }
-  if (decay_.ShouldDecay(weakest->count, rng_)) {
+  if (decay_->ShouldDecay(weakest->count, rng_)) {
     if (--weakest->count == 0) {
       *weakest = {id, 1};
     }
@@ -46,10 +48,10 @@ void HeavyGuardian::Insert(FlowId id) {
 }
 
 uint64_t HeavyGuardian::EstimateSize(FlowId id) const {
-  const auto& bucket = buckets_[hash_.Index(id, buckets_.size())];
-  for (const auto& slot : bucket) {
-    if (slot.count > 0 && slot.id == id) {
-      return slot.count;
+  const Slot* const row = Row(hash_.Index(id, buckets_));
+  for (size_t s = 0; s < slots_; ++s) {
+    if (row[s].count > 0 && row[s].id == id) {
+      return row[s].count;
     }
   }
   return 0;
@@ -57,11 +59,9 @@ uint64_t HeavyGuardian::EstimateSize(FlowId id) const {
 
 std::vector<FlowCount> HeavyGuardian::TopK(size_t k) const {
   std::vector<FlowCount> all;
-  for (const auto& bucket : buckets_) {
-    for (const auto& slot : bucket) {
-      if (slot.count > 0) {
-        all.push_back({slot.id, slot.count});
-      }
+  for (const Slot& slot : grid_) {
+    if (slot.count > 0) {
+      all.push_back({slot.id, slot.count});
     }
   }
   const auto cmp = [](const FlowCount& a, const FlowCount& b) {

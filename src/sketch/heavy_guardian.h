@@ -19,6 +19,7 @@
 #include "common/decay.h"
 #include "common/hash.h"
 #include "common/random.h"
+#include "common/slab.h"
 #include "sketch/topk_algorithm.h"
 
 namespace hk {
@@ -34,9 +35,7 @@ class HeavyGuardian : public TopKAlgorithm {
   std::vector<FlowCount> TopK(size_t k) const override;
   uint64_t EstimateSize(FlowId id) const override;
   std::string name() const override { return "HeavyGuardian"; }
-  size_t MemoryBytes() const override {
-    return buckets_.size() * slots_ * (key_bytes_ + 4);
-  }
+  size_t MemoryBytes() const override { return buckets_ * slots_ * (key_bytes_ + 4); }
 
   static constexpr size_t kDefaultSlots = 8;
 
@@ -46,11 +45,17 @@ class HeavyGuardian : public TopKAlgorithm {
     uint32_t count = 0;
   };
 
-  std::vector<std::vector<Slot>> buckets_;
+  // Bucket b's G slots are the contiguous row [b * slots_, (b + 1) * slots_)
+  // of one shared cache-aligned slab (common/slab.h).
+  Slot* Row(size_t b) { return grid_.data() + b * slots_; }
+  const Slot* Row(size_t b) const { return grid_.data() + b * slots_; }
+
+  Slab<Slot> grid_;
+  size_t buckets_;
   size_t slots_;
   size_t key_bytes_;
   TwoWiseHash hash_;
-  DecayTable decay_;
+  const DecayTable* decay_;  // shared, immutable (SharedDecayTable)
   Rng rng_;
 };
 

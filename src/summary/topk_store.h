@@ -8,13 +8,17 @@
 // instantiated with either; the `abl_topk_store` bench compares them.
 //
 // HeapTopKStore is IndexedMinHeap itself; SummaryTopKStore adapts
-// StreamSummary.
+// StreamSummary; LazyTopKStore (summary/lazy_topk.h) defers heap
+// maintenance so the monitored fast path is compare-only - it is the
+// pipelines' default backend, identical to the eager heap up to eviction
+// tie-breaks at the minimum count.
 #ifndef HK_SUMMARY_TOPK_STORE_H_
 #define HK_SUMMARY_TOPK_STORE_H_
 
 #include <cstddef>
 #include <cstdint>
 
+#include "summary/lazy_topk.h"
 #include "summary/min_heap.h"
 #include "summary/stream_summary.h"
 

@@ -1,0 +1,232 @@
+// Golden-state equality across storage refactors.
+//
+// Each scenario streams a fixed, seeded trace through one of the scalar
+// insertion disciplines and compares the complete sketch state (every
+// bucket, stuck counter, expansion count) against a golden file recorded
+// from the pre-refactor vector-of-structs implementation and checked into
+// tests/data/. Any storage rewrite (the packed-slab layout included) must
+// reproduce those states bit-for-bit: the decay RNG consumption order, the
+// case logic, saturation, and expansion behaviour are all pinned here.
+//
+// Regenerating (only legitimate when the *semantics* deliberately change):
+//   HK_WRITE_GOLDENS=1 ./hk_tests --gtest_filter='GoldenState*'
+// rewrites the files under tests/data/; review the diff carefully.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/heavykeeper.h"
+
+namespace hk {
+namespace {
+
+#ifndef HK_TEST_DATA_DIR
+#define HK_TEST_DATA_DIR "tests/data"
+#endif
+
+struct Scenario {
+  const char* name;
+  HeavyKeeperConfig config;
+  std::function<void(HeavyKeeper&)> stream;
+};
+
+// Serialize the complete observable sketch state as deterministic text.
+std::string StateText(const HeavyKeeper& sketch) {
+  const auto arrays = sketch.DebugDump();
+  std::string out;
+  char line[64];
+  std::snprintf(line, sizeof(line), "arrays %zu w %zu\n", arrays.size(),
+                arrays.empty() ? 0 : arrays[0].size());
+  out += line;
+  std::snprintf(line, sizeof(line), "stuck %llu expansions %llu\n",
+                static_cast<unsigned long long>(sketch.stuck_events()),
+                static_cast<unsigned long long>(sketch.expansions()));
+  out += line;
+  for (size_t j = 0; j < arrays.size(); ++j) {
+    for (size_t i = 0; i < arrays[j].size(); ++i) {
+      if (arrays[j][i].c == 0 && arrays[j][i].fp == 0) {
+        continue;  // empty buckets are implicit, keeping the goldens small
+      }
+      std::snprintf(line, sizeof(line), "%zu %zu %u %u\n", j, i, arrays[j][i].fp,
+                    arrays[j][i].c);
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string GoldenPath(const char* name) {
+  return std::string(HK_TEST_DATA_DIR) + "/golden_" + name + ".txt";
+}
+
+std::vector<Scenario> Scenarios() {
+  std::vector<Scenario> scenarios;
+
+  {
+    // Plain Basic insertion over a skewed synthetic stream: exercises all
+    // three cases (claims, increments, decay coins) at the default widths.
+    HeavyKeeperConfig config;
+    config.d = 2;
+    config.w = 64;
+    config.seed = 7;
+    scenarios.push_back({"basic_zipfish", config, [](HeavyKeeper& hk) {
+                           Rng rng(101);
+                           for (int i = 0; i < 20000; ++i) {
+                             // Squared sampling skews toward small ids.
+                             const uint64_t r = rng.NextBounded(1000);
+                             hk.InsertBasic(1 + (r * r) / 1000);
+                           }
+                         }});
+  }
+
+  {
+    // Parallel discipline with a deterministic monitored/nmin schedule:
+    // pins the Optimization II increment gate.
+    HeavyKeeperConfig config;
+    config.d = 3;
+    config.w = 32;
+    config.seed = 11;
+    scenarios.push_back({"parallel_gate", config, [](HeavyKeeper& hk) {
+                           Rng rng(103);
+                           for (int i = 0; i < 12000; ++i) {
+                             const FlowId id = 1 + rng.NextBounded(200);
+                             hk.InsertParallel(id, (i % 3) == 0, i % 8);
+                           }
+                         }});
+  }
+
+  {
+    // Minimum discipline: pins the match / first-empty / minimum-decay
+    // priority and its single-bucket mutation rule.
+    HeavyKeeperConfig config;
+    config.d = 2;
+    config.w = 16;
+    config.seed = 13;
+    scenarios.push_back({"minimum_decay", config, [](HeavyKeeper& hk) {
+                           Rng rng(107);
+                           for (int i = 0; i < 12000; ++i) {
+                             const FlowId id = 1 + rng.NextBounded(120);
+                             hk.InsertMinimum(id, (i % 2) == 0, i % 5);
+                           }
+                         }});
+  }
+
+  {
+    // Section III-F expansion: tiny arrays, low threshold, several added
+    // arrays; pins the stuck accounting and the expansion seed chain.
+    HeavyKeeperConfig config;
+    config.d = 1;
+    config.w = 4;
+    config.seed = 17;
+    config.expansion_threshold = 16;
+    config.max_arrays = 4;
+    scenarios.push_back({"expansion", config, [](HeavyKeeper& hk) {
+                           for (int i = 0; i < 3000; ++i) {
+                             hk.InsertBasic(1 + (i % 4));  // entrench residents
+                           }
+                           Rng rng(109);
+                           for (int i = 0; i < 4000; ++i) {
+                             hk.InsertBasic(100 + rng.NextBounded(64));
+                           }
+                         }});
+  }
+
+  {
+    // Narrow counters: pins saturation behaviour (the counter pegs at 63
+    // and stays there while challengers decay against it).
+    HeavyKeeperConfig config;
+    config.d = 2;
+    config.w = 8;
+    config.seed = 19;
+    config.counter_bits = 6;
+    scenarios.push_back({"saturation", config, [](HeavyKeeper& hk) {
+                           Rng rng(113);
+                           for (int i = 0; i < 6000; ++i) {
+                             const FlowId id = (i % 4 == 0) ? 1 + rng.NextBounded(40) : 3;
+                             hk.InsertBasic(id);
+                           }
+                         }});
+  }
+
+  {
+    // Weighted Basic insertion: pins the collapsed matching/empty cases and
+    // the per-unit decay coin replay of the mismatch case.
+    HeavyKeeperConfig config;
+    config.d = 2;
+    config.w = 32;
+    config.seed = 23;
+    config.counter_bits = 32;
+    scenarios.push_back({"weighted_replay", config, [](HeavyKeeper& hk) {
+                           Rng rng(127);
+                           for (int i = 0; i < 4000; ++i) {
+                             const FlowId id = 1 + rng.NextBounded(90);
+                             hk.InsertBasicWeighted(
+                                 id, 1 + static_cast<uint32_t>(rng.NextBounded(400)));
+                           }
+                         }});
+  }
+
+  {
+    // Wide fingerprints + narrow arrays in a uint64 word regime (fp=32
+    // forces 8-byte packed words after the slab refactor).
+    HeavyKeeperConfig config;
+    config.d = 2;
+    config.w = 16;
+    config.seed = 29;
+    config.fingerprint_bits = 32;
+    config.counter_bits = 32;
+    scenarios.push_back({"wide_words", config, [](HeavyKeeper& hk) {
+                           Rng rng(131);
+                           for (int i = 0; i < 10000; ++i) {
+                             hk.InsertBasic(1 + rng.NextBounded(300));
+                           }
+                         }});
+  }
+
+  return scenarios;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  const bool ok = std::fread(out->data(), 1, out->size(), f) == out->size();
+  std::fclose(f);
+  return ok;
+}
+
+TEST(GoldenStateTest, PackedSlabReproducesPreRefactorStates) {
+  const bool write = std::getenv("HK_WRITE_GOLDENS") != nullptr;
+  for (const Scenario& scenario : Scenarios()) {
+    HeavyKeeper sketch(scenario.config);
+    scenario.stream(sketch);
+    const std::string state = StateText(sketch);
+    const std::string path = GoldenPath(scenario.name);
+    if (write) {
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      ASSERT_NE(f, nullptr) << path;
+      std::fwrite(state.data(), 1, state.size(), f);
+      std::fclose(f);
+      continue;
+    }
+    std::string golden;
+    ASSERT_TRUE(ReadFile(path, &golden))
+        << "missing golden " << path
+        << " (record with HK_WRITE_GOLDENS=1 on the reference implementation)";
+    EXPECT_EQ(state, golden) << scenario.name
+                             << ": sketch state diverged from the recorded golden";
+  }
+}
+
+}  // namespace
+}  // namespace hk

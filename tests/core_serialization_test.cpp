@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 
 #include "common/random.h"
@@ -112,6 +113,70 @@ TEST(SerializationTest, RejectsTrailingBytes) {
 
 TEST(SerializationTest, LoadMissingFileFails) {
   EXPECT_FALSE(LoadSketch("/nonexistent/path/sketch.hk").has_value());
+}
+
+#ifndef HK_TEST_DATA_DIR
+#define HK_TEST_DATA_DIR "tests/data"
+#endif
+
+TEST(SerializationTest, LoadsVersion1Snapshot) {
+  // tests/data/sketch_v1.bin was written by the pre-slab implementation
+  // (format v1: unpacked uint32 fp/c pairs): d=2, w=32, seed=41, then 5000
+  // InsertBasic of Rng(137).NextBounded(150)+1. The v2 loader must accept
+  // it and reconstruct exactly the state a fresh replay produces.
+  const auto loaded = LoadSketch(std::string(HK_TEST_DATA_DIR) + "/sketch_v1.bin");
+  ASSERT_TRUE(loaded.has_value()) << "v1 load path rejected the recorded snapshot";
+
+  HeavyKeeperConfig config;
+  config.d = 2;
+  config.w = 32;
+  config.seed = 41;
+  HeavyKeeper replayed(config);
+  Rng rng(137);
+  for (int i = 0; i < 5000; ++i) {
+    replayed.InsertBasic(1 + rng.NextBounded(150));
+  }
+  EXPECT_EQ(loaded->DebugDump(), replayed.DebugDump());
+  EXPECT_EQ(loaded->stuck_events(), replayed.stuck_events());
+
+  // Re-serializing writes the packed v2 image: smaller on disk, and it
+  // round-trips to the same state.
+  const auto v2 = SerializeSketch(*loaded);
+  const auto again = DeserializeSketch(v2);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->DebugDump(), loaded->DebugDump());
+}
+
+TEST(SerializationTest, RejectsGeometryBeyondPreparedArrayLimit) {
+  // A legitimate writer can never produce more than kMaxPreparedArrays
+  // arrays (the constructor clamps d and max_arrays). A crafted header
+  // claiming d = 16 would otherwise restore a sketch whose Prepare()
+  // overruns its fixed idx[kMaxPreparedArrays] handle.
+  auto buffer = SerializeSketch(MakeLoadedSketch(29));  // d=2, w=512, v2
+  // Header offsets: magic(8) version(4) d@12 w@20 b@28 decay@36 fp@40
+  // cb@44 seed@48 expansion_threshold@56 max_arrays@64 stuck@72
+  // expansions@80 num_arrays@88, payload@96. Rewrite d, max_arrays and
+  // num_arrays to 16 and pad the payload so every *other* consistency
+  // check passes - only the kMaxPreparedArrays guard can reject it.
+  const uint64_t bad = HeavyKeeper::kMaxPreparedArrays * 2;
+  std::memcpy(buffer.data() + 12, &bad, sizeof(bad));
+  std::memcpy(buffer.data() + 64, &bad, sizeof(bad));
+  std::memcpy(buffer.data() + 88, &bad, sizeof(bad));
+  buffer.resize(96 + static_cast<size_t>(bad) * 512 * 4, 0);
+  EXPECT_FALSE(DeserializeSketch(buffer).has_value());
+
+  const uint64_t zero_d = 0;
+  std::memcpy(buffer.data() + 12, &zero_d, sizeof(zero_d));
+  EXPECT_FALSE(DeserializeSketch(buffer).has_value());
+}
+
+TEST(SerializationTest, V2PayloadIsPackedWordSized) {
+  const HeavyKeeper sketch = MakeLoadedSketch(23);  // default 16+16 geometry
+  const auto buffer = SerializeSketch(sketch);
+  // 96-byte header, then one packed 4-byte word per bucket - half the v1
+  // pair encoding.
+  const size_t buckets = sketch.num_arrays() * sketch.width();
+  EXPECT_EQ(buffer.size(), 96 + 4 * buckets);
 }
 
 }  // namespace

@@ -148,6 +148,13 @@ TEST(RegistryTest, RejectsUnknownNamesAndKeys) {
   EXPECT_THROW(MakeSketch("HK-Minimum:d=abc"), std::invalid_argument);
   EXPECT_THROW(MakeSketch("HK-Minimum:b=fast"), std::invalid_argument);
   EXPECT_THROW(MakeSketch("HK-Minimum:decay=linear"), std::invalid_argument);
+  EXPECT_THROW(MakeSketch("HK-Minimum:wdecay=fast"), std::invalid_argument);
+  // The collapsed weighted path exists for the Minimum discipline only;
+  // elsewhere the key would be a silent no-op, so it is rejected.
+  EXPECT_THROW(MakeSketch("HK-Parallel:wdecay=collapsed"), std::invalid_argument);
+  EXPECT_THROW(MakeSketch("HK-Basic:wdecay=collapsed"), std::invalid_argument);
+  EXPECT_NO_THROW(MakeSketch("HK-Minimum:wdecay=collapsed"));
+  EXPECT_NO_THROW(MakeSketch("HK-Parallel:wdecay=replay"));
   EXPECT_THROW(MakeSketch("HK-Minimum:d=2,d=3"), std::invalid_argument);
   EXPECT_THROW(MakeSketch("HK-Minimum:"), std::invalid_argument);
   EXPECT_THROW(MakeSketch("SS:key=5"), std::invalid_argument);

@@ -15,7 +15,7 @@ namespace {
 template <typename Store>
 class TopKStoreTypedTest : public ::testing::Test {};
 
-using StoreTypes = ::testing::Types<HeapTopKStore, SummaryTopKStore>;
+using StoreTypes = ::testing::Types<HeapTopKStore, SummaryTopKStore, LazyTopKStore>;
 TYPED_TEST_SUITE(TopKStoreTypedTest, StoreTypes);
 
 TYPED_TEST(TopKStoreTypedTest, BasicLifecycle) {
@@ -101,6 +101,95 @@ TEST(TopKStoreDifferentialTest, BackendsAgreeOnRandomWorkload) {
   for (size_t i = 0; i < ht.size(); ++i) {
     EXPECT_EQ(ht[i].count, st[i].count) << "rank " << i;
   }
+}
+
+// The lazy store defers heap maintenance behind a staleness flag; every
+// observable value must still match the eager heap op for op, including the
+// nmin threshold right after interleaved raises of the minimum flow.
+TEST(TopKStoreDifferentialTest, LazyMatchesEagerHeapExactly) {
+  constexpr size_t kCapacity = 16;
+  HeapTopKStore eager(kCapacity);
+  LazyTopKStore lazy(kCapacity);
+  Rng rng(4097);
+
+  for (int i = 0; i < 50000; ++i) {
+    const FlowId id = rng.NextBounded(120) + 1;
+    const uint64_t v = rng.NextBounded(400) + 1;
+    ASSERT_EQ(eager.Contains(id), lazy.Contains(id)) << "op " << i;
+    if (eager.Contains(id)) {
+      eager.RaiseCount(id, v);
+      lazy.RaiseCount(id, v);
+    } else if (!eager.Full()) {
+      eager.Insert(id, v);
+      lazy.Insert(id, v);
+    } else if (v == eager.MinCount() + 1) {
+      // Replace only when the victim is unique: with several entries tied
+      // at the min, eager sift order and lazy deferral may expel different
+      // (equally valid) ids and membership would legitimately diverge.
+      const auto entries = eager.TopK(kCapacity);
+      size_t at_min = 0;
+      for (const auto& fc : entries) {
+        at_min += fc.count == eager.MinCount() ? 1 : 0;
+      }
+      if (at_min == 1) {
+        const FlowId victim = entries.back().id;
+        eager.ReplaceMin(id, v);
+        lazy.ReplaceMin(id, v);
+        ASSERT_FALSE(lazy.Contains(victim)) << "op " << i;  // same expulsion
+      }
+    }
+    ASSERT_EQ(eager.MinCount(), lazy.MinCount()) << "op " << i;
+    ASSERT_EQ(eager.Value(id), lazy.Value(id)) << "op " << i;
+    ASSERT_EQ(eager.size(), lazy.size()) << "op " << i;
+  }
+  // Note: unlike the heap-vs-summary differential above, membership is
+  // compared unconditionally - both stores expel the *fresh* minimum and
+  // with identical inputs must pick identical victims whenever the minimum
+  // is unique; count ties can diverge on id, so compare the sorted counts.
+  const auto et = eager.TopK(kCapacity);
+  const auto lt = lazy.TopK(kCapacity);
+  ASSERT_EQ(et.size(), lt.size());
+  for (size_t i = 0; i < et.size(); ++i) {
+    EXPECT_EQ(et[i].count, lt[i].count) << "rank " << i;
+  }
+}
+
+// The Find/Raise slot fast path must be observably identical to RaiseCount.
+TEST(TopKStoreTest, LazyFindRaiseSlotMatchesRaiseCount) {
+  LazyTopKStore a(4);
+  LazyTopKStore b(4);
+  for (FlowId id = 1; id <= 4; ++id) {
+    a.Insert(id, id);
+    b.Insert(id, id);
+  }
+  Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    const FlowId id = rng.NextBounded(4) + 1;
+    const uint64_t v = rng.NextBounded(50);
+    uint64_t* slot = a.Find(id);
+    ASSERT_NE(slot, nullptr);
+    a.Raise(id, slot, v);
+    b.RaiseCount(id, v);
+    ASSERT_EQ(a.MinCount(), b.MinCount()) << "op " << i;
+    ASSERT_EQ(a.Value(id), b.Value(id)) << "op " << i;
+  }
+  EXPECT_EQ(a.TopK(4), b.TopK(4));
+}
+
+// FlowSlotMap carries flow id 0 in its side slot; the store must track it
+// like any other flow.
+TEST(TopKStoreTest, LazyHandlesFlowIdZero) {
+  LazyTopKStore store(2);
+  store.Insert(0, 5);
+  store.Insert(9, 7);
+  EXPECT_TRUE(store.Contains(0));
+  EXPECT_EQ(store.Value(0), 5u);
+  EXPECT_EQ(store.MinCount(), 5u);
+  store.RaiseCount(0, 9);
+  EXPECT_EQ(store.MinCount(), 7u);
+  store.ReplaceMin(3, 8);
+  EXPECT_FALSE(store.Contains(9));
+  EXPECT_TRUE(store.Contains(0));
 }
 
 TEST(TopKStoreTest, BytesPerEntryAccounting) {
