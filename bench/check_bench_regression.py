@@ -36,6 +36,12 @@ Checks (see ROADMAP "Throughput trajectory", ISSUE 3 and ISSUE 4):
     but exits 0; pass --sharded-hard to enforce once a capable runner
     exists.
 
+  * pcap (soft): BENCH_micro_pcap_ingest.json against its committed
+    baseline - warn when the parse-only or replay throughput drops below
+    50% of the recorded run (cross-machine variance, so warn only), and
+    warn when parse-only stops clearing replay (parsing should never be
+    the bottleneck of parse+insert).
+
 Usage:
   check_bench_regression.py --batch build/BENCH_micro_batch_insert.json \
       [--baseline bench/results/BENCH_micro_batch_insert.json] \
@@ -166,6 +172,23 @@ def check_baseline(items, baseline_items):
                   f" ({now:.3e} vs {base:.3e} items/s)")
 
 
+def check_pcap(items, baseline_items):
+    parse = items.get("pcap/parse")
+    if parse is None:
+        print("[pcap] WARNING: no pcap/parse data point; nothing checked")
+        return
+    replays = {n: v for n, v in items.items() if n.startswith("pcap/replay/")}
+    for name, ips in sorted(replays.items()):
+        if parse < ips:
+            print(f"[pcap] WARNING: parse-only {parse:.3e} slower than {name} {ips:.3e}"
+                  f" items/s - the parser became the ingest bottleneck")
+    if baseline_items:
+        check_baseline({n: v for n, v in items.items() if n.startswith("pcap/")},
+                       {n: v for n, v in baseline_items.items() if n.startswith("pcap/")})
+    print(f"[pcap] parse {parse:.3e} items/s"
+          + "".join(f", {n.split('/', 2)[2]} {v:.3e}" for n, v in sorted(replays.items())))
+
+
 def check_sharded(items, hard):
     base = items.get("sharded/insert/n/1/real_time") or items.get("sharded/insert/n/1")
     at8 = items.get("sharded/insert/n/8/real_time") or items.get("sharded/insert/n/8")
@@ -200,6 +223,9 @@ def main():
     parser.add_argument("--sharded", help="fresh BENCH_micro_sharded_insert.json")
     parser.add_argument("--sharded-baseline",
                         help="committed sharded baseline JSON to warn against")
+    parser.add_argument("--pcap", help="fresh BENCH_micro_pcap_ingest.json")
+    parser.add_argument("--pcap-baseline",
+                        help="committed pcap ingest baseline (soft parse-throughput warn)")
     parser.add_argument("--sharded-hard", action="store_true",
                         help="fail (not warn) when the sharded scaling target is missed")
     args = parser.parse_args()
@@ -220,6 +246,9 @@ def main():
         failures += check_sharded(load_items(args.sharded), args.sharded_hard)
         if args.sharded_baseline:
             check_baseline(load_items(args.sharded), load_items(args.sharded_baseline))
+    if args.pcap:
+        check_pcap(load_items(args.pcap),
+                   load_items(args.pcap_baseline) if args.pcap_baseline else {})
 
     if failures:
         print("\nbench regression check FAILED:")

@@ -11,6 +11,10 @@
 // then occupies 2 + N threads, so the hardware clamp usually reduces the
 // pipeline count; the interesting number is the sharded rows' Mps against
 // the single-consumer HK rows at the same total memory.
+//
+// Pcap source mode: HK_OVS_PCAP=<capture> feeds every datapath the wire
+// headers of a real capture (ovs/pcap_source.h) instead of the synthetic
+// Zipf packer - the paper's deployment shape on recorded traffic.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -20,6 +24,7 @@
 #include "common/algorithms.h"
 #include "common/env.h"
 #include "metrics/report.h"
+#include "ovs/pcap_source.h"
 #include "ovs/pipeline.h"
 
 int main() {
@@ -36,7 +41,19 @@ int main() {
                     "OVS 19.2 > HK-Parallel 18.0 ~ HK-Minimum 17.6 >> CM 14.1 > SS 13.8 > "
                     "LC 12.6 Mps on the paper's machine; ordering is the shape");
 
-  const auto packets = MakeWirePackets(packets_per_pipeline, packets_per_pipeline / 10, 0.9, 1);
+  std::vector<RawPacket> packets;
+  if (const char* pcap = std::getenv("HK_OVS_PCAP"); pcap != nullptr) {
+    std::string error;
+    packets = LoadPcapWirePackets(pcap, packets_per_pipeline, &error);
+    if (packets.empty()) {
+      std::fprintf(stderr, "HK_OVS_PCAP=%s yielded no packets%s%s\n", pcap,
+                   error.empty() ? "" : ": ", error.c_str());
+      return 2;
+    }
+    std::printf("(pcap source: %zu packets from %s per pipeline)\n", packets.size(), pcap);
+  } else {
+    packets = MakeWirePackets(packets_per_pipeline, packets_per_pipeline / 10, 0.9, 1);
+  }
 
   std::vector<std::string> rows = {"OVS", "HK-Parallel", "HK-Minimum", "CM", "SS", "LC"};
   if (const char* env = std::getenv("HK_OVS_CONSUMERS"); env != nullptr) {

@@ -1,0 +1,140 @@
+// Real-trace ingestion throughput (google-benchmark): the pcap subsystem's
+// cost split into its stages, in millions of packets per second with a
+// wire-bytes rate counter.
+//
+//   pcap/parse                   PcapReader alone: container + header walk
+//                                and key derivation, no measurement
+//   pcap/replay/<spec>           parse + TraceReplayer InsertBatch bursts
+//                                through a registry-built algorithm
+//   pcap/replay_bytes/<spec>     the byte-weighted variant (InsertWeighted
+//                                by wire length)
+//
+// The capture comes from HK_BENCH_PCAP when set (CI points this at the
+// committed fixture in tests/data/); otherwise a campus-like capture of
+// HK_BENCH_SCALE packets (default 1M) is synthesized to a scratch file at
+// startup, so the bench is self-contained on any machine. The file is
+// slurped once per benchmark (PcapReader::Open) and re-walked with
+// Rewind(), so steady-state iterations measure parsing, not disk I/O.
+//
+// CI uploads BENCH_micro_pcap_ingest.json; check_bench_regression.py
+// holds a soft baseline on the parse-only throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "ingest/capture_synth.h"
+#include "ingest/pcap_reader.h"
+#include "ingest/trace_replayer.h"
+#include "sketch/registry.h"
+#include "trace/generators.h"
+
+namespace {
+
+using namespace hk;
+
+const std::string& CapturePath() {
+  static const std::string path = [] {
+    if (const char* env = std::getenv("HK_BENCH_PCAP"); env != nullptr) {
+      return std::string(env);
+    }
+    const char* scale = std::getenv("HK_BENCH_SCALE");
+    const uint64_t packets = scale != nullptr ? std::strtoull(scale, nullptr, 10) : 1'000'000;
+    std::string out = "micro_pcap_ingest.scratch.pcap";
+    const Trace trace =
+        SynthesizeCapture(CampusConfig(packets, /*seed=*/13), out, CaptureSynthOptions{});
+    if (trace.num_packets() == 0) {
+      std::fprintf(stderr, "failed to synthesize %s\n", out.c_str());
+      std::exit(1);
+    }
+    return out;
+  }();
+  return path;
+}
+
+std::unique_ptr<TopKAlgorithm> MakeContender(const std::string& spec) {
+  SketchDefaults defaults;
+  defaults.memory_bytes = 1024 * 1024;  // byte weights need cb=32 headroom
+  defaults.k = 100;
+  defaults.key_kind = KeyKind::kFiveTuple13B;
+  defaults.seed = 1;
+  return MakeSketch(spec, defaults);
+}
+
+void BM_Parse(benchmark::State& state) {
+  PcapReader reader(PcapKeyPolicy::kFiveTuple);
+  if (!reader.Open(CapturePath())) {
+    state.SkipWithError(reader.error().c_str());
+    return;
+  }
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+  FlowId sink = 0;
+  for (auto _ : state) {
+    reader.Rewind();
+    PacketRecord record;
+    while (reader.Next(&record)) {
+      sink ^= record.id;  // keep the id derivation observable
+      ++packets;
+      bytes += record.wire_len;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(packets));
+  state.counters["bytes"] =
+      benchmark::Counter(static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+
+void BM_Replay(benchmark::State& state, const std::string& spec, bool byte_weighted) {
+  PcapReader reader(PcapKeyPolicy::kFiveTuple);
+  if (!reader.Open(CapturePath())) {
+    state.SkipWithError(reader.error().c_str());
+    return;
+  }
+  auto algo = MakeContender(spec);
+  ReplayOptions options;
+  options.byte_weighted = byte_weighted;
+  const TraceReplayer replayer(options);
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    reader.Rewind();
+    const ReplayStats stats = replayer.Replay(reader, *algo);
+    packets += stats.packets;
+    bytes += stats.wire_bytes;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(packets));
+  state.counters["bytes"] =
+      benchmark::Counter(static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("pcap/parse", BM_Parse)->Unit(benchmark::kMillisecond);
+  const std::vector<std::string> specs = {"HK-Minimum",
+                                          "Sharded:n=4,threads=1,inner=HK-Minimum"};
+  for (const auto& spec : specs) {
+    benchmark::RegisterBenchmark(("pcap/replay/" + spec).c_str(),
+                                 [spec](benchmark::State& state) {
+                                   BM_Replay(state, spec, /*byte_weighted=*/false);
+                                 })
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();  // sharded workers run off-thread
+  }
+  // Byte weights ride the collapsed geometric decay path (wdecay=collapsed,
+  // PR 4): a mouse-heavy capture otherwise replays every unmonitored
+  // packet's wire length unit by unit (the documented replay tax).
+  benchmark::RegisterBenchmark("pcap/replay_bytes/HK-Minimum:cb=32,wdecay=collapsed",
+                               [](benchmark::State& state) {
+                                 BM_Replay(state, "HK-Minimum:cb=32,wdecay=collapsed",
+                                           /*byte_weighted=*/true);
+                               })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,8 @@
 //   hk_cli topk     --trace t.trace [--algo HK] [--memory-kb 50] [--k 20]
 //   hk_cli evaluate --trace t.trace [--algo HK] [--memory-kb 50] [--k 100]
 //   hk_cli bench    --trace t.trace [--algo HK] [--memory-kb 50] [--k 100]
+//   hk_cli ingest   --pcap c.pcap [--algo HK] [--key 5tuple|pair|src]
+//                   [--bytes] [--epoch-ms N] [--memory-kb 50] [--k 100]
 //
 // `--algo` accepts any sketch registry spec (sketch/registry.h): a name
 // from `hk_cli algos` plus optional key=value overrides, e.g.
@@ -13,13 +15,25 @@
 // grammar - "Sharded:n=8,inner=HK-Minimum" partitions the key space over
 // 8 shards, and "Sharded:n=8,threads=1,inner=..." runs them on worker
 // threads. --memory-kb/--k/--seed set the spec's context defaults.
+//
+// `ingest` reads a real capture (pcap or pcapng, src/ingest/), replays it
+// through the algorithm in InsertBatch bursts - byte-weighted by wire
+// length with --bytes - and reports the top-k next to the capture's exact
+// oracle. --key picks the flow definition (Section VI-A): the campus
+// 5-tuple, the CAIDA src/dst pair, or per-source aggregation; the same
+// flag overrides the key accounting for the trace commands.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/algorithms.h"
+#include "core/epoch_monitor.h"
+#include "ingest/pcap_reader.h"
+#include "ingest/trace_replayer.h"
 #include "metrics/accuracy.h"
 #include "metrics/throughput.h"
 #include "sketch/registry.h"
@@ -35,27 +49,36 @@ using namespace hk::bench;
 struct Options {
   std::string command;
   std::string trace_path;
+  std::string pcap_path;
   std::string out_path;
   std::string kind = "campus";
   std::string algo = "HK";
+  std::string key;  // empty = trace default / 5tuple for ingest
   uint64_t packets = 1'000'000;
   double skew = 1.0;
   uint64_t seed = 1;
   size_t memory_kb = 50;
   size_t k = 100;
+  uint64_t epoch_ms = 0;
+  bool bytes = false;
 };
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hk_cli <algos|generate|topk|evaluate|bench> [options]\n"
-               "  algos    list registered algorithm names\n"
+               "usage: hk_cli <algos|generate|topk|evaluate|bench|ingest> [options]\n"
+               "  algos    list registered algorithm names (specs for --algo)\n"
                "  generate --out FILE [--packets N] [--kind campus|caida|zipf]\n"
                "           [--skew S] [--seed X]\n"
                "  topk     --trace FILE [--algo SPEC] [--memory-kb KB] [--k K]\n"
                "  evaluate --trace FILE [--algo SPEC] [--memory-kb KB] [--k K]\n"
                "  bench    --trace FILE [--algo SPEC] [--memory-kb KB] [--k K]\n"
+               "  ingest   --pcap FILE [--algo SPEC] [--key 5tuple|pair|src]\n"
+               "           [--bytes] [--epoch-ms N] [--memory-kb KB] [--k K]\n"
+               "  --key    flow definition: 5tuple (campus), pair (CAIDA), src;\n"
+               "           also overrides the key accounting for trace commands\n"
                "  SPEC = NAME[:key=value,...], e.g. \"HK-Minimum:d=4,b=1.05\"\n"
-               "         or \"Sharded:n=8,threads=1,inner=HK-Minimum\" (multi-core)\n");
+               "         or \"Sharded:n=8,threads=1,inner=HK-Minimum\" (multi-core;\n"
+               "         inner= swallows the rest of the spec, so it goes last)\n");
   return 2;
 }
 
@@ -64,17 +87,29 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     return false;
   }
   opts->command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
-    const std::string value = argv[i + 1];
+    if (flag == "--bytes") {  // boolean: no value
+      opts->bytes = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s needs a value\n", flag.c_str());
+      return false;
+    }
+    const std::string value = argv[++i];
     if (flag == "--trace") {
       opts->trace_path = value;
+    } else if (flag == "--pcap") {
+      opts->pcap_path = value;
     } else if (flag == "--out") {
       opts->out_path = value;
     } else if (flag == "--kind") {
       opts->kind = value;
     } else if (flag == "--algo") {
       opts->algo = value;
+    } else if (flag == "--key") {
+      opts->key = value;
     } else if (flag == "--packets") {
       opts->packets = std::strtoull(value.c_str(), nullptr, 10);
     } else if (flag == "--skew") {
@@ -85,6 +120,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->memory_kb = std::strtoull(value.c_str(), nullptr, 10);
     } else if (flag == "--k") {
       opts->k = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--epoch-ms") {
+      opts->epoch_ms = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -119,15 +156,33 @@ int Generate(const Options& opts) {
   return 0;
 }
 
+// --key override for the trace/ingest commands; returns false on a bad name.
+bool ResolveKeyKind(const Options& opts, KeyKind* kind) {
+  if (opts.key.empty()) {
+    return true;
+  }
+  PcapKeyPolicy policy;
+  if (!ParsePcapKeyPolicy(opts.key, &policy)) {
+    std::fprintf(stderr, "--key must be 5tuple, pair or src (got '%s')\n", opts.key.c_str());
+    return false;
+  }
+  *kind = ToKeyKind(policy);
+  return true;
+}
+
 int RunWithTrace(const Options& opts) {
   Trace trace;
   if (opts.trace_path.empty() || !Trace::Load(opts.trace_path, &trace)) {
     std::fprintf(stderr, "failed to load trace %s\n", opts.trace_path.c_str());
     return 1;
   }
+  KeyKind key_kind = trace.key_kind;
+  if (!ResolveKeyKind(opts, &key_kind)) {
+    return 2;
+  }
   std::unique_ptr<TopKAlgorithm> algo;
   try {
-    algo = MakeAlgorithm(opts.algo, opts.memory_kb * 1024, opts.k, trace.key_kind, opts.seed);
+    algo = MakeAlgorithm(opts.algo, opts.memory_kb * 1024, opts.k, key_kind, opts.seed);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n(try `hk_cli algos` for the registered names)\n", e.what());
     return 2;
@@ -166,6 +221,112 @@ int RunWithTrace(const Options& opts) {
   return 0;
 }
 
+int Ingest(const Options& opts) {
+  if (opts.pcap_path.empty()) {
+    std::fprintf(stderr, "ingest requires --pcap\n");
+    return 2;
+  }
+  PcapKeyPolicy policy = PcapKeyPolicy::kFiveTuple;
+  if (!opts.key.empty() && !ParsePcapKeyPolicy(opts.key, &policy)) {
+    std::fprintf(stderr, "--key must be 5tuple, pair or src (got '%s')\n", opts.key.c_str());
+    return 2;
+  }
+  PcapReader reader(policy);
+  if (!reader.Open(opts.pcap_path)) {
+    std::fprintf(stderr, "failed to open %s: %s\n", opts.pcap_path.c_str(),
+                 reader.error().c_str());
+    return 1;
+  }
+
+  auto make_algo = [&]() {
+    return MakeAlgorithm(opts.algo, opts.memory_kb * 1024, opts.k, ToKeyKind(policy),
+                         opts.seed);
+  };
+  std::unique_ptr<TopKAlgorithm> algo;
+  try {
+    algo = make_algo();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n(try `hk_cli algos` for the registered names)\n", e.what());
+    return 2;
+  }
+
+  ReplayOptions replay_opts;
+  replay_opts.byte_weighted = opts.bytes;
+  replay_opts.epoch_ns = opts.epoch_ms * 1'000'000ULL;
+  const TraceReplayer replayer(replay_opts);
+
+  std::printf("%s on %s (%s keys, %s, %zu KB, k=%zu)\n", algo->name().c_str(),
+              opts.pcap_path.c_str(), PcapKeyPolicyName(policy),
+              opts.bytes ? "byte-weighted" : "packet counts", opts.memory_kb, opts.k);
+
+  if (opts.epoch_ms > 0) {
+    // Capture-time windows: rebuild the algorithm per window, print each
+    // completed window's head as it closes. No oracle pass here - the
+    // windowed mode streams the capture exactly once.
+    EpochMonitor monitor(
+        [&](uint64_t) { return make_algo(); }, UINT64_MAX, opts.k,
+        [&](uint64_t epoch, std::vector<FlowCount> report) {
+          std::printf("  window %-4llu %zu flows tracked, top",
+                      static_cast<unsigned long long>(epoch), report.size());
+          for (size_t i = 0; i < report.size() && i < 3; ++i) {
+            std::printf("  %llx:%llu", static_cast<unsigned long long>(report[i].id),
+                        static_cast<unsigned long long>(report[i].count));
+          }
+          std::printf("\n");
+        });
+    const ReplayStats stats = replayer.Replay(reader, monitor);
+    monitor.Rotate();  // close the final partial window
+    std::printf("%llu packets, %llu wire bytes, %llu windows of %llu ms, %.2f Mps\n",
+                static_cast<unsigned long long>(stats.packets),
+                static_cast<unsigned long long>(stats.wire_bytes),
+                static_cast<unsigned long long>(monitor.completed_epochs()),
+                static_cast<unsigned long long>(opts.epoch_ms),
+                Mps(stats.packets, stats.seconds));
+    return 0;
+  }
+
+  // Pass 1: the capture's exact ground truth under this key policy.
+  Oracle oracle;
+  PacketRecord record;
+  while (reader.Next(&record)) {
+    oracle.Add(record.id, opts.bytes ? record.wire_len : 1);
+  }
+  if (!reader.ok()) {
+    std::fprintf(stderr, "warning: capture malformed after %llu packets: %s\n",
+                 static_cast<unsigned long long>(reader.stats().packets),
+                 reader.error().c_str());
+  }
+  const IngestStats parse_stats = reader.stats();
+  reader.Rewind();
+
+  const ReplayStats stats = replayer.Replay(reader, *algo);
+  const auto top = algo->TopK(opts.k);
+  std::printf("%-6s%-20s%14s%14s\n", "rank", "flow id", "estimate", "true");
+  for (size_t i = 0; i < top.size() && i < 20; ++i) {
+    std::printf("%-6zu%-20llx%14llu%14llu\n", i + 1,
+                static_cast<unsigned long long>(top[i].id),
+                static_cast<unsigned long long>(top[i].count),
+                static_cast<unsigned long long>(oracle.Count(top[i].id)));
+  }
+  const auto report = EvaluateTopK(top, oracle, opts.k);
+  std::printf("precision %.4f  recall %.4f  ARE %.6f  AAE %.2f\n", report.precision,
+              report.recall, report.are, report.aae);
+  std::printf("%llu packets (%llu wire bytes) in %.3fs -> %.2f Mps, %.1f MB/s\n",
+              static_cast<unsigned long long>(stats.packets),
+              static_cast<unsigned long long>(stats.wire_bytes), stats.seconds,
+              Mps(stats.packets, stats.seconds),
+              stats.seconds > 0 ? static_cast<double>(stats.wire_bytes) / 1e6 / stats.seconds
+                                : 0.0);
+  if (parse_stats.skipped_non_ip + parse_stats.skipped_truncated + parse_stats.skipped_other >
+      0) {
+    std::printf("skipped: %llu non-IP, %llu truncated, %llu other\n",
+                static_cast<unsigned long long>(parse_stats.skipped_non_ip),
+                static_cast<unsigned long long>(parse_stats.skipped_truncated),
+                static_cast<unsigned long long>(parse_stats.skipped_other));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,6 +338,11 @@ int main(int argc, char** argv) {
     for (const auto& name : RegisteredSketches()) {
       std::printf("%s\n", name.c_str());
     }
+    std::printf(
+        "\nAny name takes key=value overrides (\"HK-Minimum:d=4,b=1.05\").\n"
+        "\"Sharded:n=8,inner=<spec>\" partitions the key space over 8 shards\n"
+        "(threads=1 for worker threads); inner= swallows the rest of the\n"
+        "spec, so it must come last.\n");
     return 0;
   }
   if (opts.command == "generate") {
@@ -184,6 +350,9 @@ int main(int argc, char** argv) {
   }
   if (opts.command == "topk" || opts.command == "evaluate" || opts.command == "bench") {
     return RunWithTrace(opts);
+  }
+  if (opts.command == "ingest") {
+    return Ingest(opts);
   }
   return Usage();
 }

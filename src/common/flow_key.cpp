@@ -65,4 +65,10 @@ std::string AddrPair::ToString() const {
   return Ipv4ToString(src_ip) + " -> " + Ipv4ToString(dst_ip);
 }
 
+FlowId SrcOnlyId(uint32_t src_ip) {
+  uint8_t buf[4];
+  std::memcpy(buf, &src_ip, 4);
+  return HashBytes(buf, sizeof(buf), kIdSeed);
+}
+
 }  // namespace hk

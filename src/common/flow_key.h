@@ -78,6 +78,11 @@ struct AddrPair {
   std::string ToString() const;
 };
 
+// Source-only flow definition (per-source aggregation, e.g. DDoS-style
+// ingest): the canonical id of the 4-byte source address, derived through
+// the same seeded byte hash as FiveTuple::Id / AddrPair::Id.
+FlowId SrcOnlyId(uint32_t src_ip);
+
 }  // namespace hk
 
 #endif  // HK_COMMON_FLOW_KEY_H_

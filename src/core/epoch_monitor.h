@@ -39,6 +39,16 @@ class EpochMonitor {
     }
   }
 
+  // Weighted insert (byte-weighted ingest replay): one packet carrying
+  // `weight` units. Rotation still counts packets, matching the paper's
+  // "each period is 10M packets" framing.
+  void InsertWeighted(FlowId id, uint64_t weight) {
+    current_->InsertWeighted(id, weight);
+    if (++in_epoch_ >= epoch_packets_) {
+      Rotate();
+    }
+  }
+
   // Report of the last *completed* epoch (empty until one completes).
   const std::vector<FlowCount>& LastReport() const { return last_report_; }
 

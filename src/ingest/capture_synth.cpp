@@ -1,0 +1,57 @@
+#include "ingest/capture_synth.h"
+
+#include <unordered_map>
+
+#include "common/random.h"
+
+namespace hk {
+
+Trace SynthesizeCapture(const ZipfTraceConfig& config, const std::string& path,
+                        const CaptureSynthOptions& options, CaptureSynthStats* stats) {
+  Trace trace = MakeZipfTrace(config);
+
+  // Rebuild the id -> header-fields mapping for every candidate rank. The
+  // trace stores only hashed ids; the ranks regenerate the exact tuples
+  // those ids came from (collisions on 64-bit ids are negligible and would
+  // only repoint a mouse flow).
+  std::unordered_map<FlowId, FiveTuple> tuples;
+  tuples.reserve(config.num_ranks);
+  for (uint64_t rank = 0; rank < config.num_ranks; ++rank) {
+    tuples.emplace(RankToFlowId(rank, config.key_kind, config.seed),
+                   RankToTuple(rank, config.key_kind, config.seed));
+  }
+
+  PcapWriter writer;
+  if (!writer.Open(path, options.file)) {
+    return Trace{};
+  }
+
+  Rng rng(options.length_seed);
+  const uint32_t span = options.max_wire > options.min_wire
+                            ? options.max_wire - options.min_wire + 1
+                            : 1;
+  CaptureSynthStats local;
+  for (size_t i = 0; i < trace.packets.size(); ++i) {
+    const FiveTuple& tuple = tuples.at(trace.packets[i]);
+    const uint64_t ts = options.start_ns + static_cast<uint64_t>(i) * options.gap_ns;
+    const uint32_t wire = options.min_wire + static_cast<uint32_t>(rng.NextBounded(span));
+    const bool ipv6 = options.ipv6_every != 0 && i % options.ipv6_every == options.ipv6_every - 1;
+    const uint16_t vlan =
+        options.vlan_every != 0 && i % options.vlan_every == options.vlan_every - 1 ? 42 : 0;
+    if (!writer.Write(tuple, ts, wire, ipv6, vlan)) {
+      return Trace{};
+    }
+    local.last_timestamp_ns = ts;
+  }
+  if (!writer.Close()) {
+    return Trace{};
+  }
+  local.packets = writer.packets_written();
+  local.wire_bytes = writer.wire_bytes_written();
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return trace;
+}
+
+}  // namespace hk

@@ -1,0 +1,58 @@
+// Capture synthesis: turn a workload generator config into a valid pcap /
+// pcapng file whose parsed flow stream is bit-identical to the generated
+// Trace - exact ground truth for the ingestion path.
+//
+// The bridge is RankToTuple (trace/generators.h): every rank's header
+// fields are derived deterministically, MakeZipfTrace derives the same
+// ranks' FlowIds from those fields, and PcapReader re-derives the ids from
+// the parsed headers. So for kFiveTuple13B traces read under the 5-tuple
+// policy (and kAddrPair8B under the pair policy), Oracle(trace) is the
+// exact per-flow truth of the capture.
+//
+// Timestamps are start_ns + i * gap_ns (capture order = trace order), and
+// wire lengths are seeded uniform draws in [min_wire, max_wire] - the
+// byte-weighted replay's ground truth accumulates from the reader itself.
+// vlan_every / ipv6_every sprinkle 802.1Q tags and IPv6 framings over the
+// stream to keep the parser's variant paths honest in round-trip tests
+// (both preserve flow identity: the VLAN tag is stripped, and the IPv6
+// fold recovers the embedded 32-bit addresses).
+#ifndef HK_INGEST_CAPTURE_SYNTH_H_
+#define HK_INGEST_CAPTURE_SYNTH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ingest/pcap_writer.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+
+namespace hk {
+
+struct CaptureSynthOptions {
+  PcapWriterOptions file;
+  uint64_t start_ns = 1'500'000'000ULL * 1'000'000'000ULL;  // an epoch-ish instant
+  uint64_t gap_ns = 1000;   // inter-packet gap (1000 keeps the us format exact)
+  uint32_t min_wire = 64;   // wire-length draw, inclusive
+  uint32_t max_wire = 1500;
+  uint64_t length_seed = 7;  // seeds the wire-length draws
+  uint32_t vlan_every = 0;   // every Nth packet 802.1Q-tagged (0 = never)
+  uint32_t ipv6_every = 0;   // every Nth packet framed as IPv6 (0 = never)
+};
+
+struct CaptureSynthStats {
+  uint64_t packets = 0;
+  uint64_t wire_bytes = 0;
+  uint64_t last_timestamp_ns = 0;
+};
+
+// Generate MakeZipfTrace(config), write it to `path` as a capture, and
+// return the trace (its Oracle is the capture's exact packet-count ground
+// truth under the matching key policy). Returns an empty trace (zero
+// packets) on I/O failure.
+Trace SynthesizeCapture(const ZipfTraceConfig& config, const std::string& path,
+                        const CaptureSynthOptions& options,
+                        CaptureSynthStats* stats = nullptr);
+
+}  // namespace hk
+
+#endif  // HK_INGEST_CAPTURE_SYNTH_H_

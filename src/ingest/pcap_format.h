@@ -1,0 +1,86 @@
+// On-disk capture formats shared by PcapReader and PcapWriter.
+//
+// Two container formats, both implemented from scratch (the subsystem has
+// zero external dependencies - no libpcap):
+//
+//   * classic pcap  - 24-byte global header (magic selects endianness and
+//     microsecond vs nanosecond timestamps) followed by 16-byte per-record
+//     headers;
+//   * pcapng        - a block stream (Section Header / Interface Description
+//     / Enhanced Packet / Simple Packet blocks; anything else is skipped by
+//     length). The SHB's byte-order magic fixes the section endianness, and
+//     each interface carries its own linktype and timestamp resolution
+//     (if_tsresol option).
+//
+// Only the subset needed to ingest real traces is modeled; constants follow
+// the published formats (IETF draft-ietf-opsawg-pcap / pcapng) so captures
+// from tcpdump/wireshark parse directly.
+#ifndef HK_INGEST_PCAP_FORMAT_H_
+#define HK_INGEST_PCAP_FORMAT_H_
+
+#include <cstdint>
+
+namespace hk {
+
+enum class PcapFormat {
+  kPcap,    // classic libpcap container
+  kPcapNg,  // pcapng block stream
+};
+
+namespace pcapfmt {
+
+// Classic pcap magics (reader accepts all four; writer emits host order).
+inline constexpr uint32_t kMagicMicros = 0xa1b2c3d4u;         // microsecond stamps
+inline constexpr uint32_t kMagicMicrosSwapped = 0xd4c3b2a1u;  // other endianness
+inline constexpr uint32_t kMagicNanos = 0xa1b23c4du;          // nanosecond variant
+inline constexpr uint32_t kMagicNanosSwapped = 0x4d3cb2a1u;
+
+inline constexpr uint16_t kPcapVersionMajor = 2;
+inline constexpr uint16_t kPcapVersionMinor = 4;
+inline constexpr uint32_t kPcapGlobalHeaderBytes = 24;
+inline constexpr uint32_t kPcapRecordHeaderBytes = 16;
+
+// pcapng block types.
+inline constexpr uint32_t kBlockSectionHeader = 0x0a0d0d0au;
+inline constexpr uint32_t kBlockInterfaceDescription = 0x00000001u;
+inline constexpr uint32_t kBlockSimplePacket = 0x00000003u;
+inline constexpr uint32_t kBlockEnhancedPacket = 0x00000006u;
+
+inline constexpr uint32_t kByteOrderMagic = 0x1a2b3c4du;
+inline constexpr uint32_t kByteOrderMagicSwapped = 0x4d3c2b1au;
+
+// pcapng option codes (the subset we use).
+inline constexpr uint16_t kOptEndOfOpt = 0;
+inline constexpr uint16_t kOptIfTsResol = 9;
+
+// Link-layer types (pcap linktype / pcapng IDB LinkType).
+inline constexpr uint32_t kLinkTypeNull = 0;      // BSD loopback: 4-byte AF header
+inline constexpr uint32_t kLinkTypeEthernet = 1;  // Ethernet II
+inline constexpr uint32_t kLinkTypeRaw = 101;     // raw IPv4/IPv6, no link header
+
+// Ethertypes.
+inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr uint16_t kEtherTypeIpv6 = 0x86dd;
+inline constexpr uint16_t kEtherTypeVlan = 0x8100;   // 802.1Q
+inline constexpr uint16_t kEtherTypeQinQ = 0x88a8;   // 802.1ad stacked tags
+
+// IP protocol numbers.
+inline constexpr uint8_t kProtoTcp = 6;
+inline constexpr uint8_t kProtoUdp = 17;
+
+// IPv6 extension headers the parser walks through to find the transport
+// header (bounded walk; anything else terminates the chain).
+inline constexpr uint8_t kIpv6HopByHop = 0;
+inline constexpr uint8_t kIpv6Routing = 43;
+inline constexpr uint8_t kIpv6Fragment = 44;
+inline constexpr uint8_t kIpv6DestOpts = 60;
+
+// Sanity cap on a single record's captured length: a caplen beyond this is
+// a corrupt file, not a jumbo frame, and the reader stops cleanly instead
+// of allocating or walking gigabytes.
+inline constexpr uint32_t kMaxSaneCaplen = 256 * 1024 * 1024;
+
+}  // namespace pcapfmt
+}  // namespace hk
+
+#endif  // HK_INGEST_PCAP_FORMAT_H_

@@ -1,0 +1,225 @@
+#include "ingest/pcap_writer.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hk {
+
+using namespace pcapfmt;
+
+namespace {
+
+void Put8(std::vector<uint8_t>& out, uint8_t v) { out.push_back(v); }
+
+void Put16(std::vector<uint8_t>& out, uint16_t v) {  // host order (container fields)
+  uint8_t b[2];
+  std::memcpy(b, &v, sizeof(b));
+  out.insert(out.end(), b, b + sizeof(b));
+}
+
+void Put32(std::vector<uint8_t>& out, uint32_t v) {
+  uint8_t b[4];
+  std::memcpy(b, &v, sizeof(b));
+  out.insert(out.end(), b, b + sizeof(b));
+}
+
+void PutBe16(std::vector<uint8_t>& out, uint16_t v) {  // network order (wire headers)
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void PutBe32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 24));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+// Build the captured frame: Ethernet [+ VLAN] + IPv4/IPv6 + TCP/UDP
+// headers, no payload.
+void BuildFrame(std::vector<uint8_t>& frame, const FiveTuple& t, uint32_t wire_len,
+                bool ipv6, uint16_t vlan) {
+  frame.clear();
+  // Ethernet II: fixed locally-administered MACs (content is irrelevant to
+  // flow identity, but keeps the frame structurally honest).
+  const uint8_t dst_mac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+  const uint8_t src_mac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+  frame.insert(frame.end(), dst_mac, dst_mac + 6);
+  frame.insert(frame.end(), src_mac, src_mac + 6);
+  if (vlan != 0) {
+    PutBe16(frame, kEtherTypeVlan);
+    PutBe16(frame, vlan & 0x0fff);
+  }
+  PutBe16(frame, ipv6 ? kEtherTypeIpv6 : kEtherTypeIpv4);
+
+  const bool tcp = t.proto == kProtoTcp;
+  const size_t l4_bytes = tcp ? 20 : 8;
+
+  if (!ipv6) {
+    const size_t l2_bytes = frame.size();
+    // Claimed IPv4 total length: wire length minus link header, clamped to
+    // the 16-bit field and up to the headers we actually emit.
+    uint32_t tot = wire_len > l2_bytes ? wire_len - static_cast<uint32_t>(l2_bytes) : 0;
+    tot = std::max<uint32_t>(tot, static_cast<uint32_t>(20 + l4_bytes));
+    tot = std::min<uint32_t>(tot, 65535);
+    Put8(frame, 0x45);  // version 4, ihl 5
+    Put8(frame, 0);     // TOS
+    PutBe16(frame, static_cast<uint16_t>(tot));
+    PutBe16(frame, 0);       // identification
+    PutBe16(frame, 0x4000);  // don't-fragment, offset 0
+    Put8(frame, 64);         // TTL
+    Put8(frame, t.proto);
+    PutBe16(frame, 0);  // checksum: not validated by the reader
+    PutBe32(frame, t.src_ip);
+    PutBe32(frame, t.dst_ip);
+  } else {
+    // IPv6 whose addresses fold (XOR of the four words) back to the
+    // tuple's 32-bit values: word 0 carries the value, the rest are zero.
+    uint32_t payload = wire_len > 54 ? wire_len - 54 : 0;
+    payload = std::max<uint32_t>(payload, static_cast<uint32_t>(l4_bytes));
+    payload = std::min<uint32_t>(payload, 65535);
+    PutBe32(frame, 0x60000000);  // version 6, no traffic class / flow label
+    PutBe16(frame, static_cast<uint16_t>(payload));
+    Put8(frame, t.proto);  // next header
+    Put8(frame, 64);       // hop limit
+    PutBe32(frame, t.src_ip);
+    for (int i = 0; i < 3; ++i) {
+      PutBe32(frame, 0);
+    }
+    PutBe32(frame, t.dst_ip);
+    for (int i = 0; i < 3; ++i) {
+      PutBe32(frame, 0);
+    }
+  }
+
+  if (tcp) {
+    PutBe16(frame, t.src_port);
+    PutBe16(frame, t.dst_port);
+    PutBe32(frame, 0);       // seq
+    PutBe32(frame, 0);       // ack
+    Put8(frame, 0x50);       // data offset 5
+    Put8(frame, 0x10);       // ACK
+    PutBe16(frame, 0xffff);  // window
+    PutBe16(frame, 0);       // checksum
+    PutBe16(frame, 0);       // urgent
+  } else {
+    PutBe16(frame, t.src_port);
+    PutBe16(frame, t.dst_port);
+    PutBe16(frame, 8);  // UDP length: header only (payload is not captured)
+    PutBe16(frame, 0);  // checksum
+  }
+}
+
+}  // namespace
+
+bool PcapWriter::Open(const std::string& path, const PcapWriterOptions& options) {
+  Close();
+  options_ = options;
+  packets_ = 0;
+  wire_bytes_ = 0;
+  ok_ = true;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return false;
+  }
+
+  std::vector<uint8_t> header;
+  if (options_.format == PcapFormat::kPcap) {
+    Put32(header, options_.nanosecond ? kMagicNanos : kMagicMicros);
+    Put16(header, kPcapVersionMajor);
+    Put16(header, kPcapVersionMinor);
+    Put32(header, 0);  // thiszone
+    Put32(header, 0);  // sigfigs
+    Put32(header, options_.snaplen);
+    Put32(header, kLinkTypeEthernet);
+  } else {
+    // Section Header Block.
+    Put32(header, kBlockSectionHeader);
+    Put32(header, 28);
+    Put32(header, kByteOrderMagic);
+    Put16(header, 1);  // major
+    Put16(header, 0);  // minor
+    Put32(header, 0xffffffffu);  // section length: unspecified
+    Put32(header, 0xffffffffu);
+    Put32(header, 28);
+    // Interface Description Block: Ethernet, nanosecond resolution.
+    Put32(header, kBlockInterfaceDescription);
+    Put32(header, 32);
+    Put16(header, static_cast<uint16_t>(kLinkTypeEthernet));
+    Put16(header, 0);  // reserved
+    Put32(header, options_.snaplen);
+    Put16(header, kOptIfTsResol);
+    Put16(header, 1);
+    Put8(header, 9);  // 10^-9 seconds
+    Put8(header, 0);
+    Put8(header, 0);
+    Put8(header, 0);  // option padding
+    Put16(header, kOptEndOfOpt);
+    Put16(header, 0);
+    Put32(header, 32);
+  }
+  PutBlock(header);
+  return ok_;
+}
+
+bool PcapWriter::Write(const FiveTuple& tuple, uint64_t timestamp_ns, uint32_t wire_len,
+                       bool ipv6, uint16_t vlan) {
+  if (file_ == nullptr || !ok_) {
+    return false;
+  }
+  std::vector<uint8_t> frame;
+  BuildFrame(frame, tuple, wire_len, ipv6, vlan);
+  uint32_t caplen = static_cast<uint32_t>(frame.size());
+  if (caplen > options_.snaplen) {
+    frame.resize(options_.snaplen);
+    caplen = options_.snaplen;
+  }
+  const uint32_t origlen = std::max(wire_len, caplen);
+
+  scratch_.clear();
+  if (options_.format == PcapFormat::kPcap) {
+    const uint64_t frac = options_.nanosecond ? timestamp_ns % 1'000'000'000ULL
+                                              : (timestamp_ns / 1000) % 1'000'000ULL;
+    Put32(scratch_, static_cast<uint32_t>(timestamp_ns / 1'000'000'000ULL));
+    Put32(scratch_, static_cast<uint32_t>(frac));
+    Put32(scratch_, caplen);
+    Put32(scratch_, origlen);
+    scratch_.insert(scratch_.end(), frame.begin(), frame.end());
+  } else {
+    const uint32_t padded = (caplen + 3u) & ~3u;
+    const uint32_t total = 32 + padded;
+    Put32(scratch_, kBlockEnhancedPacket);
+    Put32(scratch_, total);
+    Put32(scratch_, 0);  // interface id
+    Put32(scratch_, static_cast<uint32_t>(timestamp_ns >> 32));
+    Put32(scratch_, static_cast<uint32_t>(timestamp_ns));
+    Put32(scratch_, caplen);
+    Put32(scratch_, origlen);
+    scratch_.insert(scratch_.end(), frame.begin(), frame.end());
+    scratch_.resize(scratch_.size() + (padded - caplen), 0);
+    Put32(scratch_, total);
+  }
+  PutBlock(scratch_);
+  if (ok_) {
+    ++packets_;
+    wire_bytes_ += origlen;
+  }
+  return ok_;
+}
+
+bool PcapWriter::Close() {
+  if (file_ == nullptr) {
+    return true;
+  }
+  const bool flushed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  return ok_ && flushed;
+}
+
+void PcapWriter::PutBlock(const std::vector<uint8_t>& block) {
+  if (std::fwrite(block.data(), 1, block.size(), file_) != block.size()) {
+    ok_ = false;
+  }
+}
+
+}  // namespace hk

@@ -1,0 +1,68 @@
+// TraceReplayer: drive a capture through any TopKAlgorithm.
+//
+// The replayer is the glue between the ingest layer and the measurement
+// layer: it streams PacketRecords from a PcapReader in capture (timestamp)
+// order and applies them through the batch-first TopKAlgorithm v2 API -
+// InsertBatch bursts of flow ids, or weighted bursts of (id, wire_len)
+// when byte_weighted is set (byte-count measurement, the mode the paper's
+// flow-size definition footnotes). Any registry-built algorithm works,
+// including the threaded ShardedTopK front-end: Flush() runs at
+// end-of-stream inside the timed region so stats cover applied packets.
+//
+// Windowed mode: the EpochMonitor overload rotates the monitor whenever
+// the capture timestamp crosses an epoch_ns boundary - capture-time
+// windows rather than packet-count windows, so a bursty capture reports
+// what a wall-clock deployment would have reported. Packets are applied
+// one by one in this mode (a window boundary may fall anywhere); the
+// batched overload is the throughput path.
+#ifndef HK_INGEST_TRACE_REPLAYER_H_
+#define HK_INGEST_TRACE_REPLAYER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/epoch_monitor.h"
+#include "ingest/pcap_reader.h"
+#include "sketch/topk_algorithm.h"
+
+namespace hk {
+
+struct ReplayOptions {
+  size_t batch = 512;          // records per InsertBatch burst
+  bool byte_weighted = false;  // weight every packet by its wire length
+  uint64_t epoch_ns = 0;       // EpochMonitor overload: window width (0 = one window)
+};
+
+struct ReplayStats {
+  uint64_t packets = 0;      // records applied
+  uint64_t wire_bytes = 0;   // sum of applied wire lengths
+  uint64_t first_ts_ns = 0;  // capture timestamps of the applied stream
+  uint64_t last_ts_ns = 0;
+  uint64_t epochs = 0;       // capture-time rotations triggered (windowed mode)
+  double seconds = 0.0;      // wall time of the parse+insert loop, Flush included
+};
+
+class TraceReplayer {
+ public:
+  explicit TraceReplayer(const ReplayOptions& options = {}) : options_(options) {}
+
+  // Stream every remaining packet in `reader` through `algo` in InsertBatch
+  // bursts. The reader's stats/error surface parse-side outcomes; the
+  // returned stats cover the applied stream.
+  ReplayStats Replay(PcapReader& reader, TopKAlgorithm& algo) const;
+
+  // Windowed replay: apply packets one by one and Rotate() the monitor
+  // when a packet's capture timestamp lands epoch_ns or more past the
+  // current window's start. The monitor's own packet-count rotation (if
+  // configured finite) still applies.
+  ReplayStats Replay(PcapReader& reader, EpochMonitor& monitor) const;
+
+  const ReplayOptions& options() const { return options_; }
+
+ private:
+  ReplayOptions options_;
+};
+
+}  // namespace hk
+
+#endif  // HK_INGEST_TRACE_REPLAYER_H_

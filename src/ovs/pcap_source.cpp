@@ -1,0 +1,27 @@
+#include "ovs/pcap_source.h"
+
+#include "ingest/pcap_reader.h"
+
+namespace hk {
+
+std::vector<RawPacket> LoadPcapWirePackets(const std::string& path, size_t limit,
+                                           std::string* error) {
+  std::vector<RawPacket> packets;
+  PcapReader reader(PcapKeyPolicy::kFiveTuple);
+  if (!reader.Open(path)) {
+    if (error != nullptr) {
+      *error = reader.error();
+    }
+    return packets;
+  }
+  PacketRecord record;
+  while ((limit == 0 || packets.size() < limit) && reader.Next(&record)) {
+    packets.push_back(PackHeader(record.tuple));
+  }
+  if (error != nullptr) {
+    *error = reader.error();  // empty on a clean end-of-stream
+  }
+  return packets;
+}
+
+}  // namespace hk

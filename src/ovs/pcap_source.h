@@ -1,0 +1,30 @@
+// Pcap source mode for the simulated OVS pipeline (Section VII).
+//
+// The pipeline's producer side consumes pre-packed 13-byte wire headers
+// (ovs/datapath.h RawPacket); this adapter loads them from a real capture
+// instead of the synthetic Zipf packer, so fig34-style throughput runs and
+// the switch_monitor example can be driven by recorded traffic. Each
+// parsed IP packet's 5-tuple (IPv6 folded, see ingest/pcap_reader.h) is
+// re-packed through PackHeader - exactly the header bytes the simulated
+// datapath parses back per packet.
+#ifndef HK_OVS_PCAP_SOURCE_H_
+#define HK_OVS_PCAP_SOURCE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ovs/datapath.h"
+
+namespace hk {
+
+// Load up to `limit` packets (0 = all) from a pcap/pcapng capture as wire
+// packets for RunPipelines. Returns an empty vector when the capture
+// cannot be opened or holds no IP packets; `error` (optional) carries the
+// reader's diagnostic.
+std::vector<RawPacket> LoadPcapWirePackets(const std::string& path, size_t limit = 0,
+                                           std::string* error = nullptr);
+
+}  // namespace hk
+
+#endif  // HK_OVS_PCAP_SOURCE_H_

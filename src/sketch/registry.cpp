@@ -109,16 +109,18 @@ size_t ParseMemory(const std::string& value) {
 }
 
 KeyKind ParseKeyKind(const std::string& value) {
-  if (value == "4") {
+  // Numeric widths, plus the ingest layer's key-policy names (src/ingest/
+  // pcap_reader.h) so a spec can say key=5tuple next to hk_cli --key.
+  if (value == "4" || value == "src" || value == "src-only") {
     return KeyKind::kSynthetic4B;
   }
-  if (value == "8") {
+  if (value == "8" || value == "pair" || value == "addr-pair") {
     return KeyKind::kAddrPair8B;
   }
-  if (value == "13") {
+  if (value == "13" || value == "5tuple" || value == "five-tuple") {
     return KeyKind::kFiveTuple13B;
   }
-  Fail("sketch spec: key= must be 4, 8 or 13 (got '" + value + "')");
+  Fail("sketch spec: key= must be 4|src, 8|pair or 13|5tuple (got '" + value + "')");
 }
 
 }  // namespace

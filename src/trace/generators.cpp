@@ -38,24 +38,35 @@ std::vector<uint64_t> AllocateSizes(const ZipfDistribution& dist, uint64_t total
 
 }  // namespace
 
-FlowId RankToFlowId(uint64_t rank, KeyKind kind, uint64_t seed) {
-  // Derive the id through the same path real keys take, so key-kind specific
-  // examples can reconstruct header fields from the rank deterministically.
+FiveTuple RankToTuple(uint64_t rank, KeyKind kind, uint64_t seed) {
   SplitMix64 sm(seed ^ Mix64(rank + 1));
+  FiveTuple t;
   switch (kind) {
     case KeyKind::kSynthetic4B: {
-      // 4-byte key space as in the paper's synthetic traces.
-      const uint32_t key = static_cast<uint32_t>(sm.Next());
-      return HashBytes(&key, sizeof(key), seed);
+      // The 4-byte synthetic key doubles as the source address; the rest of
+      // the tuple is filler (the id hashes the key with the trace seed, so
+      // no header-derived policy reproduces it - see the header comment).
+      const uint64_t a = sm.Next();
+      const uint64_t b = sm.Next();
+      t.src_ip = static_cast<uint32_t>(a);
+      t.dst_ip = static_cast<uint32_t>(b);
+      t.src_port = static_cast<uint16_t>(b >> 32);
+      t.dst_port = static_cast<uint16_t>(b >> 48);
+      t.proto = (a >> 32) % 2 == 0 ? 6 : 17;
+      break;
     }
     case KeyKind::kAddrPair8B: {
-      AddrPair p;
-      p.src_ip = static_cast<uint32_t>(sm.Next());
-      p.dst_ip = static_cast<uint32_t>(sm.Next());
-      return p.Id();
+      // First two draws fix the address pair exactly as RankToFlowId always
+      // did; the extra draw fills transport fields the pair id ignores.
+      t.src_ip = static_cast<uint32_t>(sm.Next());
+      t.dst_ip = static_cast<uint32_t>(sm.Next());
+      const uint64_t b = sm.Next();
+      t.src_port = static_cast<uint16_t>(b);
+      t.dst_port = static_cast<uint16_t>(b >> 16);
+      t.proto = (b >> 32) % 2 == 0 ? 6 : 17;
+      break;
     }
     case KeyKind::kFiveTuple13B: {
-      FiveTuple t;
       const uint64_t a = sm.Next();
       const uint64_t b = sm.Next();
       t.src_ip = static_cast<uint32_t>(a);
@@ -63,8 +74,28 @@ FlowId RankToFlowId(uint64_t rank, KeyKind kind, uint64_t seed) {
       t.src_port = static_cast<uint16_t>(b);
       t.dst_port = static_cast<uint16_t>(b >> 16);
       t.proto = (b >> 32) % 2 == 0 ? 6 : 17;  // TCP or UDP
-      return t.Id();
+      break;
     }
+  }
+  return t;
+}
+
+FlowId RankToFlowId(uint64_t rank, KeyKind kind, uint64_t seed) {
+  // Derive the id through the same path real keys take, so key-kind specific
+  // examples can reconstruct header fields from the rank deterministically.
+  switch (kind) {
+    case KeyKind::kSynthetic4B: {
+      // 4-byte key space as in the paper's synthetic traces.
+      SplitMix64 sm(seed ^ Mix64(rank + 1));
+      const uint32_t key = static_cast<uint32_t>(sm.Next());
+      return HashBytes(&key, sizeof(key), seed);
+    }
+    case KeyKind::kAddrPair8B: {
+      const FiveTuple t = RankToTuple(rank, kind, seed);
+      return AddrPair{t.src_ip, t.dst_ip}.Id();
+    }
+    case KeyKind::kFiveTuple13B:
+      return RankToTuple(rank, kind, seed).Id();
   }
   return Mix64(rank ^ seed);
 }
@@ -102,7 +133,7 @@ Trace MakeZipfTrace(const ZipfTraceConfig& config) {
   return trace;
 }
 
-Trace MakeCampusTrace(uint64_t num_packets, uint64_t seed) {
+ZipfTraceConfig CampusConfig(uint64_t num_packets, uint64_t seed) {
   if (num_packets == 0) {
     num_packets = 10'000'000;  // paper scale
   }
@@ -114,10 +145,10 @@ Trace MakeCampusTrace(uint64_t num_packets, uint64_t seed) {
   config.key_kind = KeyKind::kFiveTuple13B;
   config.seed = seed;
   config.name = "campus-like";
-  return MakeZipfTrace(config);
+  return config;
 }
 
-Trace MakeCaidaTrace(uint64_t num_packets, uint64_t seed) {
+ZipfTraceConfig CaidaConfig(uint64_t num_packets, uint64_t seed) {
   if (num_packets == 0) {
     num_packets = 10'000'000;  // paper scale
   }
@@ -129,7 +160,15 @@ Trace MakeCaidaTrace(uint64_t num_packets, uint64_t seed) {
   config.key_kind = KeyKind::kAddrPair8B;
   config.seed = seed;
   config.name = "caida-like";
-  return MakeZipfTrace(config);
+  return config;
+}
+
+Trace MakeCampusTrace(uint64_t num_packets, uint64_t seed) {
+  return MakeZipfTrace(CampusConfig(num_packets, seed));
+}
+
+Trace MakeCaidaTrace(uint64_t num_packets, uint64_t seed) {
+  return MakeZipfTrace(CaidaConfig(num_packets, seed));
 }
 
 Trace MakeSyntheticTrace(uint64_t num_packets, double skew, uint64_t seed) {

@@ -55,12 +55,29 @@ Trace MakeCampusTrace(uint64_t num_packets, uint64_t seed);
 // The paper's CAIDA-2016 stand-in.
 Trace MakeCaidaTrace(uint64_t num_packets, uint64_t seed);
 
+// The generator configs behind the two stand-ins, exposed so other
+// workload producers (the pcap capture synthesizer in src/ingest/) can
+// build byte-identical flow populations. MakeCampusTrace(n, s) ==
+// MakeZipfTrace(CampusConfig(n, s)), and likewise for CAIDA.
+ZipfTraceConfig CampusConfig(uint64_t num_packets, uint64_t seed);
+ZipfTraceConfig CaidaConfig(uint64_t num_packets, uint64_t seed);
+
 // The paper's synthetic Zipf datasets (skew 0.6 .. 3.0, 4-byte keys,
 // 1..10M candidate flows depending on skewness, as in Section VI-A).
 Trace MakeSyntheticTrace(uint64_t num_packets, double skew, uint64_t seed);
 
 // Deterministic rank -> FlowId mapping shared by trace builders and streams.
 FlowId RankToFlowId(uint64_t rank, KeyKind kind, uint64_t seed);
+
+// The deterministic header fields behind RankToFlowId: for kFiveTuple13B
+// and kAddrPair8B, hashing the returned tuple under the matching key
+// policy (FiveTuple::Id / AddrPair::Id of its address pair) reproduces
+// RankToFlowId(rank, kind, seed) exactly - the bridge the pcap synthesizer
+// uses to emit packets whose parsed flow ids match a generated Trace
+// bit-for-bit. For kSynthetic4B the key is not a header field (the paper's
+// 4-byte synthetic ids are seed-hashed), so the returned tuple is merely a
+// plausible carrier.
+FiveTuple RankToTuple(uint64_t rank, KeyKind kind, uint64_t seed);
 
 // Unbounded i.i.d. packet stream over a Zipf flow universe (Fig 32).
 class ZipfStream {

@@ -22,7 +22,10 @@ class Oracle {
   Oracle() = default;
   explicit Oracle(const Trace& trace) { AddTrace(trace); }
 
-  void Add(FlowId id, uint64_t count = 1) { counts_[id] += count; }
+  void Add(FlowId id, uint64_t count = 1) {
+    counts_[id] += count;
+    total_ += count;
+  }
   void AddTrace(const Trace& trace);
 
   uint64_t Count(FlowId id) const;

@@ -23,6 +23,20 @@ TEST(EpochMonitorTest, RotatesOnPacketCount) {
   EXPECT_EQ(monitor.packets_in_current_epoch(), 50u);
 }
 
+TEST(EpochMonitorTest, InsertWeightedCountsPacketsNotUnits) {
+  EpochMonitor monitor(HkFactory(), /*epoch_packets=*/100, /*k=*/10);
+  for (int i = 0; i < 100; ++i) {
+    monitor.InsertWeighted(42, 100);  // byte-weighted ingest replay shape
+  }
+  // 100 packets = one rotation, regardless of the 100-unit weights...
+  ASSERT_EQ(monitor.completed_epochs(), 1u);
+  ASSERT_FALSE(monitor.LastReport().empty());
+  EXPECT_EQ(monitor.LastReport()[0].id, 42u);
+  // ...while the report carries the weighted size (10k fits the 16-bit
+  // counters the factory's default layout uses).
+  EXPECT_EQ(monitor.LastReport()[0].count, 10'000u);
+}
+
 TEST(EpochMonitorTest, LastReportIsCompletedWindow) {
   EpochMonitor monitor(HkFactory(), 100, 10);
   for (int i = 0; i < 100; ++i) {

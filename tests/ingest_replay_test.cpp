@@ -1,0 +1,260 @@
+// End-to-end ingestion differential tests over the committed fixture
+// captures (tests/data/fixture_campus.pcap, fixture_caida.pcapng; see
+// ingest_roundtrip_test.cpp for the regeneration recipe).
+//
+// The fixture stream is the real-trace analogue of differential_test.cpp:
+// every registered sketch replays the capture through TraceReplayer and
+// must keep the same structural invariants and recall floors it holds on
+// synthetic traces, and the ISSUE 5 acceptance pins precision >= 0.9 for
+// HK-Minimum and its 4-way sharding against the capture's exact oracle.
+// Byte-weighted replay and capture-time epoch windows ride the same
+// fixtures.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/epoch_monitor.h"
+#include "ingest/pcap_reader.h"
+#include "ingest/trace_replayer.h"
+#include "metrics/accuracy.h"
+#include "sketch/registry.h"
+#include "trace/oracle.h"
+
+namespace hk {
+namespace {
+
+constexpr size_t kK = 20;
+
+std::string CampusFixture() { return std::string(HK_TEST_DATA_DIR) + "/fixture_campus.pcap"; }
+std::string CaidaFixture() { return std::string(HK_TEST_DATA_DIR) + "/fixture_caida.pcapng"; }
+
+struct Fixture {
+  Oracle oracle;        // packet counts
+  Oracle byte_oracle;   // wire-length weighted counts
+  uint64_t packets = 0;
+  uint64_t wire_bytes = 0;
+  uint64_t first_ts_ns = 0;
+  uint64_t last_ts_ns = 0;
+};
+
+const Fixture& LoadFixture(const std::string& path, PcapKeyPolicy policy) {
+  static std::unordered_map<std::string, Fixture> cache;
+  auto it = cache.find(path);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  Fixture f;
+  PcapReader reader(policy);
+  EXPECT_TRUE(reader.Open(path)) << reader.error();
+  PacketRecord record;
+  bool first = true;
+  while (reader.Next(&record)) {
+    f.oracle.Add(record.id);
+    f.byte_oracle.Add(record.id, record.wire_len);
+    if (first) {
+      f.first_ts_ns = record.timestamp_ns;
+      first = false;
+    }
+    f.last_ts_ns = record.timestamp_ns;
+  }
+  EXPECT_TRUE(reader.ok()) << reader.error();
+  f.packets = reader.stats().packets;
+  f.wire_bytes = reader.stats().wire_bytes;
+  EXPECT_GT(f.packets, 0u) << "fixture missing or empty: " << path;
+  return cache.emplace(path, std::move(f)).first->second;
+}
+
+SketchDefaults CampusDefaults() {
+  SketchDefaults d;
+  d.memory_bytes = 50 * 1024;
+  d.k = kK;
+  d.key_kind = KeyKind::kFiveTuple13B;
+  d.seed = 9;
+  return d;
+}
+
+// Per-family floors, following the synthetic differential harness. Two
+// documented exceptions on this small capture:
+//   * CounterTree - shared-counter noise correction (same 0.2 floor as
+//     differential_test.cpp);
+//   * ColdFilter  - its two filter layers absorb the first kT1 + kT2 = 255
+//     packets of every flow, and the 4k-packet fixture's largest flow is
+//     ~200 packets, so by construction nothing saturates through to the
+//     backing Space-Saving. Structural invariants still apply; recall does
+//     not (a capture-scale property, not a regression).
+double RecallFloor(const std::string& canonical) {
+  if (canonical == "CounterTree") {
+    return 0.2;
+  }
+  if (canonical == "ColdFilter") {
+    return 0.0;
+  }
+  return 0.9;
+}
+
+AccuracyReport ReplayAndEvaluate(const std::string& spec, const std::string& path,
+                                 PcapKeyPolicy policy, const Oracle& oracle) {
+  auto algo = MakeSketch(spec, CampusDefaults());
+  PcapReader reader(policy);
+  EXPECT_TRUE(reader.Open(path)) << reader.error();
+  const TraceReplayer replayer;
+  const ReplayStats stats = replayer.Replay(reader, *algo);
+  EXPECT_EQ(stats.packets, oracle.total_packets());
+  return EvaluateTopK(algo->TopK(kK), oracle, kK);
+}
+
+// The ISSUE 5 acceptance gate: the committed capture replayed through
+// HK-Minimum, plain and 4-way sharded, reaches precision >= 0.9 against
+// the exact oracle of that capture.
+TEST(IngestAcceptanceTest, FixturePrecisionAtLeastPoint9ForHkMinimumAndSharded) {
+  const Fixture& f = LoadFixture(CampusFixture(), PcapKeyPolicy::kFiveTuple);
+  for (const std::string spec : {"HK-Minimum", "Sharded:n=4,inner=HK-Minimum"}) {
+    const AccuracyReport report =
+        ReplayAndEvaluate(spec, CampusFixture(), PcapKeyPolicy::kFiveTuple, f.oracle);
+    EXPECT_GE(report.precision, 0.9) << spec;
+    EXPECT_GE(report.recall, 0.9) << spec;
+  }
+}
+
+TEST(IngestAcceptanceTest, CaidaFixtureUnderPairPolicyHoldsTheSameFloor) {
+  const Fixture& f = LoadFixture(CaidaFixture(), PcapKeyPolicy::kAddrPair);
+  for (const std::string spec : {"HK-Minimum", "Sharded:n=4,inner=HK-Minimum"}) {
+    const AccuracyReport report =
+        ReplayAndEvaluate(spec, CaidaFixture(), PcapKeyPolicy::kAddrPair, f.oracle);
+    EXPECT_GE(report.precision, 0.9) << spec;
+  }
+}
+
+// Every registered sketch, fed by the real-capture path instead of the
+// synthetic generators: structure + recall floors as in differential_test.
+class IngestDifferentialSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IngestDifferentialSweep, InvariantsHoldOnTheFixtureCapture) {
+  const std::string name = GetParam();
+  const std::string canonical = ResolveSketchName(name);
+  ASSERT_FALSE(canonical.empty()) << name;
+  const Fixture& f = LoadFixture(CampusFixture(), PcapKeyPolicy::kFiveTuple);
+
+  auto algo = MakeSketch(name, CampusDefaults());
+  PcapReader reader(PcapKeyPolicy::kFiveTuple);
+  ASSERT_TRUE(reader.Open(CampusFixture())) << reader.error();
+  const TraceReplayer replayer;
+  const ReplayStats stats = replayer.Replay(reader, *algo);
+  EXPECT_EQ(stats.packets, f.packets);
+  EXPECT_EQ(stats.wire_bytes, f.wire_bytes);
+
+  const auto top = algo->TopK(kK);
+  EXPECT_LE(top.size(), kK);
+  std::set<FlowId> distinct;
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_TRUE(distinct.insert(top[i].id).second) << name;
+    if (i > 0) {
+      EXPECT_LE(top[i].count, top[i - 1].count) << name;
+    }
+  }
+  if (canonical != "ColdFilter") {  // see RecallFloor: sub-255-packet flows
+    for (const auto& truth : f.oracle.TopK(5)) {
+      EXPECT_TRUE(distinct.count(truth.id) != 0)
+          << name << " dropped top flow " << truth.id << " (" << truth.count << " packets)";
+    }
+  }
+  const AccuracyReport report = EvaluateTopK(top, f.oracle, kK);
+  EXPECT_GE(report.recall, RecallFloor(canonical)) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistered, IngestDifferentialSweep,
+                         ::testing::ValuesIn(RegisteredSketches()), [](const auto& info) {
+                           std::string s = info.param;
+                           for (auto& c : s) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return s;
+                         });
+
+TEST(IngestReplayTest, ThreadedShardedReplayMatchesSynchronous) {
+  auto sync = MakeSketch("Sharded:n=4,inner=HK-Minimum", CampusDefaults());
+  auto threaded = MakeSketch("Sharded:n=4,threads=1,inner=HK-Minimum", CampusDefaults());
+  const TraceReplayer replayer;
+  for (TopKAlgorithm* algo : {sync.get(), threaded.get()}) {
+    PcapReader reader(PcapKeyPolicy::kFiveTuple);
+    ASSERT_TRUE(reader.Open(CampusFixture())) << reader.error();
+    replayer.Replay(reader, *algo);
+  }
+  EXPECT_EQ(sync->TopK(kK), threaded->TopK(kK));
+}
+
+TEST(IngestReplayTest, ByteWeightedReplayTracksTheByteOracle) {
+  const Fixture& f = LoadFixture(CampusFixture(), PcapKeyPolicy::kFiveTuple);
+  SketchDefaults defaults = CampusDefaults();
+  defaults.memory_bytes = 256 * 1024;  // byte counters need cb=32 headroom
+  auto algo = MakeSketch("HK-Minimum:fp=32,cb=32", defaults);
+
+  PcapReader reader(PcapKeyPolicy::kFiveTuple);
+  ASSERT_TRUE(reader.Open(CampusFixture())) << reader.error();
+  ReplayOptions options;
+  options.byte_weighted = true;
+  const TraceReplayer replayer(options);
+  const ReplayStats stats = replayer.Replay(reader, *algo);
+  EXPECT_EQ(stats.wire_bytes, f.wire_bytes);
+
+  // Collision-free fingerprints: reported byte estimates never exceed the
+  // true byte counts (Theorem 2/4 under byte weighting).
+  const auto top = algo->TopK(kK);
+  ASSERT_FALSE(top.empty());
+  for (const auto& fc : top) {
+    EXPECT_LE(fc.count, f.byte_oracle.Count(fc.id)) << fc.id;
+  }
+  const AccuracyReport report = EvaluateTopK(top, f.byte_oracle, kK);
+  EXPECT_GE(report.precision, 0.9);
+}
+
+TEST(IngestReplayTest, EpochWindowsFollowCaptureTime) {
+  const Fixture& f = LoadFixture(CampusFixture(), PcapKeyPolicy::kFiveTuple);
+  // Window width = a tenth of the capture's span: expect ~10 rotations.
+  const uint64_t span = f.last_ts_ns - f.first_ts_ns;
+  ASSERT_GT(span, 0u);
+  ReplayOptions options;
+  options.epoch_ns = span / 10;
+
+  uint64_t window_packets = 0;
+  std::vector<size_t> report_sizes;
+  EpochMonitor monitor([](uint64_t) { return MakeSketch("HK-Minimum", CampusDefaults()); },
+                       UINT64_MAX, kK, [&](uint64_t, std::vector<FlowCount> report) {
+                         report_sizes.push_back(report.size());
+                       });
+  PcapReader reader(PcapKeyPolicy::kFiveTuple);
+  ASSERT_TRUE(reader.Open(CampusFixture())) << reader.error();
+  const TraceReplayer replayer(options);
+  const ReplayStats stats = replayer.Replay(reader, monitor);
+  window_packets = stats.packets;
+
+  EXPECT_EQ(window_packets, f.packets);
+  EXPECT_GE(stats.epochs, 9u);
+  EXPECT_LE(stats.epochs, 11u);
+  EXPECT_EQ(monitor.completed_epochs(), stats.epochs);
+  for (const size_t size : report_sizes) {
+    EXPECT_GT(size, 0u);  // every closed window saw packets and reports
+  }
+}
+
+TEST(IngestReplayTest, SrcOnlyPolicyCoarsensTheFlowSpace) {
+  const Fixture& five = LoadFixture(CampusFixture(), PcapKeyPolicy::kFiveTuple);
+  Oracle src_oracle;
+  PcapReader reader(PcapKeyPolicy::kSrcOnly);
+  ASSERT_TRUE(reader.Open(CampusFixture())) << reader.error();
+  PacketRecord record;
+  while (reader.Next(&record)) {
+    src_oracle.Add(record.id);
+  }
+  EXPECT_EQ(src_oracle.total_packets(), five.packets);
+  EXPECT_LE(src_oracle.num_flows(), five.oracle.num_flows());
+}
+
+}  // namespace
+}  // namespace hk
