@@ -1,0 +1,180 @@
+// Shared-slab vs sharded concurrent insertion throughput (google-benchmark).
+//
+// The Concurrent front-end's value proposition over Sharded is load
+// balance: N workers CAS into ONE packed-word slab, so a hot key does not
+// pin its whole load on one worker the way hash partitioning does. Two
+// workloads probe that claim:
+//
+//   concurrent/insert/single    the unsharded inner, producer thread only
+//   concurrent/insert/t/N       Concurrent:threads=N, N = 1..8 (scaling)
+//
+//   skew/sharded/n/4            adversarial trace, threaded 4-shard front-end
+//   skew/concurrent/t/4         same trace, shared slab with 4 workers
+//
+// The skew trace is crafted so every elephant lands on ShardPartitioner(4)
+// partition 0: the sharded pipeline serializes the elephant traffic behind
+// one worker, while the shared slab spreads it round-robin. The gates
+// tracked in CI (bench/check_bench_regression.py --concurrent, soft): t=8
+// >= 3x t=1 on a machine with >= 8 free cores, and skew/concurrent >=
+// skew/sharded at 4 workers. The committed baseline JSON
+// (bench/results/BENCH_micro_concurrent_insert.json) was recorded on a
+// 1-core container - treat it as the queueing-overhead floor, not a
+// scaling curve.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "shard/partition.h"
+#include "sketch/registry.h"
+#include "trace/generators.h"
+
+namespace {
+
+using namespace hk;
+
+constexpr size_t kBurst = 4096;
+constexpr size_t kSkewShards = 4;
+
+size_t SketchMegabytes() {
+  const char* env = std::getenv("HK_BENCH_SHARD_MB");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 64;
+}
+
+size_t Scale(size_t fallback) {
+  const char* env = std::getenv("HK_BENCH_SCALE");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : fallback;
+}
+
+const std::vector<FlowId>& ZipfPackets() {
+  static const std::vector<FlowId> packets = [] {
+    ZipfTraceConfig config;
+    config.num_packets = Scale(4'000'000);
+    config.num_ranks = config.num_packets / 2;  // deep tail: most flows are mice
+    config.skew = 1.0;
+    config.seed = 3;
+    return MakeZipfTrace(config).packets;
+  }();
+  return packets;
+}
+
+// Adversarial partition-skew trace: 32 elephants, all filtered onto shard 0
+// of a 4-way partitioner, carrying ~80% of the packets; the mouse tail
+// spreads normally. Round-robin interleave so the elephant stream is not
+// one contiguous run.
+const std::vector<FlowId>& SkewedKeyPackets() {
+  static const std::vector<FlowId> packets = [] {
+    const ShardPartitioner partitioner(kSkewShards);
+    std::vector<FlowId> elephants;
+    for (uint64_t c = 1; elephants.size() < 32; ++c) {
+      const FlowId id = Mix64(c ^ 0x5ca1ab1e5eedULL);
+      if (partitioner.ShardOf(id) == 0) {
+        elephants.push_back(id);
+      }
+    }
+    const size_t total = Scale(4'000'000);
+    const size_t elephant_packets = total * 4 / 5;
+    std::vector<FlowId> out;
+    out.reserve(total);
+    for (size_t i = 0; i < elephant_packets; ++i) {
+      out.push_back(elephants[i % elephants.size()]);
+    }
+    for (size_t i = elephant_packets; i < total; ++i) {
+      out.push_back(Mix64(i + 9'000'000));  // mice, partition-uniform
+    }
+    // Deterministic interleave (no std::shuffle: keep the stream cheap to
+    // regenerate and identical across runs).
+    std::vector<FlowId> mixed;
+    mixed.reserve(out.size());
+    const size_t stride = 5;  // 4 elephants : 1 mouse per window
+    size_t e = 0;
+    size_t m = elephant_packets;
+    while (e < elephant_packets || m < total) {
+      for (size_t j = 0; j + 1 < stride && e < elephant_packets; ++j) {
+        mixed.push_back(out[e++]);
+      }
+      if (m < total) {
+        mixed.push_back(out[m++]);
+      }
+    }
+    return mixed;
+  }();
+  return packets;
+}
+
+std::unique_ptr<TopKAlgorithm> MakeContender(const std::string& spec) {
+  SketchDefaults defaults;
+  defaults.memory_bytes = SketchMegabytes() * 1024 * 1024;
+  defaults.k = 100;
+  defaults.key_kind = KeyKind::kSynthetic4B;
+  defaults.seed = 1;
+  return MakeSketch(spec, defaults);
+}
+
+// One iteration = the whole packet buffer, streamed in bursts and flushed;
+// rings hold at most threads * ring_capacity packets, so without the flush
+// a queued tail would ride for free.
+void StreamAll(TopKAlgorithm& algo, const std::vector<FlowId>& packets,
+               benchmark::State& state) {
+  for (auto _ : state) {
+    for (size_t base = 0; base < packets.size(); base += kBurst) {
+      const size_t n = std::min(kBurst, packets.size() - base);
+      algo.InsertBatch(std::span<const FlowId>(packets.data() + base, n));
+    }
+    algo.Flush();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(packets.size()));
+}
+
+void BM_SingleInsert(benchmark::State& state) {
+  auto algo = MakeContender("HK-Minimum");
+  StreamAll(*algo, ZipfPackets(), state);
+}
+
+void BM_ConcurrentInsert(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  auto algo =
+      MakeContender("Concurrent:threads=" + std::to_string(threads) + ",inner=HK-Minimum");
+  StreamAll(*algo, ZipfPackets(), state);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+void BM_SkewSharded(benchmark::State& state) {
+  auto algo = MakeContender("Sharded:n=" + std::to_string(kSkewShards) +
+                            ",threads=1,inner=HK-Minimum");
+  StreamAll(*algo, SkewedKeyPackets(), state);
+}
+
+void BM_SkewConcurrent(benchmark::State& state) {
+  auto algo = MakeContender("Concurrent:threads=" + std::to_string(kSkewShards) +
+                            ",inner=HK-Minimum");
+  StreamAll(*algo, SkewedKeyPackets(), state);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("concurrent/insert/single", BM_SingleInsert)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("concurrent/insert/t", BM_ConcurrentInsert)
+      ->Arg(1)
+      ->Arg(2)
+      ->Arg(4)
+      ->Arg(8)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();  // workers run off-thread; wall time is the result
+  benchmark::RegisterBenchmark("skew/sharded/n/4", BM_SkewSharded)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+  benchmark::RegisterBenchmark("skew/concurrent/t/4", BM_SkewConcurrent)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

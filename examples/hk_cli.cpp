@@ -11,10 +11,13 @@
 //
 // `--algo` accepts any sketch registry spec (sketch/registry.h): a name
 // from `hk_cli algos` plus optional key=value overrides, e.g.
-// "HK-Minimum:d=4,b=1.05". The sharded multi-core pipeline rides the same
+// "HK-Minimum:d=4,b=1.05". The multi-core front-ends ride the same
 // grammar - "Sharded:n=8,inner=HK-Minimum" partitions the key space over
-// 8 shards, and "Sharded:n=8,threads=1,inner=..." runs them on worker
-// threads. --memory-kb/--k/--seed set the spec's context defaults.
+// 8 shards ("threads=1" runs them on worker threads), and
+// "Concurrent:threads=4,inner=HK-Minimum" runs 4 inserter threads over one
+// shared slab (README "Concurrency modes" for choosing between them).
+// --memory-kb/--k/--seed set the spec's context defaults. Reports go
+// through Snapshot(), the consistency-documented query surface.
 //
 // `ingest` reads a real capture (pcap or pcapng, src/ingest/), replays it
 // through the algorithm in InsertBatch bursts - byte-weighted by wire
@@ -77,8 +80,10 @@ int Usage() {
                "  --key    flow definition: 5tuple (campus), pair (CAIDA), src;\n"
                "           also overrides the key accounting for trace commands\n"
                "  SPEC = NAME[:key=value,...], e.g. \"HK-Minimum:d=4,b=1.05\"\n"
-               "         or \"Sharded:n=8,threads=1,inner=HK-Minimum\" (multi-core;\n"
-               "         inner= swallows the rest of the spec, so it goes last)\n");
+               "         or \"Sharded:n=8,threads=1,inner=HK-Minimum\" (partitioned\n"
+               "         multi-core) or \"Concurrent:threads=4,inner=HK-Minimum\"\n"
+               "         (shared-slab multi-core; inner= swallows the rest of the\n"
+               "         spec, so it goes last)\n");
   return 2;
 }
 
@@ -201,19 +206,22 @@ int RunWithTrace(const Options& opts) {
   algo->InsertBatch(trace.packets);
 
   if (opts.command == "topk") {
+    const QueryResult result = algo->Snapshot({.k = opts.k});
     std::printf("%-6s%-20s%12s\n", "rank", "flow id", "estimate");
-    const auto top = algo->TopK(opts.k);
-    for (size_t i = 0; i < top.size(); ++i) {
+    for (size_t i = 0; i < result.flows.size(); ++i) {
       std::printf("%-6zu%-20llx%12llu\n", i + 1,
-                  static_cast<unsigned long long>(top[i].id),
-                  static_cast<unsigned long long>(top[i].count));
+                  static_cast<unsigned long long>(result.flows[i].id),
+                  static_cast<unsigned long long>(result.flows[i].count));
     }
+    std::printf("(%zu tracked flows, min tracked %llu, %s)\n", result.stats.tracked_flows,
+                static_cast<unsigned long long>(result.stats.min_tracked),
+                result.consistency == ConsistencyLevel::kExact ? "exact" : "relaxed");
     return 0;
   }
 
   // evaluate
   const Oracle oracle(trace);
-  const auto report = EvaluateTopK(algo->TopK(opts.k), oracle, opts.k);
+  const auto report = EvaluateTopK(algo->Snapshot({.k = opts.k}).flows, oracle, opts.k);
   std::printf("%s on %s (%zu KB, k=%zu):\n", algo->name().c_str(), trace.name.c_str(),
               opts.memory_kb, opts.k);
   std::printf("  precision %.4f  recall %.4f  ARE %.6f  AAE %.2f\n", report.precision,
@@ -300,7 +308,9 @@ int Ingest(const Options& opts) {
   reader.Rewind();
 
   const ReplayStats stats = replayer.Replay(reader, *algo);
-  const auto top = algo->TopK(opts.k);
+  // Snapshot quiesces (kExact): the replay may have fed a threaded
+  // front-end whose workers are still draining.
+  const auto top = algo->Snapshot({.k = opts.k}).flows;
   std::printf("%-6s%-20s%14s%14s\n", "rank", "flow id", "estimate", "true");
   for (size_t i = 0; i < top.size() && i < 20; ++i) {
     std::printf("%-6zu%-20llx%14llu%14llu\n", i + 1,
@@ -341,8 +351,10 @@ int main(int argc, char** argv) {
     std::printf(
         "\nAny name takes key=value overrides (\"HK-Minimum:d=4,b=1.05\").\n"
         "\"Sharded:n=8,inner=<spec>\" partitions the key space over 8 shards\n"
-        "(threads=1 for worker threads); inner= swallows the rest of the\n"
-        "spec, so it must come last.\n");
+        "(threads=1 for worker threads); \"Concurrent:threads=4,inner=<spec>\"\n"
+        "runs 4 inserter threads over one shared slab (robust to skewed\n"
+        "keys). In both, inner= swallows the rest of the spec, so it must\n"
+        "come last.\n");
     return 0;
   }
   if (opts.command == "generate") {

@@ -1,0 +1,60 @@
+// Atomic helpers for the shared packed-word slab (concurrent/ mode).
+//
+// The packed fp|counter bucket word (core/heavykeeper.h) is exactly the
+// unit an atomic RMW wants: every bucket transition is a single-word
+// compare-and-swap, and the raise path is the `fetch_max` operation that
+// P0493 standardizes for C++26. Until the hardware op is reachable through
+// <atomic>, AtomicFetchMax below is the canonical fallback: a
+// compare_exchange_weak loop that stops as soon as the stored value is
+// already >= the candidate, so a racing larger raise costs no retry.
+//
+// The helpers are templated over "atomic-like" handles so they serve both
+// std::atomic<T> members (the concurrent candidate store's slot words) and
+// std::atomic_ref<T> views over plain slab words (the shared HeavyKeeper
+// bucket array, whose layout must stay byte-identical to the sequential
+// sketch).
+#ifndef HK_COMMON_ATOMIC_WORD_H_
+#define HK_COMMON_ATOMIC_WORD_H_
+
+#include <atomic>
+
+namespace hk {
+
+// fetch_max (P0493 semantics): atomically store max(current, value) and
+// return the previous value. Monotone: concurrent calls can only raise the
+// word, which is what makes snapshot reads of raised counters lower bounds.
+template <typename AtomicLike, typename T>
+inline T AtomicFetchMax(AtomicLike&& word, T value,
+                        std::memory_order order = std::memory_order_seq_cst) {
+  T prev = word.load(std::memory_order_relaxed);
+  while (prev < value) {
+    if (word.compare_exchange_weak(prev, value, order, std::memory_order_relaxed)) {
+      return prev;
+    }
+  }
+  return prev;
+}
+
+// Tiny test-and-test-and-set spinlock used for the striped candidate-store
+// locks. The critical sections it guards are a handful of word writes, so
+// spinning beats a futex round trip; alignas keeps each stripe on its own
+// cache line.
+class alignas(64) SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // Spin read-only until the holder releases (TTAS: no cache-line
+      // ping-pong while contended).
+      while (flag_.test(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace hk
+
+#endif  // HK_COMMON_ATOMIC_WORD_H_

@@ -1,0 +1,256 @@
+#include "concurrent/concurrent_heavykeeper.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/atomic_word.h"
+
+namespace hk {
+namespace {
+
+template <typename W>
+constexpr W CounterMask(uint32_t counter_bits) {
+  return (static_cast<W>(1) << counter_bits) - 1;
+}
+
+}  // namespace
+
+ConcurrentHeavyKeeper::ConcurrentHeavyKeeper(const HeavyKeeperConfig& config)
+    : config_(config),
+      hashes_(std::min(config.d, HeavyKeeper::kMaxPreparedArrays), config.seed),
+      fingerprint_(std::clamp(config.fingerprint_bits, 1u, 32u),
+                   Mix64(config.seed ^ 0xf1e2d3c4b5a69788ULL)) {
+  if (config.expansion_threshold != 0) {
+    throw std::invalid_argument(
+        "ConcurrentHeavyKeeper: Section III-F expansion resizes the shared slab "
+        "under concurrent writers; configure expand=0");
+  }
+  // Same clamps as HeavyKeeper's constructor: a config lifted from a built
+  // sequential sketch reproduces identical geometry here.
+  config_.max_arrays = std::min(config_.max_arrays, HeavyKeeper::kMaxPreparedArrays);
+  config_.d = std::min(config_.d, HeavyKeeper::kMaxPreparedArrays);
+  config_.fingerprint_bits = std::clamp(config_.fingerprint_bits, 1u, 32u);
+  config_.w =
+      std::min<size_t>(config_.w, (uint64_t{1} << 32) / HeavyKeeper::kMaxPreparedArrays);
+  counter_bits_eff_ = config_.CounterFieldBits();
+  counter_max_ = counter_bits_eff_ >= 32 ? ~0u : ((1u << counter_bits_eff_) - 1);
+  word_bytes_ = config_.BucketBytes();
+  decay_ = &SharedDecayTable(config_.decay_function, config_.b);
+  rows_ = config_.d;
+  slab_.Resize(rows_ * config_.w * word_bytes_);
+}
+
+// Algorithm 1 (Parallel), one atomic transition per mapped bucket. Each
+// bucket is classified from a fresh relaxed load and its transition applied
+// with a CAS on the full word; a failed CAS re-classifies the same bucket
+// (another thread moved it) up to the retry budget. With one inserter every
+// CAS succeeds on the first try, which makes the whole function - including
+// the decay-coin order - identical to HeavyKeeper::InsertParallelImpl.
+template <typename W>
+uint32_t ConcurrentHeavyKeeper::InsertParallelImpl(const Prepared& p, bool monitored,
+                                                   uint64_t nmin, Rng& rng) {
+  W* const words = Words<W>();
+  const uint32_t cb = counter_bits_eff_;
+  const W cmask = CounterMask<W>(cb);
+  const W fpw = static_cast<W>(p.fp) << cb;
+  const uint32_t n = p.n;
+  uint32_t estimate = 0;
+  uint32_t immovable = 0;
+
+  for (uint32_t j = 0; j < n; ++j) {
+    std::atomic_ref<W> word(words[p.idx[j]]);
+    for (int attempt = 0; attempt < kCasRetryBudget; ++attempt) {
+      W seen = word.load(std::memory_order_relaxed);
+      const W cnt = seen & cmask;
+      if (cnt == 0) {
+        // Case 1: claim the empty bucket.
+        if (word.compare_exchange_weak(seen, fpw | static_cast<W>(1),
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+          estimate = std::max(estimate, 1u);
+          break;
+        }
+      } else if ((seen ^ fpw) <= cmask) {
+        // Case 2, gated by Optimization II.
+        uint32_t c32 = static_cast<uint32_t>(cnt);
+        if (!(monitored || c32 <= nmin)) {
+          break;  // gate closed: bucket untouched
+        }
+        if (c32 >= counter_max_) {
+          estimate = std::max(estimate, c32);  // saturated: no store needed
+          break;
+        }
+        if (word.compare_exchange_weak(seen, seen + 1, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+          estimate = std::max(estimate, c32 + 1);
+          break;
+        }
+      } else {
+        // Case 3: probabilistic decay of a mismatching bucket.
+        const uint32_t c32 = static_cast<uint32_t>(cnt);
+        if (c32 >= decay_->cutoff()) {
+          ++immovable;
+          break;
+        }
+        if (!decay_->ShouldDecay(c32, rng)) {
+          break;
+        }
+        const W next = cnt == 1 ? (fpw | static_cast<W>(1)) : (seen - 1);
+        if (word.compare_exchange_weak(seen, next, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+          if (cnt == 1) {
+            estimate = std::max(estimate, 1u);
+          }
+          break;
+        }
+        // CAS lost after a spent coin: the bucket moved, so the coin's
+        // premise (its counter value) is gone; re-classify and flip a fresh
+        // one. Statistically this only decays *less* than the sequential
+        // run would, keeping estimates lower bounds.
+      }
+      if (attempt == kCasRetryBudget - 1) {
+        dropped_units_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (estimate == 0 && immovable == n) {
+    stuck_events_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return estimate;
+}
+
+uint32_t ConcurrentHeavyKeeper::InsertParallel(const Prepared& p, bool monitored,
+                                               uint64_t nmin, Rng& rng) {
+  return wide() ? InsertParallelImpl<uint64_t>(p, monitored, nmin, rng)
+                : InsertParallelImpl<uint32_t>(p, monitored, nmin, rng);
+}
+
+// Algorithm 2 (Minimum), at most one bucket mutated per unit. The scan +
+// act pair must be atomic with respect to the acted-on bucket only, so the
+// whole insert is a retry loop: scan all mapped buckets (relaxed loads),
+// pick the situation exactly as the sequential code does, then CAS the one
+// chosen word against the value the scan saw. A lost CAS restarts the scan
+// with fresh state. One inserter -> every CAS succeeds -> bit-identical to
+// HeavyKeeper::InsertMinimumImpl, coins included.
+template <typename W>
+uint32_t ConcurrentHeavyKeeper::InsertMinimumImpl(const Prepared& p, bool monitored,
+                                                  uint64_t nmin, Rng& rng) {
+  W* const words = Words<W>();
+  const uint32_t cb = counter_bits_eff_;
+  const W cmask = CounterMask<W>(cb);
+  const W fpw = static_cast<W>(p.fp) << cb;
+  const uint32_t n = p.n;
+
+  for (int attempt = 0; attempt < kCasRetryBudget; ++attempt) {
+    int first_empty = -1;
+    int min_j = -1;
+    W min_word = 0;
+    W min_count = 0;
+    bool cas_lost = false;
+
+    // Situation 1 (lines 10-15): first gate-open match absorbs the unit.
+    for (uint32_t j = 0; j < n; ++j) {
+      std::atomic_ref<W> word(words[p.idx[j]]);
+      W seen = word.load(std::memory_order_relaxed);
+      const W cnt = seen & cmask;
+      if (cnt != 0 && (seen ^ fpw) <= cmask) {
+        uint32_t c32 = static_cast<uint32_t>(cnt);
+        if (monitored || c32 <= nmin) {
+          if (c32 >= counter_max_) {
+            return c32;
+          }
+          if (word.compare_exchange_weak(seen, seen + 1, std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+            return c32 + 1;
+          }
+          cas_lost = true;  // bucket moved under us: rescan from scratch
+          break;
+        }
+        // Blocked match (Optimization II): neither empty nor a decay
+        // candidate; Algorithm 2 leaves it untouched.
+      } else if (cnt == 0) {
+        if (first_empty < 0) {
+          first_empty = static_cast<int>(j);
+        }
+      } else if (min_j < 0 || cnt < min_count) {
+        min_j = static_cast<int>(j);
+        min_word = seen;
+        min_count = cnt;
+      }
+    }
+    if (cas_lost) {
+      continue;
+    }
+
+    // Situation 2 (lines 25-28): claim the first empty mapped bucket.
+    if (first_empty >= 0) {
+      std::atomic_ref<W> word(words[p.idx[first_empty]]);
+      W expected = 0;
+      if (word.compare_exchange_strong(expected, fpw | static_cast<W>(1),
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+        return 1;
+      }
+      continue;  // another thread claimed it first
+    }
+
+    // Situation 3 (lines 30-35): minimum decay of the first smallest
+    // counter, against the exact word the scan saw.
+    if (min_j >= 0) {
+      const uint32_t c32 = static_cast<uint32_t>(min_count);
+      if (c32 >= decay_->cutoff()) {
+        stuck_events_.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+      if (!decay_->ShouldDecay(c32, rng)) {
+        return 0;
+      }
+      std::atomic_ref<W> word(words[p.idx[min_j]]);
+      const W next = min_count == 1 ? (fpw | static_cast<W>(1)) : (min_word - 1);
+      W expected = min_word;
+      if (word.compare_exchange_strong(expected, next, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+        return min_count == 1 ? 1 : 0;
+      }
+      continue;  // coin's premise vanished; rescan flips a fresh one
+    }
+
+    return 0;  // only blocked matches mapped: unit falls through untouched
+  }
+
+  dropped_units_.fetch_add(1, std::memory_order_relaxed);
+  return 0;
+}
+
+uint32_t ConcurrentHeavyKeeper::InsertMinimum(const Prepared& p, bool monitored,
+                                              uint64_t nmin, Rng& rng) {
+  return wide() ? InsertMinimumImpl<uint64_t>(p, monitored, nmin, rng)
+                : InsertMinimumImpl<uint32_t>(p, monitored, nmin, rng);
+}
+
+template <typename W>
+uint32_t ConcurrentHeavyKeeper::QueryImpl(const Prepared& p) const {
+  const W* const words = Words<W>();
+  const uint32_t cb = counter_bits_eff_;
+  const W cmask = CounterMask<W>(cb);
+  const W fpw = static_cast<W>(p.fp) << cb;
+  uint32_t best = 0;
+  for (uint32_t j = 0; j < p.n; ++j) {
+    // atomic_ref<const T> lands in C++26 (P3323); cast away constness for
+    // the load-only view until then.
+    std::atomic_ref<W> word(const_cast<W&>(words[p.idx[j]]));
+    const W seen = word.load(std::memory_order_relaxed);
+    const W cnt = seen & cmask;
+    if (cnt != 0 && (seen ^ fpw) <= cmask) {
+      best = std::max(best, static_cast<uint32_t>(cnt));
+    }
+  }
+  return best;
+}
+
+uint32_t ConcurrentHeavyKeeper::QueryPrepared(const Prepared& p) const {
+  return wide() ? QueryImpl<uint64_t>(p) : QueryImpl<uint32_t>(p);
+}
+
+}  // namespace hk

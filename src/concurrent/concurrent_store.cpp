@@ -1,0 +1,314 @@
+#include "concurrent/concurrent_store.h"
+
+#include <algorithm>
+
+namespace hk {
+
+ConcurrentTopKStore::ConcurrentTopKStore(size_t capacity) : capacity_(capacity) {
+  // 4x headroom (vs the sequential store's 2x): tombstones from evictions
+  // occupy chain positions until CompactLocked reclaims them at half the
+  // table, so live + tombstones stays <= 3/4 and probes stay short.
+  size_t n = 16;
+  while (n < capacity * 4) {
+    n <<= 1;
+  }
+  mask_ = n - 1;
+  slots_ = std::make_unique<Slot[]>(n);
+  max_slot_.id.store(kTombstoneId, std::memory_order_relaxed);
+  heap_.reserve(capacity);
+}
+
+ConcurrentTopKStore::Slot* ConcurrentTopKStore::Find(FlowId id) {
+  if (id == kEmptyId) {
+    return has_zero_.load(std::memory_order_acquire) ? &zero_slot_ : nullptr;
+  }
+  if (id == kTombstoneId) {
+    return has_max_.load(std::memory_order_acquire) ? &max_slot_ : nullptr;
+  }
+  size_t i = Mix64(id) & mask_;
+  for (size_t step = 0; step <= mask_; ++step, i = (i + 1) & mask_) {
+    Slot& slot = slots_[i];
+    const FlowId sid = slot.id.load(std::memory_order_acquire);
+    if (sid == id) {
+      return &slot;
+    }
+    if (sid == kEmptyId) {
+      return nullptr;
+    }
+    // Tombstone or another flow: keep probing (chains never break).
+  }
+  return nullptr;  // unreachable outside a racing compaction sweep
+}
+
+void ConcurrentTopKStore::Raise(FlowId id, Slot* slot, uint64_t count) {
+  SpinLock& stripe = StripeOf(id);
+  stripe.lock();
+  // Re-verify under the stripe: eviction tombstones this slot under the
+  // same stripe, so a pass here means the flow is still the occupant and
+  // cannot be evicted until we release.
+  if (slot->id.load(std::memory_order_relaxed) != id) {
+    stripe.unlock();
+    return;
+  }
+  const uint64_t prev = AtomicFetchMax(slot->count, count, std::memory_order_relaxed);
+  if (prev < count && root_id_.load(std::memory_order_relaxed) == id) {
+    root_stale_.store(true, std::memory_order_release);
+  }
+  stripe.unlock();
+}
+
+uint64_t ConcurrentTopKStore::MinCount() {
+  if (root_stale_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    FixRootLocked();
+  }
+  return min_cache_.load(std::memory_order_relaxed);
+}
+
+void ConcurrentTopKStore::Admit(FlowId id, uint64_t count) {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  if (Slot* slot = Find(id)) {
+    // Another thread admitted this flow between our gate and here: the
+    // admission degrades to a raise (same value semantics, no duplicate).
+    Raise(id, slot, count);
+    return;
+  }
+  if (heap_.size() < capacity_) {
+    InsertLocked(id, count);
+  } else if (!heap_.empty()) {
+    FixRootLocked();
+    // Racing fills can send a not-full-gated insert down the full path;
+    // only evict when the newcomer actually beats the fresh minimum. In
+    // the race-free (single-thread) case the caller's gate already
+    // guarantees count > nmin, so this never changes a decision.
+    if (count > heap_[0].count) {
+      ReplaceMinLocked(id, count);
+    }
+  }
+  if (tombstones_ > (mask_ + 1) / 2) {
+    CompactLocked();
+  }
+}
+
+void ConcurrentTopKStore::InsertLocked(FlowId id, uint64_t count) {
+  Slot* slot = ClaimLocked(id, count);
+  heap_.push_back({id, count, slot});
+  SiftUp(heap_.size() - 1);
+  size_.store(heap_.size(), std::memory_order_relaxed);
+  PublishRootLocked();
+}
+
+void ConcurrentTopKStore::ReplaceMinLocked(FlowId id, uint64_t count) {
+  FixRootLocked();  // expel the *fresh* minimum, as the sequential store does
+  EraseLocked(heap_[0]);
+  Slot* slot = ClaimLocked(id, count);
+  heap_[0] = {id, count, slot};
+  SiftDown(0);
+  // The sift may have surfaced an entry raised while it sat below the
+  // root; let the next MinCount() re-verify (lazy store discipline).
+  root_stale_.store(true, std::memory_order_release);
+  PublishRootLocked();
+}
+
+ConcurrentTopKStore::Slot* ConcurrentTopKStore::ClaimLocked(FlowId id, uint64_t count) {
+  if (id == kEmptyId || id == kTombstoneId) {
+    Slot* slot = id == kEmptyId ? &zero_slot_ : &max_slot_;
+    std::atomic<bool>& flag = id == kEmptyId ? has_zero_ : has_max_;
+    SpinLock& stripe = StripeOf(id);
+    stripe.lock();  // exclude stale raisers of a previous incarnation
+    slot->count.store(count, std::memory_order_relaxed);
+    flag.store(true, std::memory_order_release);
+    stripe.unlock();
+    return slot;
+  }
+  size_t place = mask_ + 1;  // npos
+  size_t i = Mix64(id) & mask_;
+  while (true) {
+    const FlowId sid = slots_[i].id.load(std::memory_order_relaxed);
+    if (sid == kEmptyId) {
+      if (place > mask_) {
+        place = i;
+      }
+      break;
+    }
+    if (sid == kTombstoneId && place > mask_) {
+      place = i;  // reuse the first tombstone on the chain
+    }
+    i = (i + 1) & mask_;
+  }
+  Slot& slot = slots_[place];
+  if (slot.id.load(std::memory_order_relaxed) == kTombstoneId) {
+    --tombstones_;
+  }
+  // Publication order: count first, id (release) second, so any reader
+  // that acquires the id also sees the count.
+  slot.count.store(count, std::memory_order_relaxed);
+  slot.id.store(id, std::memory_order_release);
+  return &slot;
+}
+
+void ConcurrentTopKStore::EraseLocked(const HeapEntry& victim) {
+  SpinLock& stripe = StripeOf(victim.id);
+  stripe.lock();
+  if (victim.id == kEmptyId) {
+    has_zero_.store(false, std::memory_order_release);
+  } else if (victim.id == kTombstoneId) {
+    has_max_.store(false, std::memory_order_release);
+  } else {
+    victim.slot->id.store(kTombstoneId, std::memory_order_release);
+    ++tombstones_;
+  }
+  stripe.unlock();
+}
+
+void ConcurrentTopKStore::CompactLocked() {
+  // In-place rebuild. Holding every stripe excludes raisers; lock-free
+  // readers racing the sweep may transiently miss or double-see a flow
+  // (documented kRelaxed behaviour - Entries() dedupes, admission
+  // re-checks under admit_mu_). No slot memory is ever freed, so stale
+  // Find() pointers stay dereferenceable and the stripe re-verify makes
+  // them harmless.
+  for (SpinLock& stripe : stripes_) {
+    stripe.lock();
+  }
+  std::vector<FlowCount> live;
+  live.reserve(heap_.size());
+  for (size_t i = 0; i <= mask_; ++i) {
+    const FlowId sid = slots_[i].id.load(std::memory_order_relaxed);
+    if (sid != kEmptyId) {
+      if (sid != kTombstoneId) {
+        live.push_back({sid, slots_[i].count.load(std::memory_order_relaxed)});
+      }
+      slots_[i].id.store(kEmptyId, std::memory_order_relaxed);
+      slots_[i].count.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const FlowCount& fc : live) {
+    size_t i = Mix64(fc.id) & mask_;
+    while (slots_[i].id.load(std::memory_order_relaxed) != kEmptyId) {
+      i = (i + 1) & mask_;
+    }
+    slots_[i].count.store(fc.count, std::memory_order_relaxed);
+    slots_[i].id.store(fc.id, std::memory_order_release);
+  }
+  tombstones_ = 0;
+  // Slots moved: re-point the heap entries at the rebuilt table.
+  for (HeapEntry& entry : heap_) {
+    if (entry.id != kEmptyId && entry.id != kTombstoneId) {
+      size_t i = Mix64(entry.id) & mask_;
+      while (slots_[i].id.load(std::memory_order_relaxed) != entry.id) {
+        i = (i + 1) & mask_;
+      }
+      entry.slot = &slots_[i];
+    }
+  }
+  for (SpinLock& stripe : stripes_) {
+    stripe.unlock();
+  }
+}
+
+void ConcurrentTopKStore::FixRootLocked() {
+  if (!root_stale_.load(std::memory_order_relaxed) || heap_.empty()) {
+    return;
+  }
+  // Clear the flag *before* reading fresh counts: a raise that lands after
+  // our read re-marks it and the next MinCount() re-fixes.
+  root_stale_.store(false, std::memory_order_relaxed);
+  while (true) {
+    const uint64_t fresh = heap_[0].slot->count.load(std::memory_order_relaxed);
+    if (heap_[0].count == fresh) {
+      break;
+    }
+    heap_[0].count = fresh;
+    SiftDown(0);
+  }
+  PublishRootLocked();
+}
+
+void ConcurrentTopKStore::PublishRootLocked() {
+  if (heap_.empty()) {
+    root_id_.store(kEmptyId, std::memory_order_relaxed);
+    min_cache_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  root_id_.store(heap_[0].id, std::memory_order_relaxed);
+  min_cache_.store(heap_[0].count, std::memory_order_relaxed);
+}
+
+// Hole-based sifts, byte-for-byte the lazy store's discipline (same
+// comparisons, same tie-breaks) so a single-threaded run evolves the heap
+// identically. Keys are the entries' cached lower-bound counts.
+void ConcurrentTopKStore::SiftUp(size_t i) {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (heap_[parent].count <= e.count) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void ConcurrentTopKStore::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  HeapEntry e = heap_[i];
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= n) {
+      break;
+    }
+    if (child + 1 < n && heap_[child + 1].count < heap_[child].count) {
+      ++child;
+    }
+    if (heap_[child].count >= e.count) {
+      break;
+    }
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
+}
+
+std::vector<FlowCount> ConcurrentTopKStore::TopK(size_t k) const {
+  std::vector<FlowCount> all = Entries();
+  const auto cmp = [](const FlowCount& a, const FlowCount& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.id < b.id;
+  };
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(), cmp);
+  all.resize(take);
+  return all;
+}
+
+std::vector<FlowCount> ConcurrentTopKStore::Entries() const {
+  std::vector<FlowCount> all;
+  all.reserve(size() + 2);
+  if (has_zero_.load(std::memory_order_acquire)) {
+    all.push_back({kEmptyId, zero_slot_.count.load(std::memory_order_relaxed)});
+  }
+  if (has_max_.load(std::memory_order_acquire)) {
+    all.push_back({kTombstoneId, max_slot_.count.load(std::memory_order_relaxed)});
+  }
+  for (size_t i = 0; i <= mask_; ++i) {
+    const FlowId sid = slots_[i].id.load(std::memory_order_acquire);
+    if (sid != kEmptyId && sid != kTombstoneId) {
+      all.push_back({sid, slots_[i].count.load(std::memory_order_relaxed)});
+    }
+  }
+  // A read racing CompactLocked's sweep can see a moving flow twice; keep
+  // the larger (fresher) observation. Quiesced reads never hit this.
+  std::sort(all.begin(), all.end(), [](const FlowCount& a, const FlowCount& b) {
+    return a.id != b.id ? a.id < b.id : a.count > b.count;
+  });
+  all.erase(std::unique(all.begin(), all.end(),
+                        [](const FlowCount& a, const FlowCount& b) { return a.id == b.id; }),
+            all.end());
+  return all;
+}
+
+}  // namespace hk

@@ -1,0 +1,163 @@
+// Concurrent top-k candidate store: the lazy-threshold store
+// (summary/lazy_topk.h) re-built for N raising threads.
+//
+// The same observation drives both designs: the per-packet hot path only
+// ever (a) asks "is this flow monitored?" and (b) raises a monitored
+// flow's count, while heap maintenance is needed only when nmin itself may
+// have moved. Here the two paths get different machinery:
+//
+//   * Find() is a lock-free linear probe over atomic slot words. A slot is
+//     {atomic id, atomic count}; empty is id==0, eviction leaves a
+//     tombstone (id==~0) so probe chains never break under readers. The
+//     claim protocol stores the count before release-storing the id, so an
+//     acquire-load of the id publishes the count.
+//   * Raise() runs under one of 64 striped spinlocks (keyed by flow id)
+//     and re-verifies the slot still holds the flow before its fetch_max.
+//     Eviction tombstones the victim under the same stripe, so a raise can
+//     never be misdirected onto a recycled slot - the hazard that would
+//     break the no-overestimation bound (Theorem 2).
+//   * Admission (Admit) serializes on one mutex and mirrors
+//     LazyTopKStore's heap protocol exactly - same SiftUp/SiftDown, same
+//     FixRoot loop, same root_stale_ discipline - so a single-threaded run
+//     evolves the heap bit-identically to the sequential store (eviction
+//     tie-breaks included), which is what makes Concurrent:threads=1
+//     reports bit-equal to the inner pipeline's.
+//
+// MinCount() (the paper's nmin) is read from an atomic cache of the heap
+// root and only takes the admission mutex when a raise of the root marked
+// it stale - the concurrent analogue of the lazy store's amortization.
+//
+// Tombstones accumulated by evictions are reclaimed by an in-place rebuild
+// (CompactLocked) once they cover half the table; the rebuild holds every
+// stripe, so racing raises wait and racing lock-free reads at worst miss /
+// duplicate a flow momentarily (Entries() dedupes; that is kRelaxed
+// semantics, and quiesced reads never observe it).
+#ifndef HK_CONCURRENT_CONCURRENT_STORE_H_
+#define HK_CONCURRENT_CONCURRENT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/atomic_word.h"
+#include "common/flow_key.h"
+#include "common/hash.h"
+
+namespace hk {
+
+class ConcurrentTopKStore {
+ public:
+  // Sentinels inside table slots; flows with these real ids live in
+  // dedicated side slots so the encodings stay unambiguous.
+  static constexpr FlowId kEmptyId = 0;
+  static constexpr FlowId kTombstoneId = ~FlowId{0};
+
+  struct Slot {
+    std::atomic<FlowId> id{kEmptyId};
+    std::atomic<uint64_t> count{0};
+  };
+
+  explicit ConcurrentTopKStore(size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  // Monotone: the store only ever grows to capacity, so a racy read that
+  // says "full" stays true and one that says "not full" is resolved by the
+  // admission mutex.
+  bool Full() const { return size() >= capacity_; }
+
+  // Lock-free monitored check. The returned slot stays valid forever
+  // (slots never move while unlocked; see Raise's re-verify), but its
+  // occupant may change - which is why raises go through Raise(), never
+  // through the pointer directly.
+  Slot* Find(FlowId id);
+  const Slot* Find(FlowId id) const {
+    return const_cast<ConcurrentTopKStore*>(this)->Find(id);
+  }
+  bool Contains(FlowId id) const { return Find(id) != nullptr; }
+  uint64_t Value(FlowId id) const {
+    const Slot* slot = Find(id);
+    return slot == nullptr ? 0 : slot->count.load(std::memory_order_relaxed);
+  }
+
+  // Raise `id`'s tracked count to max(current, count) through a Find()
+  // slot. Verifies the slot still belongs to `id` under the id's stripe
+  // (dropping the raise if the flow was evicted meanwhile), and marks the
+  // heap root stale when the minimum itself grew.
+  void Raise(FlowId id, Slot* slot, uint64_t count);
+
+  // Smallest tracked count (the paper's nmin); 0 when empty. Lock-free
+  // unless a raise of the minimum flow marked the root stale.
+  uint64_t MinCount();
+
+  // Wait-free stale read of the heap root's count: a lower bound of nmin
+  // as of the last heap sync (kRelaxed snapshot stats).
+  uint64_t MinCacheRelaxed() const { return min_cache_.load(std::memory_order_relaxed); }
+
+  // Admission: insert `id` when the store has room, otherwise expel the
+  // fresh minimum - the serialized tail of the pipelines' per-packet case
+  // logic. Admission races resolve here: a flow admitted by another thread
+  // degrades to a raise, and a replace whose count no longer beats the
+  // fresh minimum is dropped. Single-threaded this reproduces
+  // LazyTopKStore::Insert / ReplaceMin exactly.
+  void Admit(FlowId id, uint64_t count);
+
+  // Tracked flows sorted by (count desc, id asc), truncated to k.
+  // Lock-free (kRelaxed when inserters are running; exact once quiesced).
+  std::vector<FlowCount> TopK(size_t k) const;
+
+  // All tracked flows (order unspecified, duplicate-free).
+  std::vector<FlowCount> Entries() const;
+
+  // Same Section VI-A accounting convention as every other store backend.
+  static size_t BytesPerEntry(size_t key_bytes) { return key_bytes + 4; }
+
+ private:
+  struct HeapEntry {
+    FlowId id = 0;
+    uint64_t count = 0;  // stale lower bound; the slot is authoritative
+    Slot* slot = nullptr;
+  };
+
+  static constexpr size_t kStripes = 64;
+
+  SpinLock& StripeOf(FlowId id) {
+    return stripes_[(Mix64(id) >> 32) & (kStripes - 1)];
+  }
+
+  // The following run with admit_mu_ held.
+  void InsertLocked(FlowId id, uint64_t count);
+  void ReplaceMinLocked(FlowId id, uint64_t count);
+  Slot* ClaimLocked(FlowId id, uint64_t count);
+  void EraseLocked(const HeapEntry& victim);
+  void CompactLocked();
+  void FixRootLocked();
+  void PublishRootLocked();
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  size_t capacity_;
+  size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  Slot zero_slot_;  // real flow id 0 (slot id stays kEmptyId == 0)
+  Slot max_slot_;   // real flow id ~0 (slot id stays kTombstoneId)
+  std::atomic<bool> has_zero_{false};
+  std::atomic<bool> has_max_{false};
+  std::atomic<size_t> size_{0};
+
+  std::mutex admit_mu_;           // heap_, tombstones_, claims/evictions
+  SpinLock stripes_[kStripes];    // per-id raise/evict exclusion
+  std::vector<HeapEntry> heap_;   // lazy min-heap, lower-bound keys
+  size_t tombstones_ = 0;
+
+  // Lock-free view of the heap root for the MinCount fast path.
+  std::atomic<FlowId> root_id_{kEmptyId};
+  std::atomic<uint64_t> min_cache_{0};
+  std::atomic<bool> root_stale_{false};
+};
+
+}  // namespace hk
+
+#endif  // HK_CONCURRENT_CONCURRENT_STORE_H_

@@ -1,0 +1,194 @@
+// ConcurrentTopK: N inserter threads, ONE shared HeavyKeeper slab.
+//
+// The sharded front-end (shard/sharded_topk.h) scales by splitting memory
+// N ways, which exposes it to hot-shard skew: when the elephants all hash
+// into one partition, one worker becomes the pipeline and the other N-1
+// spin. This mode is the complementary point in the design space: every
+// worker mutates the same full-width slab (concurrent_heavykeeper.h) and
+// the same candidate store (concurrent_store.h), so load balance is by
+// construction - any worker can process any packet - at the price of
+// atomic RMWs on the hot words.
+//
+//   registry spec:  Concurrent:threads=N,inner=<HK pipeline spec>
+//
+// The inner spec is built once (full memory budget - there is only one
+// sketch) purely to resolve configuration: its HeavyKeeper geometry seeds
+// the shared slab and its version picks the insert discipline; the
+// instance is then discarded. Sharded and Concurrent refuse each other as
+// inners: both are front-ends over a stream, and stacking them only
+// re-serializes what the other parallelized.
+//
+// Two ways in:
+//   * The TopKAlgorithm insert API: one producer thread, packets round-
+//     robin over per-worker SPSC rings (any worker can own any packet).
+//     threads=1 is deterministic and bit-identical to the inner pipeline -
+//     same slab transitions, same decay coins, same store evictions.
+//   * MakeInserter(): a per-thread handle that applies packets straight to
+//     the shared structures, for hosts that bring their own threads
+//     (benchmarks, datapath integrations). Any number of Inserters may run
+//     concurrently with each other and with the ring workers.
+//
+// Query semantics: Snapshot(kRelaxed) reads the live structures without
+// stopping anyone - per-word-atomic, duplicate-free, estimates monotone
+// lower bounds. Snapshot(kExact) and the legacy TopK()/EstimateSize()
+// quiesce first: Flush() waits for the rings to drain, then issues a
+// seq_cst fence ("quiesce + publish"; external Inserter threads must be
+// joined or otherwise synchronized by the host, as with any shared-memory
+// writer). WorkerThreads() reports N so hosts budget cores correctly.
+#ifndef HK_CONCURRENT_CONCURRENT_TOPK_H_
+#define HK_CONCURRENT_CONCURRENT_TOPK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "concurrent/concurrent_heavykeeper.h"
+#include "concurrent/concurrent_store.h"
+#include "core/hk_topk.h"
+#include "ovs/spsc_ring.h"
+#include "sketch/registry.h"
+#include "sketch/topk_algorithm.h"
+
+namespace hk {
+
+struct ConcurrentTopKOptions {
+  size_t threads = 1;  // deterministic by default (see header comment)
+  std::string inner_spec = "HK-Minimum";
+  size_t ring_capacity = 4096;  // per-worker ring slots
+  size_t drain_burst = 256;     // packets per worker drain
+};
+
+class ConcurrentTopK : public TopKAlgorithm {
+ public:
+  // Same spirit as ShardedTopK::kMaxShards: a garbage threads= fails
+  // loudly instead of spawning a thousand workers.
+  static constexpr size_t kMaxThreads = 256;
+
+  // Throws std::invalid_argument on a degenerate thread/ring/burst count,
+  // a non-HeavyKeeper inner, a Sharded/Concurrent inner, or an inner
+  // configured with expansion or collapsed weighted decay (both are
+  // incompatible with a shared slab; the error says why).
+  ConcurrentTopK(const ConcurrentTopKOptions& options, const SketchDefaults& defaults);
+  ~ConcurrentTopK() override;
+
+  ConcurrentTopK(const ConcurrentTopK&) = delete;
+  ConcurrentTopK& operator=(const ConcurrentTopK&) = delete;
+
+  void Insert(FlowId id) override;
+  void InsertWeighted(FlowId id, uint64_t weight) override;
+  void InsertBatch(std::span<const FlowId> ids) override;
+  void InsertBatch(std::span<const FlowId> ids, std::span<const uint64_t> weights) override;
+
+  // Quiesce + publish: drain every ring, then fence (seq_cst) so all slab
+  // and store words written by the workers are ordered before subsequent
+  // reads from this thread.
+  void Flush() override;
+
+  QueryResult Snapshot(const QueryOptions& options = {}) override;
+
+  std::vector<FlowCount> TopK(size_t k) const override;
+  uint64_t EstimateSize(FlowId id) const override;
+  std::string name() const override;
+  size_t MemoryBytes() const override;
+  size_t WorkerThreads() const override { return options_.threads; }
+
+  uint64_t stuck_events() const { return sketch_.stuck_events(); }
+  uint64_t dropped_units() const { return sketch_.dropped_units(); }
+
+  // Per-thread direct-insertion handle (no rings, no producer serialization):
+  // the calling thread applies packets to the shared slab and store itself.
+  // Each Inserter owns a decay-RNG stream derived from `stream`; use one
+  // Inserter per thread. Snapshots taken while Inserters run are kRelaxed;
+  // join (or otherwise synchronize with) the inserting threads before
+  // relying on kExact.
+  class Inserter {
+   public:
+    void Insert(FlowId id) { owner_->ApplyUnit(owner_->sketch_.Prepare(id), rng_); }
+    void InsertWeighted(FlowId id, uint64_t weight) {
+      const ConcurrentHeavyKeeper::Prepared p = owner_->sketch_.Prepare(id);
+      for (uint64_t u = 0; u < weight; ++u) {
+        owner_->ApplyUnit(p, rng_);
+      }
+    }
+    void InsertBatch(std::span<const FlowId> ids) { owner_->ApplyRun(ids, nullptr, rng_); }
+
+   private:
+    friend class ConcurrentTopK;
+    Inserter(ConcurrentTopK* owner, uint64_t seed) : owner_(owner), rng_(seed) {}
+
+    ConcurrentTopK* owner_;
+    Rng rng_;
+  };
+
+  Inserter MakeInserter(uint64_t stream) {
+    return Inserter(this, DecaySeed(sketch_.config().seed, stream + options_.threads));
+  }
+
+ private:
+  struct Packet {
+    FlowId id = 0;
+    uint64_t weight = 0;
+  };
+
+  // The inner spec resolved to the pieces this front-end actually keeps:
+  // discipline + sketch geometry + canonical name. Computed before member
+  // construction (delegating constructor) because sketch_ needs the config.
+  struct ResolvedInner {
+    HkVersion version = HkVersion::kMinimum;
+    HeavyKeeperConfig config;
+    std::string name;
+  };
+  static ResolvedInner ResolveInner(const ConcurrentTopKOptions& options,
+                                    const SketchDefaults& defaults);
+  ConcurrentTopK(const ConcurrentTopKOptions& options, const SketchDefaults& defaults,
+                 ResolvedInner inner);
+
+  struct Worker {
+    std::unique_ptr<SpscRing<Packet>> ring;
+    // Producer-side scatter buffers (reused across batches); kept off the
+    // counter's cache line, same layout rationale as ShardedTopK::Shard.
+    std::vector<FlowId> run_ids;
+    std::vector<uint64_t> run_weights;
+    alignas(64) std::atomic<uint64_t> queued{0};
+  };
+
+  // Worker 0's decay stream is the sequential sketch's (seed ^ the
+  // HeavyKeeper constant), which is what makes threads=1 replay the inner
+  // pipeline's coins bit-exactly; other streams just need to be distinct.
+  static uint64_t DecaySeed(uint64_t seed, uint64_t stream) {
+    return (seed ^ 0xdeca1decaf00dULL) + 0x9e3779b97f4a7c15ULL * stream;
+  }
+
+  // The per-packet case logic (the pipelines' InsertPrepared, re-targeted
+  // at the concurrent structures). Thread-safe; `rng` is the calling
+  // thread's decay stream.
+  void ApplyUnit(const ConcurrentHeavyKeeper::Prepared& p, Rng& rng);
+  // Apply a run in order with a rolling prepare/prefetch window (the
+  // InsertBatch software pipeline). nullptr weights = unit weights.
+  void ApplyRun(std::span<const FlowId> ids, const uint64_t* weights, Rng& rng);
+
+  void PushRun(Worker& worker, std::span<const FlowId> ids, const uint64_t* weights);
+  void WorkerLoop(size_t index);
+  void WaitIdle() const;
+
+  ConcurrentTopKOptions options_;
+  HkVersion version_;
+  size_t k_;
+  size_t key_bytes_;
+  std::string inner_name_;  // canonical inner spec, captured at build
+  ConcurrentHeavyKeeper sketch_;
+  ConcurrentTopKStore store_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  size_t rr_ = 0;  // producer-side round-robin cursor
+};
+
+}  // namespace hk
+
+#endif  // HK_CONCURRENT_CONCURRENT_TOPK_H_

@@ -52,16 +52,22 @@ class EpochMonitor {
   // Report of the last *completed* epoch (empty until one completes).
   const std::vector<FlowCount>& LastReport() const { return last_report_; }
 
-  // Live view of the epoch currently filling.
-  std::vector<FlowCount> CurrentTopK() const { return current_->TopK(k_); }
+  // Live view of the epoch currently filling. kRelaxed: against a
+  // concurrent algorithm this is the non-stalling mid-stream read; the
+  // rotation report below stays exact.
+  std::vector<FlowCount> CurrentTopK() const {
+    return current_->Snapshot({.k = k_, .consistency = ConsistencyLevel::kRelaxed}).flows;
+  }
 
   uint64_t completed_epochs() const { return epoch_; }
   uint64_t packets_in_current_epoch() const { return in_epoch_; }
   const TopKAlgorithm& current() const { return *current_; }
 
   // Force an early rotation (e.g., on a timer rather than a packet count).
+  // The completed window's report is a kExact snapshot: the epoch is over,
+  // so the quiesce is the natural end-of-window barrier.
   void Rotate() {
-    last_report_ = current_->TopK(k_);
+    last_report_ = current_->Snapshot({.k = k_}).flows;
     if (on_epoch_) {
       on_epoch_(epoch_, last_report_);
     }

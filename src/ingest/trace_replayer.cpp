@@ -47,8 +47,13 @@ ReplayStats TraceReplayer::Replay(PcapReader& reader, TopKAlgorithm& algo) const
     stats.packets += ids.size();
   }
   // Threaded front-ends only enqueued above; pay for the applied packets
-  // inside the timed region.
-  algo.Flush();
+  // inside the timed region. Snapshot quiesces before reading, so when a
+  // report was requested it doubles as the end-of-stream Flush.
+  if (options_.snapshot_k > 0) {
+    stats.report = algo.Snapshot({.k = options_.snapshot_k});
+  } else {
+    algo.Flush();
+  }
   stats.seconds = timer.ElapsedSeconds();
   return stats;
 }

@@ -31,6 +31,7 @@ struct ReplayOptions {
   size_t batch = 512;          // records per InsertBatch burst
   bool byte_weighted = false;  // weight every packet by its wire length
   uint64_t epoch_ns = 0;       // EpochMonitor overload: window width (0 = one window)
+  size_t snapshot_k = 0;       // 0 = quiesce only; >0 = end-of-stream Snapshot(k)
 };
 
 struct ReplayStats {
@@ -39,7 +40,11 @@ struct ReplayStats {
   uint64_t first_ts_ns = 0;  // capture timestamps of the applied stream
   uint64_t last_ts_ns = 0;
   uint64_t epochs = 0;       // capture-time rotations triggered (windowed mode)
-  double seconds = 0.0;      // wall time of the parse+insert loop, Flush included
+  double seconds = 0.0;      // wall time of the parse+insert loop, quiesce included
+  // End-of-stream report when snapshot_k > 0 (always kExact: the stream is
+  // over, so Snapshot's quiesce doubles as the end-of-run Flush). Empty
+  // otherwise; the EpochMonitor overload reports per window instead.
+  QueryResult report;
 };
 
 class TraceReplayer {

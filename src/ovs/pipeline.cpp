@@ -112,6 +112,14 @@ PipelineResult RunPipelines(const std::vector<RawPacket>& packets, const Algorit
   result.packets = static_cast<uint64_t>(packets.size()) * n;
   result.mps = Mps(result.packets, result.seconds);
   result.pipelines = n;
+  if (config.snapshot_k > 0) {
+    result.reports.reserve(n);
+    for (TopKAlgorithm* algo : algorithms) {
+      if (algo != nullptr) {
+        result.reports.push_back(algo->Snapshot({.k = config.snapshot_k}));
+      }
+    }
+  }
   return result;
 }
 

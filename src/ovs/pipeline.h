@@ -37,6 +37,11 @@ struct PipelineConfig {
   size_t num_pipelines = 4;
   size_t ring_capacity = 4096;   // flow-id slots in shared memory
   size_t cache_slots = 1 << 16;  // datapath exact-match cache
+  // >0: after the timed run, take a Snapshot(k) from every measuring
+  // pipeline and return them in PipelineResult::reports. The consumers
+  // already Flush()ed inside the timed region, so these are kExact reads
+  // collected off the clock.
+  size_t snapshot_k = 0;
 };
 
 struct PipelineResult {
@@ -44,6 +49,7 @@ struct PipelineResult {
   double mps = 0.0;  // aggregate packets per second (millions)
   uint64_t packets = 0;
   size_t pipelines = 0;  // actually used after the hardware clamp
+  std::vector<QueryResult> reports;  // one per pipeline when snapshot_k > 0
 };
 
 // Factory returning the per-pipeline measurement algorithm (non-owning; the

@@ -32,9 +32,19 @@ ShardedTopK::ShardedTopK(const ShardedTopKOptions& options, const SketchDefaults
   if (options_.num_shards < 1 || options_.num_shards > kMaxShards) {
     throw std::invalid_argument("ShardedTopK: n= must be 1.." + std::to_string(kMaxShards));
   }
-  if (ResolveSketchName(options_.inner_spec.substr(0, options_.inner_spec.find(':'))) ==
-      "Sharded") {
+  const std::string inner_head =
+      ResolveSketchName(options_.inner_spec.substr(0, options_.inner_spec.find(':')));
+  if (inner_head == "Sharded") {
     throw std::invalid_argument("ShardedTopK: inner= must not itself be Sharded");
+  }
+  // The concurrent front-end shares one slab across threads; hiding it
+  // behind a partitioner would stack two threading models on one stream.
+  // Pick one: Sharded:n=N for partitioned slabs, Concurrent:threads=N for
+  // a shared one.
+  if (inner_head == "Concurrent") {
+    throw std::invalid_argument(
+        "ShardedTopK: inner= must not be Concurrent (compose one front-end per "
+        "stream; use Sharded:n=N or Concurrent:threads=N, not both)");
   }
 
   // Every shard gets an equal slice of the byte budget and the *same* seed:
@@ -233,6 +243,27 @@ void ShardedTopK::InsertBatch(std::span<const FlowId> ids, std::span<const uint6
     }
     PushRun(*shard, shard->run_ids, shard->run_weights.data());
   }
+}
+
+QueryResult ShardedTopK::Snapshot(const QueryOptions& options) {
+  Flush();
+  std::vector<std::vector<FlowCount>> per_shard;
+  per_shard.reserve(shards_.size());
+  // Sum of the shards' reports, not the merged size: the union truncates
+  // to k but each shard tracks its own candidates.
+  size_t tracked = 0;
+  for (const auto& shard : shards_) {
+    per_shard.push_back(shard->algo->TopK(options.k));
+    tracked += per_shard.back().size();
+  }
+  QueryResult result;
+  result.flows = MergeTopK(per_shard, options.k);
+  result.consistency = ConsistencyLevel::kExact;
+  result.stats.tracked_flows = tracked;
+  result.stats.min_tracked = result.flows.empty() ? 0 : result.flows.back().count;
+  result.stats.worker_threads = WorkerThreads();
+  result.stats.memory_bytes = MemoryBytes();
+  return result;
 }
 
 std::vector<FlowCount> ShardedTopK::TopK(size_t k) const {

@@ -103,6 +103,13 @@ class ShardedTopK : public TopKAlgorithm {
   // synchronous mode).
   void Flush() override;
 
+  // Always delivers kExact, whatever is requested: shards share no state,
+  // so the only way to read them is to drain the rings first - there is no
+  // cheaper relaxed view to offer. stats.min_tracked is the merged report's
+  // smallest estimate (the global admission threshold is per-shard, so no
+  // single nmin exists).
+  QueryResult Snapshot(const QueryOptions& options = {}) override;
+
   std::vector<FlowCount> TopK(size_t k) const override;
   uint64_t EstimateSize(FlowId id) const override;
   std::string name() const override;

@@ -26,6 +26,7 @@ HK_PIN_SKETCHES(ColdFilter)
 HK_PIN_SKETCHES(CounterTree)
 HK_PIN_SKETCHES(HeavyGuardian)
 HK_PIN_SKETCHES(ShardedTopK)
+HK_PIN_SKETCHES(ConcurrentTopK)
 #undef HK_PIN_SKETCHES
 
 namespace {
@@ -55,6 +56,7 @@ void EnsureRegistered() {
     HkRegisterSketches_CounterTree();
     HkRegisterSketches_HeavyGuardian();
     HkRegisterSketches_ShardedTopK();
+    HkRegisterSketches_ConcurrentTopK();
   });
 }
 

@@ -50,6 +50,45 @@
 
 namespace hk {
 
+// Consistency a Snapshot() delivers (see TopKAlgorithm::Snapshot).
+//
+//   kExact   - the report reflects every packet accepted before the call,
+//              as if the stream were quiesced: Flush() semantics, then a
+//              stable read. Synchronous algorithms always deliver this.
+//   kRelaxed - the report was taken while inserts may still be in flight
+//              (concurrent/ shared-slab mode). Guarantees: every value read
+//              is a whole word (per-word-atomic loads - no torn counters),
+//              every reported estimate is a monotone lower bound of some
+//              state the flow's counter passed through, and no flow appears
+//              twice. No cross-flow ordering: two flows' counts may reflect
+//              different prefixes of the stream.
+enum class ConsistencyLevel { kExact, kRelaxed };
+
+// What to ask of Snapshot().
+struct QueryOptions {
+  size_t k = 100;
+  // The *requested* consistency. Asking for kExact quiesces the stream
+  // first (Flush); asking for kRelaxed lets a concurrent implementation
+  // answer without waiting for its workers. An implementation may deliver
+  // a stronger level than requested (QueryResult::consistency says which).
+  ConsistencyLevel consistency = ConsistencyLevel::kExact;
+};
+
+// Point-in-time view of an algorithm's top-k state.
+struct SnapshotStats {
+  size_t tracked_flows = 0;   // candidate-store entries backing the report
+  uint64_t min_tracked = 0;   // smallest tracked estimate (the paper's nmin)
+  size_t worker_threads = 0;  // WorkerThreads() at snapshot time
+  size_t memory_bytes = 0;    // MemoryBytes() of the instance
+};
+
+struct QueryResult {
+  std::vector<FlowCount> flows;  // (estimate desc, id asc), <= k entries
+  // Consistency actually delivered (>= the requested level).
+  ConsistencyLevel consistency = ConsistencyLevel::kExact;
+  SnapshotStats stats;
+};
+
 class TopKAlgorithm {
  public:
   virtual ~TopKAlgorithm() = default;
@@ -80,13 +119,40 @@ class TopKAlgorithm {
     }
   }
 
-  // Make every accepted packet observable. Synchronous algorithms apply
-  // inserts inline, so the default is a no-op; concurrent front-ends
-  // (shard/sharded_topk.h) override it to wait until their worker threads
-  // have drained all queued packets. Queries must behave as if Flush() ran
-  // first, so calling it explicitly is only needed to bound *when* the
-  // work happens (e.g. inside a timed region).
+  // Quiesce + publish: make every packet accepted before this call
+  // observable to subsequent queries on this thread.
+  //
+  //   * Synchronous algorithms apply inserts inline - the default is a
+  //     no-op.
+  //   * The sharded front-end (shard/sharded_topk.h) waits until its worker
+  //     threads have drained all queued packets.
+  //   * The concurrent shared-slab mode (concurrent/concurrent_topk.h)
+  //     drains its rings, then issues a seq_cst fence so every slab and
+  //     candidate-store word written by the workers is published.
+  //
+  // After Flush() returns (and absent further inserts), Snapshot() always
+  // delivers ConsistencyLevel::kExact, whatever was requested. Quiesced
+  // queries (TopK/EstimateSize) behave as if Flush() ran first, so calling
+  // it explicitly is only needed to bound *when* the work happens (e.g.
+  // inside a timed region) or to upgrade a later Snapshot to kExact.
   virtual void Flush() {}
+
+  // Point-in-time top-k view with documented consistency. This is the
+  // preferred query surface: it states what the numbers mean while inserts
+  // may be racing (QueryResult::consistency) instead of leaving it to
+  // convention. The default wraps Flush() + TopK(), which is exact for
+  // every synchronous algorithm; Sharded and Concurrent override it.
+  virtual QueryResult Snapshot(const QueryOptions& options = {}) {
+    Flush();
+    QueryResult result;
+    result.flows = TopK(options.k);
+    result.consistency = ConsistencyLevel::kExact;
+    result.stats.tracked_flows = result.flows.size();
+    result.stats.min_tracked = result.flows.empty() ? 0 : result.flows.back().count;
+    result.stats.worker_threads = WorkerThreads();
+    result.stats.memory_bytes = MemoryBytes();
+    return result;
+  }
 
   // Internal worker threads this instance runs (0 for synchronous
   // algorithms; a threaded sharded front-end reports its shard count).
@@ -96,10 +162,16 @@ class TopKAlgorithm {
 
   // The k largest tracked flows with their estimated sizes,
   // ordered by (estimate desc, id asc).
+  //
+  // Legacy quiesced accessor. Calling it mid-stream - while inserts may be
+  // in flight on other threads - is deprecated: it behaves as if Flush()
+  // ran first, which silently serializes a concurrent pipeline. Prefer
+  // Snapshot(), which makes the consistency of the answer explicit (and
+  // can answer kRelaxed without stalling the writers).
   virtual std::vector<FlowCount> TopK(size_t k) const = 0;
 
   // Point estimate of a single flow's size (0 = reported as a mouse flow /
-  // untracked).
+  // untracked). Same quiesced-read caveat as TopK().
   virtual uint64_t EstimateSize(FlowId id) const = 0;
 
   // Display name; also a canonical registry spec: MakeSketch(name())

@@ -124,7 +124,13 @@ TEST_P(DifferentialSweep, InvariantsHoldOnRandomAndAdversarialTraces) {
     auto algo = MakeSketch(name, Defaults(trace.k));
     algo->InsertBatch(trace.packets);
 
-    const auto top = algo->TopK(trace.k);
+    // The harness queries through Snapshot(): the preferred surface, and
+    // after the stream ends every algorithm must deliver kExact.
+    const QueryResult result = algo->Snapshot({.k = trace.k});
+    EXPECT_EQ(result.consistency, ConsistencyLevel::kExact) << name;
+    EXPECT_EQ(result.stats.memory_bytes, algo->MemoryBytes()) << name;
+    const auto& top = result.flows;
+    EXPECT_EQ(top, algo->TopK(trace.k)) << name << " Snapshot/TopK diverged";
     EXPECT_LE(top.size(), trace.k) << name << " on " << trace.label;
 
     // Structure: duplicate-free, non-increasing estimates.
@@ -193,7 +199,9 @@ INSTANTIATE_TEST_SUITE_P(CollisionFree, HkNoOverestimateSweep,
                          ::testing::Values("HK-Basic:fp=32", "HK-Parallel:fp=32",
                                            "HK-Minimum:fp=32",
                                            "Sharded:n=4,inner=HK-Minimum:fp=32",
-                                           "Sharded:n=4,threads=1,inner=HK-Parallel:fp=32"),
+                                           "Sharded:n=4,threads=1,inner=HK-Parallel:fp=32",
+                                           "Concurrent:threads=1,inner=HK-Minimum:fp=32",
+                                           "Concurrent:threads=4,inner=HK-Parallel:fp=32"),
                          [](const auto& info) { return std::to_string(info.index); });
 
 // Sharded-vs-single differential: the documented merge semantics

@@ -189,6 +189,25 @@ TEST(IngestReplayTest, ThreadedShardedReplayMatchesSynchronous) {
   EXPECT_EQ(sync->TopK(kK), threaded->TopK(kK));
 }
 
+TEST(IngestReplayTest, SnapshotReportRidesTheReplay) {
+  // snapshot_k makes the replayer hand back the end-of-stream report
+  // itself: the Snapshot quiesce replaces the bare Flush, so a threaded
+  // consumer's report is exact and matches a post-hoc quiesced TopK().
+  auto algo = MakeSketch("Concurrent:threads=2,inner=HK-Minimum", CampusDefaults());
+  PcapReader reader(PcapKeyPolicy::kFiveTuple);
+  ASSERT_TRUE(reader.Open(CampusFixture())) << reader.error();
+  ReplayOptions options;
+  options.snapshot_k = kK;
+  const ReplayStats stats = TraceReplayer(options).Replay(reader, *algo);
+  const Fixture& f = LoadFixture(CampusFixture(), PcapKeyPolicy::kFiveTuple);
+  EXPECT_EQ(stats.packets, f.packets);
+  EXPECT_EQ(stats.report.consistency, ConsistencyLevel::kExact);
+  ASSERT_FALSE(stats.report.flows.empty());
+  EXPECT_EQ(stats.report.flows, algo->TopK(kK));
+  EXPECT_EQ(stats.report.stats.worker_threads, 2u);
+  EXPECT_GE(stats.report.stats.tracked_flows, stats.report.flows.size());
+}
+
 TEST(IngestReplayTest, ByteWeightedReplayTracksTheByteOracle) {
   const Fixture& f = LoadFixture(CampusFixture(), PcapKeyPolicy::kFiveTuple);
   SketchDefaults defaults = CampusDefaults();

@@ -7,6 +7,7 @@
 #include "ovs/datapath.h"
 #include "ovs/pipeline.h"
 #include "ovs/spsc_ring.h"
+#include "sketch/registry.h"
 #include "sketch/space_saving.h"
 
 namespace hk {
@@ -137,6 +138,37 @@ TEST(PipelineTest, AlgorithmConsumerSeesEveryPacket) {
     counted += fc.count;
   }
   EXPECT_EQ(counted, 10000u);
+}
+
+TEST(PipelineTest, SnapshotReportsCollectedPerPipeline) {
+  // snapshot_k turns the run into measurement + report: one kExact
+  // QueryResult per measuring pipeline, taken off the clock after the
+  // consumers Flush()ed. A shared-slab Concurrent consumer exercises the
+  // quiesce path end to end (producer -> ring -> scatter -> worker).
+  const auto packets = MakeWirePackets(20000, 500, 1.1, 11);
+  SketchDefaults defaults;
+  defaults.memory_bytes = 64 * 1024;
+  defaults.k = 50;
+  defaults.key_kind = KeyKind::kFiveTuple13B;
+  defaults.seed = 5;
+  auto algo = MakeSketch("Concurrent:threads=2,inner=HK-Minimum", defaults);
+  PipelineConfig config;
+  config.num_pipelines = 1;
+  config.snapshot_k = 10;
+  const auto result = RunPipelines(packets, [&](size_t) { return algo.get(); }, config);
+  EXPECT_EQ(result.packets, 20000u);
+  ASSERT_EQ(result.reports.size(), result.pipelines);
+  const QueryResult& report = result.reports.front();
+  EXPECT_EQ(report.consistency, ConsistencyLevel::kExact);
+  EXPECT_LE(report.flows.size(), 10u);
+  ASSERT_FALSE(report.flows.empty());
+  EXPECT_EQ(report.flows, algo->TopK(10));
+  EXPECT_EQ(report.stats.worker_threads, 2u);
+  EXPECT_EQ(report.stats.memory_bytes, algo->MemoryBytes());
+
+  // The plain-OVS baseline (no algorithm) has nothing to report.
+  const auto baseline = RunPipelines(packets, nullptr, config);
+  EXPECT_TRUE(baseline.reports.empty());
 }
 
 TEST(PipelineTest, WirePacketsFollowZipf) {
