@@ -49,6 +49,12 @@ Checks (see ROADMAP "Throughput trajectory", ISSUE 3 and ISSUE 4):
     warn when parse-only stops clearing replay (parsing should never be
     the bottleneck of parse+insert).
 
+  * serve (soft): BENCH_micro_serve_ingest.json - the hk_serve daemon's
+    streaming reader (serve/stream, bounded-buffer OpenStream) should stay
+    within 2x of the slurp baseline (serve/slurp): the always-on mode is
+    allowed to cost a little over batch mode, not multiples. Also warns
+    when any serve/ data point drops below 50% of the committed baseline.
+
 Usage:
   check_bench_regression.py --batch build/BENCH_micro_batch_insert.json \
       [--baseline bench/results/BENCH_micro_batch_insert.json] \
@@ -63,7 +69,9 @@ Usage:
       [--sharded-hard] \
       [--concurrent build/BENCH_micro_concurrent_insert.json] \
       [--concurrent-baseline bench/results/BENCH_micro_concurrent_insert.json] \
-      [--concurrent-hard]
+      [--concurrent-hard] \
+      [--serve build/BENCH_micro_serve_ingest.json] \
+      [--serve-baseline bench/results/BENCH_micro_serve_ingest.json]
 """
 
 import argparse
@@ -77,6 +85,7 @@ CONCURRENT_MIN_RATIO = 3.0
 SKEW_MIN_RATIO = 1.0
 BASELINE_MIN_FRACTION = 0.5
 REPLAY_TAX_MIN = 2.0
+SERVE_STREAM_MAX_SLOWDOWN = 2.0
 
 
 def load_items(path):
@@ -201,6 +210,23 @@ def check_pcap(items, baseline_items):
           + "".join(f", {n.split('/', 2)[2]} {v:.3e}" for n, v in sorted(replays.items())))
 
 
+def check_serve(items, baseline_items):
+    """Streaming-reader cost vs the slurp baseline (soft)."""
+    slurp = items.get("serve/slurp")
+    stream = items.get("serve/stream")
+    if slurp is None or stream is None:
+        print("[serve] WARNING: missing serve/slurp or serve/stream; nothing checked")
+        return
+    slowdown = slurp / stream if stream > 0 else float("inf")
+    status = ("OK" if slowdown <= SERVE_STREAM_MAX_SLOWDOWN
+              else "WARNING (streaming reader too far off slurp)")
+    print(f"[serve] stream {stream:.3e} vs slurp {slurp:.3e} items/s"
+          f" -> {slowdown:.2f}x slower (target <= {SERVE_STREAM_MAX_SLOWDOWN}x) {status}")
+    if baseline_items:
+        check_baseline({n: v for n, v in items.items() if n.startswith("serve/")},
+                       {n: v for n, v in baseline_items.items() if n.startswith("serve/")})
+
+
 def check_sharded(items, hard):
     base = items.get("sharded/insert/n/1/real_time") or items.get("sharded/insert/n/1")
     at8 = items.get("sharded/insert/n/8/real_time") or items.get("sharded/insert/n/8")
@@ -270,6 +296,9 @@ def main():
     parser.add_argument("--pcap", help="fresh BENCH_micro_pcap_ingest.json")
     parser.add_argument("--pcap-baseline",
                         help="committed pcap ingest baseline (soft parse-throughput warn)")
+    parser.add_argument("--serve", help="fresh BENCH_micro_serve_ingest.json")
+    parser.add_argument("--serve-baseline",
+                        help="committed serve ingest baseline (soft stream-vs-slurp warn)")
     parser.add_argument("--sharded-hard", action="store_true",
                         help="fail (not warn) when the sharded scaling target is missed")
     parser.add_argument("--concurrent", help="fresh BENCH_micro_concurrent_insert.json")
@@ -303,6 +332,9 @@ def main():
     if args.pcap:
         check_pcap(load_items(args.pcap),
                    load_items(args.pcap_baseline) if args.pcap_baseline else {})
+    if args.serve:
+        check_serve(load_items(args.serve),
+                    load_items(args.serve_baseline) if args.serve_baseline else {})
 
     if failures:
         print("\nbench regression check FAILED:")

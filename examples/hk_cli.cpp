@@ -8,6 +8,7 @@
 //   hk_cli bench    --trace t.trace [--algo HK] [--memory-kb 50] [--k 100]
 //   hk_cli ingest   --pcap c.pcap [--algo HK] [--key 5tuple|pair|src]
 //                   [--bytes] [--epoch-ms N] [--memory-kb 50] [--k 100]
+//   hk_cli query    [--host 127.0.0.1] [--port 7070] "TOPK 10 relaxed" ...
 //
 // `--algo` accepts any sketch registry spec (sketch/registry.h): a name
 // from `hk_cli algos` plus optional key=value overrides, e.g.
@@ -19,12 +20,19 @@
 // --memory-kb/--k/--seed set the spec's context defaults. Reports go
 // through Snapshot(), the consistency-documented query surface.
 //
+// `query` is the thin client for a running hk_serve daemon: each
+// positional argument is sent as one protocol line and the full response
+// (through its OK/ERR/END terminator) is printed. Exit status 1 when any
+// request came back ERR.
+//
 // `ingest` reads a real capture (pcap or pcapng, src/ingest/), replays it
 // through the algorithm in InsertBatch bursts - byte-weighted by wire
 // length with --bytes - and reports the top-k next to the capture's exact
 // oracle. --key picks the flow definition (Section VI-A): the campus
 // 5-tuple, the CAIDA src/dst pair, or per-source aggregation; the same
 // flag overrides the key accounting for the trace commands.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +47,7 @@
 #include "ingest/trace_replayer.h"
 #include "metrics/accuracy.h"
 #include "metrics/throughput.h"
+#include "serve/net.h"
 #include "sketch/registry.h"
 #include "trace/generators.h"
 #include "trace/oracle.h"
@@ -64,11 +73,14 @@ struct Options {
   size_t k = 100;
   uint64_t epoch_ms = 0;
   bool bytes = false;
+  std::string host = "127.0.0.1";
+  uint16_t port = 7070;
+  std::vector<std::string> lines;  // query: protocol lines to send
 };
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hk_cli <algos|generate|topk|evaluate|bench|ingest> [options]\n"
+               "usage: hk_cli <algos|generate|topk|evaluate|bench|ingest|query> [options]\n"
                "  algos    list registered algorithm names (specs for --algo)\n"
                "  generate --out FILE [--packets N] [--kind campus|caida|zipf]\n"
                "           [--skew S] [--seed X]\n"
@@ -77,6 +89,8 @@ int Usage() {
                "  bench    --trace FILE [--algo SPEC] [--memory-kb KB] [--k K]\n"
                "  ingest   --pcap FILE [--algo SPEC] [--key 5tuple|pair|src]\n"
                "           [--bytes] [--epoch-ms N] [--memory-kb KB] [--k K]\n"
+               "  query    [--host H] [--port N] \"LINE\" [\"LINE\"...]  send protocol\n"
+               "           lines to a running hk_serve (default 127.0.0.1:7070)\n"
                "  --key    flow definition: 5tuple (campus), pair (CAIDA), src;\n"
                "           also overrides the key accounting for trace commands\n"
                "  SPEC = NAME[:key=value,...], e.g. \"HK-Minimum:d=4,b=1.05\"\n"
@@ -96,6 +110,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     const std::string flag = argv[i];
     if (flag == "--bytes") {  // boolean: no value
       opts->bytes = true;
+      continue;
+    }
+    if (flag.rfind("--", 0) != 0) {  // positional: a protocol line for `query`
+      opts->lines.push_back(flag);
       continue;
     }
     if (i + 1 >= argc) {
@@ -127,6 +145,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->k = std::strtoull(value.c_str(), nullptr, 10);
     } else if (flag == "--epoch-ms") {
       opts->epoch_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--host") {
+      opts->host = value;
+    } else if (flag == "--port") {
+      opts->port = static_cast<uint16_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -337,6 +359,48 @@ int Ingest(const Options& opts) {
   return 0;
 }
 
+// Thin hk_serve client: one connection, each positional argument sent as a
+// protocol line, each response printed through its terminator.
+int Query(const Options& opts) {
+  if (opts.lines.empty()) {
+    std::fprintf(stderr, "query needs at least one protocol line, e.g. \"TOPK 10\"\n");
+    return 2;
+  }
+  std::string err;
+  const int fd = ConnectTcp(opts.host, opts.port, &err);
+  if (fd < 0) {
+    std::fprintf(stderr, "hk_serve unreachable: %s\n", err.c_str());
+    return 1;
+  }
+  int status = 0;
+  std::string carry;
+  for (const std::string& request : opts.lines) {
+    const std::string framed = request + "\n";
+    if (!WriteAll(fd, framed.data(), framed.size())) {
+      std::fprintf(stderr, "connection lost sending '%s'\n", request.c_str());
+      ::close(fd);
+      return 1;
+    }
+    std::string line;
+    bool terminated = false;
+    while (!terminated && ReadLine(fd, &carry, &line)) {
+      std::printf("%s\n", line.c_str());
+      if (line.rfind("ERR", 0) == 0) {
+        status = 1;
+      }
+      terminated = line.rfind("END", 0) == 0 || line.rfind("OK", 0) == 0 ||
+                   line.rfind("ERR", 0) == 0;
+    }
+    if (!terminated) {
+      std::fprintf(stderr, "connection closed mid-response to '%s'\n", request.c_str());
+      ::close(fd);
+      return 1;
+    }
+  }
+  ::close(fd);
+  return status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -365,6 +429,9 @@ int main(int argc, char** argv) {
   }
   if (opts.command == "ingest") {
     return Ingest(opts);
+  }
+  if (opts.command == "query") {
+    return Query(opts);
   }
   return Usage();
 }

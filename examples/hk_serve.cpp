@@ -1,0 +1,279 @@
+// hk_serve: always-on top-k daemon.
+//
+// Serves the line protocol (serve/serve_core.h) over loopback TCP while
+// ingest threads stream captures into registry-spec'd sketches, and
+// checkpoints the whole instance map on a timer so a crash loses at most
+// one interval (nothing at all for file-backed sources, whose offset is
+// replayed on restart).
+//
+// Typical runs:
+//   hk_serve --port 7070 --create campus=heavykeeper:mem=64KB
+//            --attach campus=trace.pcap,key=5tuple
+//            --checkpoint /var/tmp/hk.ckpt --interval-ms 2000
+//   (one line; wrapped here for width)
+//   hk_serve --port 7070 --checkpoint /var/tmp/hk.ckpt   # recover + resume
+//
+// Query with `hk_cli query --port 7070 "TOPK 10 relaxed"` or any
+// line-oriented TCP client. SHUTDOWN over the wire, SIGINT, or SIGTERM
+// all exit cleanly through a final checkpoint.
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/line_server.h"
+#include "serve/serve_core.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal_stop = 0;
+
+void OnSignal(int) { g_signal_stop = 1; }
+
+struct CreateSpec {
+  std::string name;
+  std::string spec;
+};
+
+struct AttachSpec {
+  std::string name;
+  std::string args;  // source[,key=...][,bytes]
+};
+
+struct Options {
+  uint16_t port = 7070;
+  std::string checkpoint_path;
+  uint64_t interval_ms = 5000;
+  std::vector<CreateSpec> creates;
+  std::vector<AttachSpec> attaches;
+  hk::SketchDefaults defaults;
+  bool drain_then_exit = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: hk_serve [options]\n"
+               "  --port N              listen on 127.0.0.1:N (default 7070, 0 = ephemeral)\n"
+               "  --create NAME=SPEC    create an instance (repeatable); SPEC is any\n"
+               "                        registry spec, e.g. heavykeeper:mem=64KB,k=50\n"
+               "  --attach NAME=SRC[,key=5tuple|pair|src][,bytes]\n"
+               "                        stream SRC (pcap path, '-' stdin, tcp://h:p)\n"
+               "                        into NAME (repeatable)\n"
+               "  --checkpoint FILE     checkpoint manifest path; recovered on start\n"
+               "                        when the file exists\n"
+               "  --interval-ms N       checkpoint period (default 5000; 0 = only on exit)\n"
+               "  --memory-kb N         default sketch budget for CREATE (default 50)\n"
+               "  --k N                 default top-k for CREATE (default 100)\n"
+               "  --seed N              default hash seed for CREATE (default 1)\n"
+               "  --drain-then-exit     exit once every attached source hits EOF\n"
+               "                        (batch mode for scripts and CI smoke tests)\n");
+}
+
+bool SplitNameEq(const std::string& text, std::string* name, std::string* rest) {
+  const size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= text.size()) {
+    return false;
+  }
+  *name = text.substr(0, eq);
+  *rest = text.substr(eq + 1);
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Options* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hk_serve: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      const char* v = next("--port");
+      if (v == nullptr) return false;
+      out->port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--create") {
+      const char* v = next("--create");
+      if (v == nullptr) return false;
+      CreateSpec cs;
+      if (!SplitNameEq(v, &cs.name, &cs.spec)) {
+        std::fprintf(stderr, "hk_serve: --create wants NAME=SPEC, got '%s'\n", v);
+        return false;
+      }
+      out->creates.push_back(cs);
+    } else if (arg == "--attach") {
+      const char* v = next("--attach");
+      if (v == nullptr) return false;
+      AttachSpec as;
+      if (!SplitNameEq(v, &as.name, &as.args)) {
+        std::fprintf(stderr, "hk_serve: --attach wants NAME=SOURCE[,...], got '%s'\n", v);
+        return false;
+      }
+      out->attaches.push_back(as);
+    } else if (arg == "--checkpoint") {
+      const char* v = next("--checkpoint");
+      if (v == nullptr) return false;
+      out->checkpoint_path = v;
+    } else if (arg == "--interval-ms") {
+      const char* v = next("--interval-ms");
+      if (v == nullptr) return false;
+      out->interval_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--memory-kb") {
+      const char* v = next("--memory-kb");
+      if (v == nullptr) return false;
+      out->defaults.memory_bytes = std::strtoull(v, nullptr, 10) * 1024;
+    } else if (arg == "--k") {
+      const char* v = next("--k");
+      if (v == nullptr) return false;
+      out->defaults.k = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      if (v == nullptr) return false;
+      out->defaults.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--drain-then-exit") {
+      out->drain_then_exit = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "hk_serve: unknown flag '%s'\n", arg.c_str());
+      Usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+// Turn "SRC[,key=...][,bytes]" into an ATTACH protocol line's argument
+// vector and hand it to the core through the same path the wire uses.
+bool AttachFromFlag(hk::ServeCore& core, const AttachSpec& spec) {
+  std::vector<std::string> parts;
+  std::string rest = spec.args;
+  size_t start = 0;
+  while (start <= rest.size()) {
+    const size_t comma = rest.find(',', start);
+    const size_t end = (comma == std::string::npos) ? rest.size() : comma;
+    if (end > start) {
+      parts.push_back(rest.substr(start, end - start));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  if (parts.empty()) {
+    std::fprintf(stderr, "hk_serve: --attach %s: empty source\n", spec.name.c_str());
+    return false;
+  }
+  hk::SourceBinding binding;
+  binding.source = parts[0];
+  std::string err;
+  if (!hk::ParseAttachArgs(parts, 1, &binding, &err)) {
+    std::fprintf(stderr, "hk_serve: --attach %s: %s\n", spec.name.c_str(), err.c_str());
+    return false;
+  }
+  if (!core.Attach(spec.name, binding, &err)) {
+    std::fprintf(stderr, "hk_serve: attach %s: %s\n", spec.name.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    return 2;
+  }
+
+  hk::ServeOptions serve_options;
+  serve_options.checkpoint_path = opt.checkpoint_path;
+  serve_options.defaults = opt.defaults;
+  hk::ServeCore core(serve_options);
+
+  std::string err;
+  size_t recovered = 0;
+  if (!opt.checkpoint_path.empty()) {
+    if (!core.Recover(&recovered, &err)) {
+      std::fprintf(stderr, "hk_serve: recovery failed: %s\n", err.c_str());
+      return 1;
+    }
+    if (recovered > 0) {
+      std::fprintf(stderr, "hk_serve: recovered %zu instance(s) from %s\n", recovered,
+                   opt.checkpoint_path.c_str());
+    }
+  }
+
+  for (const auto& cs : opt.creates) {
+    if (!core.Create(cs.name, cs.spec, &err)) {
+      // Recovery may already have rebuilt this instance; that is the
+      // normal restart path, not a conflict.
+      if (recovered > 0 && err.find("exists") != std::string::npos) {
+        continue;
+      }
+      std::fprintf(stderr, "hk_serve: create %s: %s\n", cs.name.c_str(), err.c_str());
+      return 1;
+    }
+  }
+  for (const auto& as : opt.attaches) {
+    bool already = false;
+    for (const auto& name : core.InstanceNames()) {
+      if (name == as.name && recovered > 0 && core.PacketsApplied(as.name) > 0) {
+        already = true;  // recovery re-attached with the offset skipped
+      }
+    }
+    if (already) {
+      continue;
+    }
+    if (!AttachFromFlag(core, as)) {
+      return 1;
+    }
+  }
+
+  hk::LineServer server(core);
+  if (!server.Start(opt.port, &err)) {
+    std::fprintf(stderr, "hk_serve: %s\n", err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "hk_serve: listening on 127.0.0.1:%u\n", server.port());
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const auto interval = std::chrono::milliseconds(opt.interval_ms == 0 ? 100 : opt.interval_ms);
+  auto next_checkpoint = std::chrono::steady_clock::now() + interval;
+  bool drained_exit = false;
+  while (g_signal_stop == 0 && !server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (!opt.checkpoint_path.empty() && opt.interval_ms != 0 &&
+        std::chrono::steady_clock::now() >= next_checkpoint) {
+      if (!core.WriteCheckpoint(&err)) {
+        std::fprintf(stderr, "hk_serve: checkpoint failed: %s\n", err.c_str());
+      }
+      next_checkpoint = std::chrono::steady_clock::now() + interval;
+    }
+    if (opt.drain_then_exit) {
+      core.DrainIngest();  // blocks until every attached stream hits EOF
+      drained_exit = true;
+      break;
+    }
+  }
+
+  server.Stop();
+  if (!opt.checkpoint_path.empty()) {
+    if (!core.WriteCheckpoint(&err)) {
+      std::fprintf(stderr, "hk_serve: final checkpoint failed: %s\n", err.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "hk_serve: %s\n", drained_exit ? "drained, exiting" : "stopped");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Length-checked binary encode/decode helpers for state blobs.
+//
+// The pattern serialization.cpp established (append POD fields, read them
+// back with bounds checks, reject trailing bytes) is what every
+// TopKAlgorithm::SaveState/LoadState implementation and the hk_serve
+// checkpoint file need; this header makes it shared instead of re-derived
+// per call site. Encoding is host-endian - the blobs are crash-recovery
+// state for the machine that wrote them, not an interchange format (the
+// magic-guarded sketch format in core/serialization.h stays the
+// cross-version surface).
+#ifndef HK_COMMON_BYTE_IO_H_
+#define HK_COMMON_BYTE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace hk {
+
+template <typename T>
+void ByteAppend(std::vector<uint8_t>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>, "ByteAppend needs a POD");
+  const size_t pos = out.size();
+  out.resize(pos + sizeof(T));
+  std::memcpy(out.data() + pos, &v, sizeof(T));
+}
+
+inline void ByteAppendString(std::vector<uint8_t>& out, const std::string& s) {
+  ByteAppend(out, static_cast<uint64_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+inline void ByteAppendBlob(std::vector<uint8_t>& out, const std::vector<uint8_t>& blob) {
+  ByteAppend(out, static_cast<uint64_t>(blob.size()));
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>, "ByteReader needs a POD");
+    if (sizeof(T) > size_ - pos_) {
+      return false;
+    }
+    std::memcpy(v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadString(std::string* s) {
+    uint64_t n = 0;
+    if (!Read(&n) || n > size_ - pos_) {
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(data_) + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return true;
+  }
+
+  bool ReadBlob(std::vector<uint8_t>* blob) {
+    uint64_t n = 0;
+    if (!Read(&n) || n > size_ - pos_) {
+      return false;
+    }
+    blob->assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += static_cast<size_t>(n);
+    return true;
+  }
+
+  // Borrow `n` bytes in place (no copy); nullptr when short.
+  const uint8_t* Borrow(size_t n) {
+    if (n > size_ - pos_) {
+      return nullptr;
+    }
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool Done() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// CRC-32 (IEEE 802.3, reflected). Guards the checkpoint file against torn
+// or bit-rotted writes; bitwise is plenty for a periodic checkpoint.
+inline uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed = 0) {
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0xedb88320u : 0u);
+    }
+  }
+  return ~crc;
+}
+
+inline uint32_t Crc32(const std::vector<uint8_t>& data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace hk
+
+#endif  // HK_COMMON_BYTE_IO_H_

@@ -39,6 +39,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <vector>
 
 #include "common/decay.h"
 #include "common/flow_key.h"
@@ -107,6 +109,25 @@ class ConcurrentHeavyKeeper {
   // Units abandoned because a bucket kept moving past the retry budget
   // (0 unless heavily contended; never possible with one thread).
   uint64_t dropped_units() const { return dropped_units_.load(std::memory_order_relaxed); }
+
+  // Quiesced checkpoint hooks (ConcurrentTopK::SaveState/LoadState). The
+  // caller must have stopped every inserter and issued its publish fence;
+  // under that guarantee a plain byte copy of the slab is safe - the same
+  // reasoning that lets quiesced queries read whole words non-atomically.
+  std::vector<uint8_t> DumpSlab() const {
+    return std::vector<uint8_t>(slab_.data(), slab_.data() + slab_.size());
+  }
+  bool LoadSlab(const std::vector<uint8_t>& bytes) {
+    if (bytes.size() != slab_.size()) {
+      return false;
+    }
+    std::memcpy(slab_.data(), bytes.data(), bytes.size());
+    return true;
+  }
+  void RestoreCounters(uint64_t stuck, uint64_t dropped) {
+    stuck_events_.store(stuck, std::memory_order_relaxed);
+    dropped_units_.store(dropped, std::memory_order_relaxed);
+  }
 
  private:
   // Re-classify-and-retry bound per insert. 16 re-reads is far beyond any

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/byte_io.h"
+
 namespace hk {
 namespace {
 
@@ -329,6 +331,55 @@ size_t ConcurrentTopK::MemoryBytes() const {
   // Same Section VI-A split as the inner pipeline reports: one shared
   // slab + k accounted store entries, regardless of thread count.
   return sketch_.MemoryBytes() + k_ * ConcurrentTopKStore::BytesPerEntry(key_bytes_);
+}
+
+bool ConcurrentTopK::SaveState(std::vector<uint8_t>* out) const {
+  // Quiesce + publish before the plain-byte slab copy; Flush is mutating
+  // only in the fence sense, same const_cast rationale as the WaitIdle
+  // calls in the other const query paths.
+  const_cast<ConcurrentTopK*>(this)->Flush();
+  ByteAppendBlob(*out, sketch_.DumpSlab());
+  ByteAppend(*out, sketch_.stuck_events());
+  ByteAppend(*out, sketch_.dropped_units());
+  const std::vector<FlowCount> entries = store_.Entries();
+  ByteAppend(*out, static_cast<uint64_t>(entries.size()));
+  for (const FlowCount& e : entries) {
+    ByteAppend(*out, e.id);
+    ByteAppend(*out, e.count);
+  }
+  return true;
+}
+
+bool ConcurrentTopK::LoadState(const uint8_t* data, size_t size) {
+  Flush();
+  ByteReader reader(data, size);
+  std::vector<uint8_t> slab;
+  uint64_t stuck = 0;
+  uint64_t dropped = 0;
+  uint64_t n = 0;
+  if (!reader.ReadBlob(&slab) || !reader.Read(&stuck) || !reader.Read(&dropped) ||
+      !reader.Read(&n) || n > k_) {
+    return false;
+  }
+  std::vector<FlowCount> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    FlowCount e;
+    if (!reader.Read(&e.id) || !reader.Read(&e.count)) {
+      return false;
+    }
+    entries.push_back(e);
+  }
+  if (!reader.Done() || !sketch_.LoadSlab(slab)) {
+    return false;
+  }
+  sketch_.RestoreCounters(stuck, dropped);
+  // Fresh store below capacity: Admit inserts without eviction, rebuilding
+  // the heap over the saved entries (duplicate-free by Entries()).
+  for (const FlowCount& e : entries) {
+    store_.Admit(e.id, e.count);
+  }
+  return true;
 }
 
 HK_REGISTER_SKETCHES(ConcurrentTopK) {

@@ -100,6 +100,11 @@ class ConcurrentTopK : public TopKAlgorithm {
   uint64_t stuck_events() const { return sketch_.stuck_events(); }
   uint64_t dropped_units() const { return sketch_.dropped_units(); }
 
+  // Checkpointing quiesces first (Flush), like every other query; external
+  // Inserter threads must already be joined, as for kExact snapshots.
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool LoadState(const uint8_t* data, size_t size) override;
+
   // Per-thread direct-insertion handle (no rings, no producer serialization):
   // the calling thread applies packets to the shared slab and store itself.
   // Each Inserter owns a decay-RNG stream derived from `stream`; use one

@@ -33,10 +33,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <utility>
 
+#include "common/byte_io.h"
 #include "core/heavykeeper.h"
+#include "core/serialization.h"
 #include "sketch/topk_algorithm.h"
 #include "summary/topk_store.h"
 
@@ -266,6 +270,62 @@ class HeavyKeeperTopK : public TopKAlgorithm {
 
   size_t MemoryBytes() const override {
     return sketch_.MemoryBytes() + k_ * Store::BytesPerEntry(key_bytes_);
+  }
+
+  // Checkpoint blob: the magic-guarded sketch snapshot (serialization v2)
+  // plus the candidate-store entries. The decay RNG restarts from the
+  // config seed on load (core/serialization.h precedent).
+  bool SaveState(std::vector<uint8_t>* out) const override {
+    ByteAppendBlob(*out, SerializeSketch(sketch_));
+    const std::vector<FlowCount> entries = store_.Entries();
+    ByteAppend(*out, static_cast<uint64_t>(entries.size()));
+    for (const FlowCount& e : entries) {
+      ByteAppend(*out, e.id);
+      ByteAppend(*out, e.count);
+    }
+    return true;
+  }
+
+  bool LoadState(const uint8_t* data, size_t size) override {
+    ByteReader reader(data, size);
+    std::vector<uint8_t> blob;
+    if (!reader.ReadBlob(&blob)) {
+      return false;
+    }
+    std::optional<HeavyKeeper> restored = DeserializeSketch(blob);
+    if (!restored.has_value()) {
+      return false;
+    }
+    // The blob must describe this instance's spec: same geometry, same
+    // seeds, so store entries stay consistent with the restored arrays.
+    const HeavyKeeperConfig& mine = sketch_.config();
+    const HeavyKeeperConfig& theirs = restored->config();
+    if (theirs.d != mine.d || theirs.w != mine.w || theirs.b != mine.b ||
+        theirs.decay_function != mine.decay_function ||
+        theirs.fingerprint_bits != mine.fingerprint_bits ||
+        theirs.counter_bits != mine.counter_bits || theirs.seed != mine.seed ||
+        theirs.expansion_threshold != mine.expansion_threshold) {
+      return false;
+    }
+    uint64_t n = 0;
+    if (!reader.Read(&n) || n > k_) {
+      return false;
+    }
+    Store store(k_);
+    for (uint64_t i = 0; i < n; ++i) {
+      FlowId id = 0;
+      uint64_t count = 0;
+      if (!reader.Read(&id) || !reader.Read(&count) || store.Contains(id)) {
+        return false;
+      }
+      store.Insert(id, count);
+    }
+    if (!reader.Done()) {
+      return false;
+    }
+    sketch_ = std::move(*restored);
+    store_ = std::move(store);
+    return true;
   }
 
   HkVersion version() const { return version_; }

@@ -1,0 +1,123 @@
+#include "ingest/byte_source.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace hk {
+namespace {
+
+class FileByteSource final : public ByteSource {
+ public:
+  explicit FileByteSource(const std::string& path) {
+    if (path == "-") {
+      file_ = stdin;
+      owned_ = false;
+      return;
+    }
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr) {
+      error_ = "cannot open " + path;
+    }
+  }
+
+  ~FileByteSource() override {
+    if (file_ != nullptr && owned_) {
+      std::fclose(file_);
+    }
+  }
+
+  size_t Read(uint8_t* out, size_t max_bytes) override {
+    if (file_ == nullptr || max_bytes == 0) {
+      return 0;
+    }
+    const size_t got = std::fread(out, 1, max_bytes, file_);
+    if (got == 0 && std::ferror(file_) != 0) {
+      error_ = "read error";
+    }
+    return got;
+  }
+
+  bool ok() const override { return error_.empty(); }
+  std::string error() const override { return error_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool owned_ = true;
+  std::string error_;
+};
+
+class FdByteSource final : public ByteSource {
+ public:
+  FdByteSource(int fd, bool own_fd) : fd_(fd), own_(own_fd) {}
+
+  ~FdByteSource() override {
+    if (own_ && fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  size_t Read(uint8_t* out, size_t max_bytes) override {
+    if (fd_ < 0 || max_bytes == 0) {
+      return 0;
+    }
+    for (;;) {
+      const ssize_t got = ::read(fd_, out, max_bytes);
+      if (got >= 0) {
+        return static_cast<size_t>(got);
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      error_ = std::string("read: ") + std::strerror(errno);
+      return 0;
+    }
+  }
+
+  bool ok() const override { return error_.empty(); }
+  std::string error() const override { return error_; }
+
+ private:
+  int fd_;
+  bool own_;
+  std::string error_;
+};
+
+class BufferByteSource final : public ByteSource {
+ public:
+  BufferByteSource(std::vector<uint8_t> data, size_t chunk_bytes)
+      : data_(std::move(data)), chunk_(chunk_bytes == 0 ? data_.size() + 1 : chunk_bytes) {}
+
+  size_t Read(uint8_t* out, size_t max_bytes) override {
+    const size_t n = std::min({max_bytes, chunk_, data_.size() - pos_});
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return n;
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+  size_t chunk_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ByteSource> MakeFileByteSource(const std::string& path) {
+  return std::make_unique<FileByteSource>(path);
+}
+
+std::unique_ptr<ByteSource> MakeFdByteSource(int fd, bool own_fd) {
+  return std::make_unique<FdByteSource>(fd, own_fd);
+}
+
+std::unique_ptr<ByteSource> MakeBufferByteSource(std::vector<uint8_t> data,
+                                                 size_t chunk_bytes) {
+  return std::make_unique<BufferByteSource>(std::move(data), chunk_bytes);
+}
+
+}  // namespace hk

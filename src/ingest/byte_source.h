@@ -1,0 +1,48 @@
+// ByteSource: a pull-based byte stream feeding PcapReader's streaming
+// mode and the hk_serve ingest loop.
+//
+// Read() blocks until at least one byte is available and returns the
+// number of bytes copied out; 0 means end-of-stream or error, and ok()
+// distinguishes the two. Implementations cover the three live-source
+// shapes the daemon binds: a regular file (or stdin via "-"), a raw file
+// descriptor (pipes, TCP sockets), and an in-memory buffer that tests use
+// with tiny chunk sizes to force refill boundaries at every offset.
+#ifndef HK_INGEST_BYTE_SOURCE_H_
+#define HK_INGEST_BYTE_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hk {
+
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  // Copy up to `max_bytes` into `out`. Returns the count actually copied;
+  // 0 only at end-of-stream or on error (never "try again").
+  virtual size_t Read(uint8_t* out, size_t max_bytes) = 0;
+
+  virtual bool ok() const { return true; }
+  virtual std::string error() const { return std::string(); }
+};
+
+// Buffered stdio source; path "-" reads stdin (not closed on destruction).
+std::unique_ptr<ByteSource> MakeFileByteSource(const std::string& path);
+
+// Raw-descriptor source (pipes, sockets). Retries EINTR; closes the
+// descriptor on destruction when `own_fd`.
+std::unique_ptr<ByteSource> MakeFdByteSource(int fd, bool own_fd);
+
+// In-memory source serving at most `chunk_bytes` per Read (0 = all at
+// once). Tests use chunk sizes of a few bytes to land refills inside
+// every header field.
+std::unique_ptr<ByteSource> MakeBufferByteSource(std::vector<uint8_t> data,
+                                                 size_t chunk_bytes = 0);
+
+}  // namespace hk
+
+#endif  // HK_INGEST_BYTE_SOURCE_H_

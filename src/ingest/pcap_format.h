@@ -57,6 +57,22 @@ inline constexpr uint16_t kOptIfTsResol = 9;
 inline constexpr uint32_t kLinkTypeNull = 0;      // BSD loopback: 4-byte AF header
 inline constexpr uint32_t kLinkTypeEthernet = 1;  // Ethernet II
 inline constexpr uint32_t kLinkTypeRaw = 101;     // raw IPv4/IPv6, no link header
+inline constexpr uint32_t kLinkTypeSll = 113;     // Linux cooked capture (tcpdump -i any)
+inline constexpr uint32_t kLinkTypeSll2 = 276;    // Linux cooked capture v2
+
+// Linux cooked capture headers. SLL v1: packet type (2), ARPHRD (2),
+// address length (2), address (8), protocol (2, big-endian ethertype).
+// SLL2 moves the protocol to offset 0: protocol (2), reserved (2),
+// interface index (4), ARPHRD (2), packet type (1), address length (1),
+// address (8).
+inline constexpr uint32_t kSllHeaderBytes = 16;
+inline constexpr uint32_t kSll2HeaderBytes = 20;
+inline constexpr uint32_t kSllProtocolOffset = 14;
+
+// gzip stream magic: compressed captures are recognized on open so the
+// reader can fail with a targeted diagnostic instead of "bad magic".
+inline constexpr uint8_t kGzipMagic0 = 0x1f;
+inline constexpr uint8_t kGzipMagic1 = 0x8b;
 
 // Ethertypes.
 inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;

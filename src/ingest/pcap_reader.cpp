@@ -1,13 +1,24 @@
 #include "ingest/pcap_reader.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 
 namespace hk {
 
 using namespace pcapfmt;
 
 namespace {
+
+// Streaming read-ahead: how much the window grows per source pull beyond
+// the bytes a record immediately needs.
+constexpr size_t kStreamChunkBytes = 256 * 1024;
+
+// A pcapng block larger than this is a corrupt length field, not data: the
+// packet payload inside a block is already capped at kMaxSaneCaplen, so a
+// small envelope allowance covers every legitimate block.
+constexpr size_t kMaxSaneBlockLen = kMaxSaneCaplen + 4096;
 
 // Network byte order loads (the wire headers are big-endian regardless of
 // the container's endianness).
@@ -89,6 +100,43 @@ uint32_t PcapReader::Load32(const uint8_t* p) const {
 bool PcapReader::Malformed(const std::string& what) {
   error_ = what;
   offset_ = data_.size();  // terminate the stream
+  source_eof_ = true;      // and stop pulling from a streaming source
+  return false;
+}
+
+bool PcapReader::Refill(size_t need) {
+  if (Available() >= need) {
+    return true;
+  }
+  if (source_ == nullptr || source_eof_) {
+    return false;  // slurp mode: what's loaded is all there is
+  }
+  if (offset_ > 0) {
+    // Drop the consumed prefix so the window stays bounded by one
+    // in-flight record plus read-ahead.
+    data_.erase(data_.begin(), data_.begin() + static_cast<ptrdiff_t>(offset_));
+    offset_ = 0;
+  }
+  while (data_.size() < need) {
+    const size_t old_size = data_.size();
+    const size_t want = std::max(need - old_size, kStreamChunkBytes);
+    data_.resize(old_size + want);
+    const size_t got = source_->Read(data_.data() + old_size, want);
+    data_.resize(old_size + got);
+    if (got == 0) {
+      source_eof_ = true;
+      break;
+    }
+  }
+  return Available() >= need;
+}
+
+bool PcapReader::SourceEof() {
+  // End-of-stream on a record boundary: clean unless the source died
+  // (a socket error must not masquerade as a finished capture).
+  if (source_ != nullptr && !source_->ok()) {
+    Malformed("byte source failed: " + source_->error());
+  }
   return false;
 }
 
@@ -116,6 +164,8 @@ bool PcapReader::Open(const std::string& path) {
 
 bool PcapReader::OpenBuffer(std::vector<uint8_t> data) {
   data_ = std::move(data);
+  source_.reset();
+  source_eof_ = false;
   offset_ = 0;
   body_start_ = 0;
   interfaces_.clear();
@@ -124,7 +174,32 @@ bool PcapReader::OpenBuffer(std::vector<uint8_t> data) {
   return ParseContainerHeader();
 }
 
+bool PcapReader::OpenStream(std::unique_ptr<ByteSource> source) {
+  data_.clear();
+  source_ = std::move(source);
+  source_eof_ = false;
+  offset_ = 0;
+  body_start_ = 0;
+  interfaces_.clear();
+  stats_ = IngestStats{};
+  error_.clear();
+  if (source_ == nullptr) {
+    error_ = "null byte source";
+    return false;
+  }
+  if (!source_->ok()) {
+    error_ = source_->error();
+    source_.reset();
+    return false;
+  }
+  return ParseContainerHeader();
+}
+
 void PcapReader::Rewind() {
+  if (source_ != nullptr) {
+    error_ = "cannot rewind a streaming capture";
+    return;
+  }
   offset_ = body_start_;
   stats_ = IngestStats{};
   error_.clear();
@@ -138,18 +213,22 @@ void PcapReader::Rewind() {
 }
 
 bool PcapReader::ParseContainerHeader() {
-  if (data_.size() < 4) {
+  if (!Refill(4)) {
     error_ = "capture shorter than any magic number";
     return false;
   }
+  const uint8_t* head = data_.data() + offset_;
+  if (head[0] == kGzipMagic0 && head[1] == kGzipMagic1) {
+    error_ = "gzip captures not yet supported — pipe through zcat";
+    return false;
+  }
   uint32_t magic;
-  std::memcpy(&magic, data_.data(), sizeof(magic));
+  std::memcpy(&magic, head, sizeof(magic));
 
   if (magic == kBlockSectionHeader) {
     // pcapng: blocks carry their own structure; NextNg consumes the SHB.
     format_ = PcapFormat::kPcapNg;
-    offset_ = 0;
-    body_start_ = 0;
+    body_start_ = offset_;
     return true;
   }
 
@@ -173,23 +252,30 @@ bool PcapReader::ParseContainerHeader() {
       return false;
   }
   format_ = PcapFormat::kPcap;
-  if (data_.size() < kPcapGlobalHeaderBytes) {
+  if (!Refill(kPcapGlobalHeaderBytes)) {
     error_ = "truncated pcap global header";
     return false;
   }
+  const uint8_t* h = data_.data() + offset_;  // Refill may have moved the window
   Interface iface;
-  iface.link_type = Load32(data_.data() + 20);
-  iface.snaplen = Load32(data_.data() + 16);
+  iface.link_type = Load32(h + 20);
+  iface.snaplen = Load32(h + 16);
   iface.tsresol = nanos ? 9 : 6;
   iface.tsresol_pow2 = false;
-  if (iface.link_type != kLinkTypeEthernet && iface.link_type != kLinkTypeRaw &&
-      iface.link_type != kLinkTypeNull) {
+  if (!SupportedLinkType(iface.link_type)) {
     error_ = "unsupported pcap linktype " + std::to_string(iface.link_type);
     return false;
   }
   interfaces_.assign(1, iface);
-  offset_ = body_start_ = kPcapGlobalHeaderBytes;
+  offset_ += kPcapGlobalHeaderBytes;
+  body_start_ = offset_;
   return true;
+}
+
+bool PcapReader::SupportedLinkType(uint32_t link_type) {
+  return link_type == kLinkTypeEthernet || link_type == kLinkTypeRaw ||
+         link_type == kLinkTypeNull || link_type == kLinkTypeSll ||
+         link_type == kLinkTypeSll2;
 }
 
 uint64_t PcapReader::TicksToNs(const Interface& iface, uint64_t ticks) {
@@ -213,8 +299,11 @@ bool PcapReader::Next(PacketRecord* out) {
 
 bool PcapReader::NextClassic(PacketRecord* out) {
   const Interface& iface = interfaces_.front();
-  while (offset_ < data_.size()) {
-    if (data_.size() - offset_ < kPcapRecordHeaderBytes) {
+  for (;;) {
+    if (!Refill(kPcapRecordHeaderBytes)) {
+      if (Available() == 0) {
+        return SourceEof();
+      }
       return Malformed("truncated pcap record header");
     }
     const uint8_t* h = data_.data() + offset_;
@@ -225,10 +314,10 @@ bool PcapReader::NextClassic(PacketRecord* out) {
     if (caplen > kMaxSaneCaplen) {
       return Malformed("bogus caplen " + std::to_string(caplen));
     }
-    if (caplen > data_.size() - offset_ - kPcapRecordHeaderBytes) {
+    if (!Refill(kPcapRecordHeaderBytes + caplen)) {
       return Malformed("record caplen overruns the file");
     }
-    const uint8_t* frame = h + kPcapRecordHeaderBytes;
+    const uint8_t* frame = data_.data() + offset_ + kPcapRecordHeaderBytes;
     offset_ += kPcapRecordHeaderBytes + caplen;
     if (caplen == 0) {
       ++stats_.skipped_other;
@@ -244,12 +333,14 @@ bool PcapReader::NextClassic(PacketRecord* out) {
       return true;
     }
   }
-  return false;
 }
 
 bool PcapReader::NextNg(PacketRecord* out) {
-  while (offset_ < data_.size()) {
-    if (data_.size() - offset_ < 12) {
+  for (;;) {
+    if (!Refill(12)) {
+      if (Available() == 0) {
+        return SourceEof();
+      }
       return Malformed("truncated pcapng block header");
     }
     const uint8_t* b = data_.data() + offset_;
@@ -272,12 +363,13 @@ bool PcapReader::NextNg(PacketRecord* out) {
     }
 
     const uint32_t total_len = Load32(b + 4);
-    if (total_len < 12 || total_len % 4 != 0) {
+    if (total_len < 12 || total_len % 4 != 0 || total_len > kMaxSaneBlockLen) {
       return Malformed("pcapng block with bogus total length " + std::to_string(total_len));
     }
-    if (total_len > data_.size() - offset_) {
+    if (!Refill(total_len)) {
       return Malformed("pcapng block overruns the file");
     }
+    b = data_.data() + offset_;  // Refill may have moved the window
     if (Load32(b + total_len - 4) != total_len) {
       return Malformed("pcapng block trailing length mismatch");
     }
@@ -316,8 +408,7 @@ bool PcapReader::NextNg(PacketRecord* out) {
           }
           pos += (len + 3u) & ~3u;  // options are padded to 4 bytes
         }
-        iface.supported = iface.link_type == kLinkTypeEthernet ||
-                          iface.link_type == kLinkTypeRaw || iface.link_type == kLinkTypeNull;
+        iface.supported = SupportedLinkType(iface.link_type);
         // Hostile/nonsense resolutions: past femtoseconds the pow-10
         // divisor in TicksToNs would overflow uint64 (10^n == 0 mod 2^64
         // for n >= 64 - a crafted value must not reach a division). The
@@ -389,37 +480,46 @@ bool PcapReader::NextNg(PacketRecord* out) {
         break;  // name resolution, statistics, custom blocks: skip by length
     }
   }
-  return false;
 }
 
 bool PcapReader::ParseFrame(const uint8_t* data, size_t caplen, uint32_t link_type,
                             PacketRecord* out) {
   size_t off = 0;
+  // Framings that carry an ethertype (Ethernet and both Linux cooked
+  // variants) share the 802.1Q/802.1ad strip below; the others jump
+  // straight to the IP header.
+  bool has_ethertype = false;
+  uint16_t ethertype = 0;
   switch (link_type) {
-    case kLinkTypeEthernet: {
+    case kLinkTypeEthernet:
       if (caplen < 14) {
         ++stats_.skipped_truncated;
         return false;
       }
-      uint16_t ethertype = Be16(data + 12);
+      ethertype = Be16(data + 12);
       off = 14;
-      // 802.1Q / 802.1ad tag stack (bounded: a hostile frame cannot loop).
-      int tags = 0;
-      while ((ethertype == kEtherTypeVlan || ethertype == kEtherTypeQinQ) && tags < 8) {
-        if (caplen - off < 4) {
-          ++stats_.skipped_truncated;
-          return false;
-        }
-        ethertype = Be16(data + off + 2);
-        off += 4;
-        ++tags;
-      }
-      if (ethertype != kEtherTypeIpv4 && ethertype != kEtherTypeIpv6) {
-        ++stats_.skipped_non_ip;
+      has_ethertype = true;
+      break;
+    case kLinkTypeSll:
+      // Linux cooked v1: the protocol field is a big-endian ethertype
+      // (non-ethertype ARPHRD pseudo-protocols land in skipped_non_ip).
+      if (caplen < kSllHeaderBytes) {
+        ++stats_.skipped_truncated;
         return false;
       }
+      ethertype = Be16(data + kSllProtocolOffset);
+      off = kSllHeaderBytes;
+      has_ethertype = true;
       break;
-    }
+    case kLinkTypeSll2:
+      if (caplen < kSll2HeaderBytes) {
+        ++stats_.skipped_truncated;
+        return false;
+      }
+      ethertype = Be16(data);  // protocol moved to offset 0 in v2
+      off = kSll2HeaderBytes;
+      has_ethertype = true;
+      break;
     case kLinkTypeRaw:
       break;  // IP starts immediately
     case kLinkTypeNull: {
@@ -433,6 +533,23 @@ bool PcapReader::ParseFrame(const uint8_t* data, size_t caplen, uint32_t link_ty
     default:
       ++stats_.skipped_other;
       return false;
+  }
+  if (has_ethertype) {
+    // 802.1Q / 802.1ad tag stack (bounded: a hostile frame cannot loop).
+    int tags = 0;
+    while ((ethertype == kEtherTypeVlan || ethertype == kEtherTypeQinQ) && tags < 8) {
+      if (caplen - off < 4) {
+        ++stats_.skipped_truncated;
+        return false;
+      }
+      ethertype = Be16(data + off + 2);
+      off += 4;
+      ++tags;
+    }
+    if (ethertype != kEtherTypeIpv4 && ethertype != kEtherTypeIpv6) {
+      ++stats_.skipped_non_ip;
+      return false;
+    }
   }
   return ParseIp(data + off, caplen - off, out);
 }

@@ -2,7 +2,8 @@
 //
 // Reads classic pcap and pcapng captures (both endiannesses, the nanosecond
 // pcap variant, per-interface pcapng timestamp resolutions), walks
-// Ethernet/VLAN -> IPv4/IPv6 -> TCP/UDP headers, and yields one
+// Ethernet/VLAN or Linux cooked (SLL/SLL2, the `tcpdump -i any` framing)
+// -> IPv4/IPv6 -> TCP/UDP headers, and yields one
 // PacketRecord per IP packet: capture timestamp, original wire length, the
 // parsed header fields, and a FlowId derived under a selectable key policy
 // (the flow definitions of Section VI-A):
@@ -25,20 +26,34 @@
 // with ok() == false and a diagnostic in error(). An unsupported linktype
 // fails Open() for classic pcap and skips the interface for pcapng.
 //
-// The whole capture is slurped into memory on Open() (captures at the
-// repo's bench scale are file-cache resident anyway; OpenBuffer() lets
-// tests and remote sources hand bytes directly). Rewind() restarts the
-// packet stream without re-reading the file, which is how multi-pass
-// consumers (oracle + replay, benchmark loops) avoid I/O in the hot loop.
+// Two ingestion modes share the parsing core:
+//
+//   * slurp (Open / OpenBuffer) - the whole capture is loaded up front
+//     (captures at the repo's bench scale are file-cache resident anyway),
+//     and Rewind() restarts the packet stream without re-reading the file,
+//     which is how multi-pass consumers (oracle + replay, benchmark loops)
+//     avoid I/O in the hot loop;
+//   * streaming (OpenStream) - bytes are pulled incrementally from a
+//     ByteSource into a bounded window that is compacted as records are
+//     consumed, so pipes, sockets, stdin, and captures larger than memory
+//     all work. Memory is bounded by one record's caplen (itself capped at
+//     kMaxSaneCaplen), Rewind() is refused, and a source that ends
+//     mid-record reports the same malformed-container diagnostics as a
+//     truncated file.
+//
+// Gzip'd captures are recognized by magic on open and refused with a
+// targeted error (pipe through zcat into OpenStream instead).
 #ifndef HK_INGEST_PCAP_READER_H_
 #define HK_INGEST_PCAP_READER_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flow_key.h"
+#include "ingest/byte_source.h"
 #include "ingest/pcap_format.h"
 
 namespace hk {
@@ -87,11 +102,21 @@ class PcapReader {
   // Adopt an in-memory capture (tests, synthetic sources).
   bool OpenBuffer(std::vector<uint8_t> data);
 
+  // Incremental mode: pull bytes from `source` on demand instead of
+  // slurping. The buffered window stays bounded (one in-flight record plus
+  // a read-ahead chunk); Next() blocks inside the source when the stream
+  // runs dry. False when the source failed to open or the leading
+  // container header is not pcap/pcapng.
+  bool OpenStream(std::unique_ptr<ByteSource> source);
+  bool streaming() const { return source_ != nullptr; }
+
   // Yield the next IP packet. Returns false at end-of-stream or when the
   // container is malformed beyond recovery; ok() distinguishes the two.
   bool Next(PacketRecord* out);
 
   // Restart the packet stream (and stats) over the already-loaded capture.
+  // Streaming captures cannot rewind: the call fails the stream (ok()
+  // turns false) instead of silently replaying a partial window.
   void Rewind();
 
   // True while the stream is well-formed; false after a malformed-container
@@ -116,7 +141,14 @@ class PcapReader {
   };
 
   static uint64_t TicksToNs(const Interface& iface, uint64_t ticks);
+  static bool SupportedLinkType(uint32_t link_type);
   bool ParseContainerHeader();
+  // Ensure >= `need` unread bytes are buffered. Slurp mode: a pure
+  // availability check. Streaming: compact the consumed prefix, then pull
+  // from the source until satisfied or end-of-stream.
+  bool Refill(size_t need);
+  size_t Available() const { return data_.size() - offset_; }
+  bool SourceEof();
   bool NextClassic(PacketRecord* out);
   bool NextNg(PacketRecord* out);
   // Parse one captured slice starting at the link layer. Returns true and
@@ -133,6 +165,8 @@ class PcapReader {
 
   PcapKeyPolicy policy_;
   std::vector<uint8_t> data_;
+  std::unique_ptr<ByteSource> source_;  // non-null = streaming mode
+  bool source_eof_ = false;
   size_t offset_ = 0;       // next unread byte
   size_t body_start_ = 0;   // first record/block after the container header
   bool swapped_ = false;    // container endianness != host

@@ -35,22 +35,49 @@ void PutBe32(std::vector<uint8_t>& out, uint32_t v) {
   out.push_back(static_cast<uint8_t>(v));
 }
 
-// Build the captured frame: Ethernet [+ VLAN] + IPv4/IPv6 + TCP/UDP
-// headers, no payload.
+// Build the captured frame: link header (Ethernet or Linux cooked)
+// [+ VLAN] + IPv4/IPv6 + TCP/UDP headers, no payload.
 void BuildFrame(std::vector<uint8_t>& frame, const FiveTuple& t, uint32_t wire_len,
-                bool ipv6, uint16_t vlan) {
+                bool ipv6, uint16_t vlan, uint32_t link_type) {
   frame.clear();
-  // Ethernet II: fixed locally-administered MACs (content is irrelevant to
-  // flow identity, but keeps the frame structurally honest).
+  const uint16_t ip_ethertype = ipv6 ? kEtherTypeIpv6 : kEtherTypeIpv4;
+  // A tagged frame carries 0x8100 in the protocol/ethertype slot with the
+  // TCI + real ethertype at the payload start - the same layout under all
+  // three framings, matching the reader's shared strip.
+  const uint16_t proto = vlan != 0 ? kEtherTypeVlan : ip_ethertype;
+  // Fixed locally-administered addresses (content is irrelevant to flow
+  // identity, but keeps the frames structurally honest).
   const uint8_t dst_mac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
   const uint8_t src_mac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
-  frame.insert(frame.end(), dst_mac, dst_mac + 6);
-  frame.insert(frame.end(), src_mac, src_mac + 6);
-  if (vlan != 0) {
-    PutBe16(frame, kEtherTypeVlan);
-    PutBe16(frame, vlan & 0x0fff);
+  switch (link_type) {
+    case kLinkTypeSll:
+      PutBe16(frame, 0);  // packet type: unicast to us
+      PutBe16(frame, 1);  // ARPHRD_ETHER
+      PutBe16(frame, 6);  // address length
+      frame.insert(frame.end(), src_mac, src_mac + 6);
+      PutBe16(frame, 0);  // address padding to 8 bytes
+      PutBe16(frame, proto);
+      break;
+    case kLinkTypeSll2:
+      PutBe16(frame, proto);
+      PutBe16(frame, 0);  // reserved
+      PutBe32(frame, 1);  // interface index
+      PutBe16(frame, 1);  // ARPHRD_ETHER
+      Put8(frame, 0);     // packet type
+      Put8(frame, 6);     // address length
+      frame.insert(frame.end(), src_mac, src_mac + 6);
+      PutBe16(frame, 0);  // address padding to 8 bytes
+      break;
+    default:  // Ethernet II
+      frame.insert(frame.end(), dst_mac, dst_mac + 6);
+      frame.insert(frame.end(), src_mac, src_mac + 6);
+      PutBe16(frame, proto);
+      break;
   }
-  PutBe16(frame, ipv6 ? kEtherTypeIpv6 : kEtherTypeIpv4);
+  if (vlan != 0) {
+    PutBe16(frame, vlan & 0x0fff);  // TCI
+    PutBe16(frame, ip_ethertype);
+  }
 
   const bool tcp = t.proto == kProtoTcp;
   const size_t l4_bytes = tcp ? 20 : 8;
@@ -75,7 +102,8 @@ void BuildFrame(std::vector<uint8_t>& frame, const FiveTuple& t, uint32_t wire_l
   } else {
     // IPv6 whose addresses fold (XOR of the four words) back to the
     // tuple's 32-bit values: word 0 carries the value, the rest are zero.
-    uint32_t payload = wire_len > 54 ? wire_len - 54 : 0;
+    const uint32_t l2_plus_ip = static_cast<uint32_t>(frame.size()) + 40;
+    uint32_t payload = wire_len > l2_plus_ip ? wire_len - l2_plus_ip : 0;
     payload = std::max<uint32_t>(payload, static_cast<uint32_t>(l4_bytes));
     payload = std::min<uint32_t>(payload, 65535);
     PutBe32(frame, 0x60000000);  // version 6, no traffic class / flow label
@@ -131,7 +159,7 @@ bool PcapWriter::Open(const std::string& path, const PcapWriterOptions& options)
     Put32(header, 0);  // thiszone
     Put32(header, 0);  // sigfigs
     Put32(header, options_.snaplen);
-    Put32(header, kLinkTypeEthernet);
+    Put32(header, options_.link_type);
   } else {
     // Section Header Block.
     Put32(header, kBlockSectionHeader);
@@ -142,10 +170,11 @@ bool PcapWriter::Open(const std::string& path, const PcapWriterOptions& options)
     Put32(header, 0xffffffffu);  // section length: unspecified
     Put32(header, 0xffffffffu);
     Put32(header, 28);
-    // Interface Description Block: Ethernet, nanosecond resolution.
+    // Interface Description Block: the chosen linktype, nanosecond
+    // resolution.
     Put32(header, kBlockInterfaceDescription);
     Put32(header, 32);
-    Put16(header, static_cast<uint16_t>(kLinkTypeEthernet));
+    Put16(header, static_cast<uint16_t>(options_.link_type));
     Put16(header, 0);  // reserved
     Put32(header, options_.snaplen);
     Put16(header, kOptIfTsResol);
@@ -168,7 +197,7 @@ bool PcapWriter::Write(const FiveTuple& tuple, uint64_t timestamp_ns, uint32_t w
     return false;
   }
   std::vector<uint8_t> frame;
-  BuildFrame(frame, tuple, wire_len, ipv6, vlan);
+  BuildFrame(frame, tuple, wire_len, ipv6, vlan, options_.link_type);
   uint32_t caplen = static_cast<uint32_t>(frame.size());
   if (caplen > options_.snaplen) {
     frame.resize(options_.snaplen);

@@ -1,11 +1,12 @@
 // PcapWriter: synthesize valid captures so tests and benches can exercise
 // the real-trace ingestion path with exact ground truth.
 //
-// Packets are written as Ethernet (optionally 802.1Q-tagged) frames
-// carrying IPv4 or IPv6 with a TCP or UDP transport header built from a
-// FiveTuple. Only the headers are captured (caplen = header bytes) while
-// orig_len records the full wire length - the standard truncated-capture
-// shape, which keeps fixture files small and byte-weighted replay exact.
+// Packets are written as Ethernet or Linux cooked (SLL/SLL2) frames,
+// optionally 802.1Q-tagged, carrying IPv4 or IPv6 with a TCP or UDP
+// transport header built from a FiveTuple. Only the headers are captured
+// (caplen = header bytes) while orig_len records the full wire length - the
+// standard truncated-capture shape, which keeps fixture files small and
+// byte-weighted replay exact.
 //
 // Round-trip guarantee (tests/ingest_roundtrip_test.cpp): a packet written
 // from tuple T parses back to T under PcapReader - IPv6 frames embed the
@@ -32,6 +33,10 @@ struct PcapWriterOptions {
   // nanosecond stamps via if_tsresol).
   bool nanosecond = true;
   uint32_t snaplen = 65535;
+  // Link-layer framing: Ethernet (default) or Linux cooked capture
+  // (kLinkTypeSll / kLinkTypeSll2), which is what `tcpdump -i any`
+  // produces. VLAN tags and IPv6 compose with all three.
+  uint32_t link_type = pcapfmt::kLinkTypeEthernet;
 };
 
 class PcapWriter {

@@ -1,0 +1,53 @@
+// Operational counters for the hk_serve daemon (the "served counters" the
+// STATS verb reports). All fields are relaxed atomics: the ingest threads,
+// the checkpoint timer, and every protocol connection bump them
+// concurrently, and a momentarily stale read is fine for monitoring - the
+// counters are observability, not control flow.
+#ifndef HK_METRICS_SERVE_COUNTERS_H_
+#define HK_METRICS_SERVE_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace hk {
+
+struct ServeCounters {
+  std::atomic<uint64_t> commands{0};         // protocol lines executed
+  std::atomic<uint64_t> errors{0};           // lines answered with ERR
+  std::atomic<uint64_t> exact_queries{0};    // TOPK/POINT served kExact
+  std::atomic<uint64_t> relaxed_queries{0};  // TOPK served kRelaxed
+  std::atomic<uint64_t> packets_ingested{0};
+  std::atomic<uint64_t> wire_bytes_ingested{0};
+  std::atomic<uint64_t> checkpoints_written{0};
+  std::atomic<uint64_t> checkpoint_failures{0};
+  std::atomic<uint64_t> instances_recovered{0};
+
+  void Bump(std::atomic<uint64_t>& c, uint64_t n = 1) {
+    c.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // STAT lines for the protocol's STATS verb (one "STAT key value\n" per
+  // counter, in a fixed order so tests and dashboards can rely on it).
+  std::string Render() const {
+    const auto line = [](const char* key, const std::atomic<uint64_t>& c) {
+      return std::string("STAT ") + key + " " +
+             std::to_string(c.load(std::memory_order_relaxed)) + "\n";
+    };
+    std::string out;
+    out += line("commands", commands);
+    out += line("errors", errors);
+    out += line("exact_queries", exact_queries);
+    out += line("relaxed_queries", relaxed_queries);
+    out += line("packets_ingested", packets_ingested);
+    out += line("wire_bytes_ingested", wire_bytes_ingested);
+    out += line("checkpoints_written", checkpoints_written);
+    out += line("checkpoint_failures", checkpoint_failures);
+    out += line("instances_recovered", instances_recovered);
+    return out;
+  }
+};
+
+}  // namespace hk
+
+#endif  // HK_METRICS_SERVE_COUNTERS_H_

@@ -1,0 +1,215 @@
+#include "serve/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/byte_io.h"
+#include "ingest/pcap_reader.h"
+
+namespace hk {
+namespace {
+
+// "HKSERVE1" little-endian; bump the trailing digit on format changes.
+constexpr uint64_t kMagic = 0x31455652'45534b48ULL;
+constexpr uint32_t kVersion = 1;
+
+// Framing: magic, version, payload length, CRC32(payload), payload.
+constexpr size_t kHeaderBytes = sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint64_t) +
+                                sizeof(uint32_t);
+
+bool Fail(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what;
+  }
+  return false;
+}
+
+std::vector<uint8_t> EncodePayload(const CheckpointManifest& manifest) {
+  std::vector<uint8_t> payload;
+  ByteAppend(payload, static_cast<uint64_t>(manifest.instances.size()));
+  for (const CheckpointInstance& inst : manifest.instances) {
+    ByteAppendString(payload, inst.name);
+    ByteAppendString(payload, inst.spec);
+    ByteAppend(payload, inst.memory_bytes);
+    ByteAppend(payload, inst.k);
+    ByteAppend(payload, inst.key_kind);
+    ByteAppend(payload, inst.seed);
+    ByteAppendString(payload, inst.source);
+    ByteAppend(payload, inst.source_key_policy);
+    ByteAppend(payload, inst.byte_weighted);
+    ByteAppend(payload, inst.packets_applied);
+    ByteAppendBlob(payload, inst.state);
+  }
+  return payload;
+}
+
+bool DecodePayload(const uint8_t* data, size_t size, CheckpointManifest* out,
+                   std::string* error) {
+  ByteReader reader(data, size);
+  uint64_t count = 0;
+  if (!reader.Read(&count)) {
+    return Fail(error, "checkpoint payload truncated at the instance count");
+  }
+  // An instance encodes to > 60 bytes even empty; cheap flood guard before
+  // reserving anything.
+  if (count > size) {
+    return Fail(error, "checkpoint instance count exceeds the payload size");
+  }
+  CheckpointManifest manifest;
+  manifest.instances.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    CheckpointInstance inst;
+    if (!reader.ReadString(&inst.name) || !reader.ReadString(&inst.spec) ||
+        !reader.Read(&inst.memory_bytes) || !reader.Read(&inst.k) ||
+        !reader.Read(&inst.key_kind) || !reader.Read(&inst.seed) ||
+        !reader.ReadString(&inst.source) || !reader.Read(&inst.source_key_policy) ||
+        !reader.Read(&inst.byte_weighted) || !reader.Read(&inst.packets_applied) ||
+        !reader.ReadBlob(&inst.state)) {
+      return Fail(error, "checkpoint payload truncated inside instance " + std::to_string(i));
+    }
+    if (inst.name.empty()) {
+      return Fail(error, "checkpoint instance " + std::to_string(i) + " has an empty name");
+    }
+    if (inst.key_kind > static_cast<uint8_t>(KeyKind::kFiveTuple13B)) {
+      return Fail(error, "checkpoint instance " + inst.name + " has an invalid key kind");
+    }
+    if (inst.source_key_policy > static_cast<uint8_t>(PcapKeyPolicy::kSrcOnly) ||
+        inst.byte_weighted > 1) {
+      return Fail(error, "checkpoint instance " + inst.name + " has an invalid source binding");
+    }
+    manifest.instances.push_back(std::move(inst));
+  }
+  if (!reader.Done()) {
+    return Fail(error, "checkpoint payload has trailing bytes");
+  }
+  *out = std::move(manifest);
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeCheckpoint(const CheckpointManifest& manifest) {
+  const std::vector<uint8_t> payload = EncodePayload(manifest);
+  std::vector<uint8_t> file;
+  file.reserve(kHeaderBytes + payload.size());
+  ByteAppend(file, kMagic);
+  ByteAppend(file, kVersion);
+  ByteAppend(file, static_cast<uint64_t>(payload.size()));
+  ByteAppend(file, Crc32(payload));
+  file.insert(file.end(), payload.begin(), payload.end());
+  return file;
+}
+
+bool DecodeCheckpoint(const uint8_t* data, size_t size, CheckpointManifest* out,
+                      std::string* error) {
+  ByteReader reader(data, size);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint64_t payload_len = 0;
+  uint32_t crc = 0;
+  if (!reader.Read(&magic) || magic != kMagic) {
+    return Fail(error, "not a checkpoint file (bad magic)");
+  }
+  if (!reader.Read(&version) || version != kVersion) {
+    return Fail(error, "unsupported checkpoint version");
+  }
+  if (!reader.Read(&payload_len) || !reader.Read(&crc)) {
+    return Fail(error, "checkpoint header truncated");
+  }
+  // Exact-length check: a torn tail *and* appended garbage both fail here,
+  // before the CRC gets a say.
+  if (payload_len != reader.remaining()) {
+    return Fail(error, "checkpoint payload length mismatch (torn or truncated write)");
+  }
+  const uint8_t* payload = reader.Borrow(static_cast<size_t>(payload_len));
+  if (payload == nullptr) {
+    return Fail(error, "checkpoint payload truncated");
+  }
+  if (Crc32(payload, static_cast<size_t>(payload_len)) != crc) {
+    return Fail(error, "checkpoint payload failed CRC (corrupt write)");
+  }
+  return DecodePayload(payload, static_cast<size_t>(payload_len), out, error);
+}
+
+bool WriteCheckpointAtomic(const std::string& path, const CheckpointManifest& manifest,
+                           std::string* error) {
+  const std::vector<uint8_t> bytes = EncodeCheckpoint(manifest);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Fail(error, "open " + tmp + ": " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string what = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Fail(error, "write " + tmp + ": " + what);
+    }
+    written += static_cast<size_t>(n);
+  }
+  // Durability order: file contents, then the rename, then the directory
+  // entry - the sequence that makes the rename the commit point.
+  if (::fsync(fd) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Fail(error, "fsync " + tmp + ": " + what);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string what = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return Fail(error, "rename " + tmp + " -> " + path + ": " + what);
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best-effort: the rename itself already landed
+    ::close(dir_fd);
+  }
+  return true;
+}
+
+bool LoadCheckpoint(const std::string& path, CheckpointManifest* out, std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Fail(error, "open " + path + ": " + std::strerror(errno));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string what = std::strerror(errno);
+      ::close(fd);
+      return Fail(error, "read " + path + ": " + what);
+    }
+    if (n == 0) {
+      break;
+    }
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  return DecodeCheckpoint(bytes.data(), bytes.size(), out, error);
+}
+
+bool RemoveStaleCheckpointTemp(const std::string& path) {
+  return ::unlink((path + ".tmp").c_str()) == 0;
+}
+
+}  // namespace hk

@@ -1,0 +1,57 @@
+// LineServer: the hk_serve wire transport. Listens on 127.0.0.1, accepts
+// any number of clients (one thread each - protocol connections are few
+// and long-lived), reads newline-delimited request lines, and answers each
+// with ServeCore::Execute()'s response. Two connection-level verbs are
+// handled here rather than in the core: QUIT closes the connection, and
+// SHUTDOWN asks the whole daemon to exit (the binary polls
+// shutdown_requested()).
+#ifndef HK_SERVE_LINE_SERVER_H_
+#define HK_SERVE_LINE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/serve_core.h"
+
+namespace hk {
+
+class LineServer {
+ public:
+  explicit LineServer(ServeCore& core) : core_(core) {}
+  ~LineServer() { Stop(); }
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  // Bind 127.0.0.1:<port> (0 = ephemeral; port() reports the choice) and
+  // start the accept loop. False with *err on bind failure.
+  bool Start(uint16_t port, std::string* err);
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  ServeCore& core_;
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::mutex clients_mu_;
+  std::vector<std::thread> clients_;
+  std::vector<int> client_fds_;
+};
+
+}  // namespace hk
+
+#endif  // HK_SERVE_LINE_SERVER_H_

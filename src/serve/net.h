@@ -1,0 +1,33 @@
+// Minimal POSIX TCP helpers shared by the hk_serve listener, the
+// tcp:// capture source, and the hk_cli query client. IPv4 loopback-class
+// plumbing only - the daemon is an operational tool, not a hardened
+// network service (run it behind the usual perimeter).
+#ifndef HK_SERVE_NET_H_
+#define HK_SERVE_NET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hk {
+
+// Listen on 127.0.0.1:<port> (port 0 = ephemeral). Returns the listening
+// fd, or -1 with *err set. *bound_port receives the actual port.
+int ListenTcp(uint16_t port, uint16_t* bound_port, std::string* err);
+
+// Blocking connect to host:port (numeric IPv4 or "localhost"). Returns the
+// fd, or -1 with *err set.
+int ConnectTcp(const std::string& host, uint16_t port, std::string* err);
+
+// Parse "tcp://host:port". Returns false on malformed input.
+bool ParseTcpEndpoint(const std::string& text, std::string* host, uint16_t* port);
+
+// write(2) the whole buffer, retrying EINTR / short writes.
+bool WriteAll(int fd, const char* data, size_t size);
+
+// Read one '\n'-terminated line (newline stripped, CR tolerated) through a
+// caller-held carry buffer. False at EOF/error with nothing buffered.
+bool ReadLine(int fd, std::string* carry, std::string* line);
+
+}  // namespace hk
+
+#endif  // HK_SERVE_NET_H_

@@ -1,0 +1,679 @@
+#include "serve/serve_core.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "concurrent/concurrent_topk.h"
+#include "ingest/byte_source.h"
+#include "serve/net.h"
+
+namespace hk {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool ParseUint(const std::string& text, uint64_t* out, int base = 10) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, base);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+std::string Err(ServeCounters& counters, const std::string& what) {
+  counters.Bump(counters.errors);
+  return "ERR " + what + "\n";
+}
+
+std::string HexId(FlowId id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llx", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+// Open the reader for a binding: "-" and "tcp://..." always stream,
+// "stream:<path>" forces the bounded-buffer incremental mode, a bare path
+// slurps (which also makes the recovery offset skip an in-memory walk).
+bool OpenSource(PcapReader& reader, const SourceBinding& binding, std::string* err) {
+  const std::string& src = binding.source;
+  if (src == "-") {
+    if (!reader.OpenStream(MakeFileByteSource("-"))) {
+      *err = reader.error();
+      return false;
+    }
+    return true;
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (ParseTcpEndpoint(src, &host, &port)) {
+    const int fd = ConnectTcp(host, port, err);
+    if (fd < 0) {
+      return false;
+    }
+    if (!reader.OpenStream(MakeFdByteSource(fd, /*own_fd=*/true))) {
+      *err = reader.error();
+      return false;
+    }
+    return true;
+  }
+  constexpr const char kStream[] = "stream:";
+  if (src.rfind(kStream, 0) == 0) {
+    if (!reader.OpenStream(MakeFileByteSource(src.substr(sizeof(kStream) - 1)))) {
+      *err = reader.error();
+      return false;
+    }
+    return true;
+  }
+  if (!reader.Open(src)) {
+    *err = reader.error();
+    return false;
+  }
+  return true;
+}
+
+// A binding whose source can be replayed from the start after a restart
+// (recovery skips the applied prefix - zero loss). Pipes and sockets
+// cannot rewind; their loss bound is the checkpoint interval.
+bool ReplayableSource(const std::string& source) {
+  return source != "-" && source.rfind("tcp://", 0) != 0;
+}
+
+}  // namespace
+
+bool ParseAttachArgs(const std::vector<std::string>& args, size_t first, SourceBinding* out,
+                     std::string* err) {
+  for (size_t i = first; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "bytes") {
+      out->byte_weighted = true;
+      continue;
+    }
+    if (arg.rfind("key=", 0) == 0) {
+      if (!ParsePcapKeyPolicy(arg.substr(4), &out->policy)) {
+        *err = "key= must be 5tuple, pair or src (got '" + arg.substr(4) + "')";
+        return false;
+      }
+      continue;
+    }
+    *err = "unknown ATTACH argument '" + arg + "' (expected key=... or bytes)";
+    return false;
+  }
+  return true;
+}
+
+ServeCore::ServeCore(ServeOptions options) : options_(std::move(options)) {}
+
+ServeCore::~ServeCore() {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  for (auto& [name, inst] : instances_) {
+    inst->stop_ingest.store(true, std::memory_order_release);
+    if (inst->ingest.joinable()) {
+      inst->ingest.join();
+    }
+  }
+}
+
+ServeCore::Instance* ServeCore::FindLocked(const std::string& name) {
+  const auto it = instances_.find(name);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+ServeCore::Instance* ServeCore::Resolve(const std::string& name, std::string* err) {
+  if (!name.empty()) {
+    Instance* inst = FindLocked(name);
+    if (inst == nullptr) {
+      *err = "no instance named '" + name + "'";
+    }
+    return inst;
+  }
+  if (instances_.size() == 1) {
+    return instances_.begin()->second.get();
+  }
+  *err = instances_.empty() ? "no instances (CREATE one first)"
+                            : "multiple instances: name one explicitly";
+  return nullptr;
+}
+
+bool ServeCore::Create(const std::string& name, const std::string& spec, std::string* err) {
+  if (name.empty() || name.find('/') != std::string::npos) {
+    *err = "instance names must be non-empty and slash-free";
+    return false;
+  }
+  std::unique_ptr<TopKAlgorithm> algo;
+  try {
+    algo = MakeSketch(spec, options_.defaults);
+  } catch (const std::invalid_argument& e) {
+    *err = e.what();
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(map_mu_);
+  if (FindLocked(name) != nullptr) {
+    *err = "instance '" + name + "' already exists";
+    return false;
+  }
+  auto inst = std::make_unique<Instance>();
+  inst->name = name;
+  inst->spec = spec;
+  inst->defaults = options_.defaults;
+  inst->relaxed_capable = dynamic_cast<ConcurrentTopK*>(algo.get()) != nullptr;
+  inst->algo = std::move(algo);
+  instances_.emplace(name, std::move(inst));
+  return true;
+}
+
+bool ServeCore::Drop(const std::string& name, std::string* err) {
+  std::unique_ptr<Instance> victim;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    const auto it = instances_.find(name);
+    if (it == instances_.end()) {
+      *err = "no instance named '" + name + "'";
+      return false;
+    }
+    victim = std::move(it->second);
+    instances_.erase(it);
+  }
+  // Join outside map_mu_ so a blocked ingest read cannot stall the map.
+  victim->stop_ingest.store(true, std::memory_order_release);
+  if (victim->ingest.joinable()) {
+    victim->ingest.join();
+  }
+  return true;
+}
+
+bool ServeCore::Attach(const std::string& name, const SourceBinding& binding,
+                       std::string* err) {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  Instance* inst = FindLocked(name);
+  if (inst == nullptr) {
+    *err = "no instance named '" + name + "'";
+    return false;
+  }
+  if (inst->attached) {
+    *err = "instance '" + name + "' already has a source";
+    return false;
+  }
+  // Validate the source up front so ATTACH fails loudly instead of the
+  // ingest thread dying silently. The thread re-opens its own reader.
+  {
+    PcapReader probe(binding.policy);
+    if (ReplayableSource(binding.source) && !OpenSource(probe, binding, err)) {
+      return false;
+    }
+  }
+  inst->binding = binding;
+  inst->attached = true;
+  inst->ingest_done.store(false, std::memory_order_release);
+  inst->ingest = std::thread([this, inst] { IngestLoop(inst); });
+  return true;
+}
+
+void ServeCore::IngestLoop(Instance* inst) {
+  PcapReader reader(inst->binding.policy);
+  std::string err;
+  if (!OpenSource(reader, inst->binding, &err)) {
+    inst->ingest_error = err;
+    inst->ingest_done.store(true, std::memory_order_release);
+    return;
+  }
+  // Recovery: the checkpointed prefix is already in the sketch.
+  PacketRecord record;
+  for (uint64_t skipped = 0; skipped < inst->binding.skip_packets; ++skipped) {
+    if (!reader.Next(&record)) {
+      inst->ingest_error = reader.ok() ? "" : reader.error();
+      inst->ingest_done.store(true, std::memory_order_release);
+      return;
+    }
+  }
+  std::vector<FlowId> ids;
+  std::vector<uint64_t> weights;
+  ids.reserve(options_.ingest_batch);
+  weights.reserve(options_.ingest_batch);
+  const bool weighted = inst->binding.byte_weighted;
+  bool more = true;
+  while (more && !inst->stop_ingest.load(std::memory_order_acquire)) {
+    ids.clear();
+    weights.clear();
+    uint64_t burst_bytes = 0;
+    while (ids.size() < options_.ingest_batch && (more = reader.Next(&record))) {
+      ids.push_back(record.id);
+      if (weighted) {
+        weights.push_back(record.wire_len);
+      }
+      burst_bytes += record.wire_len;
+    }
+    if (ids.empty()) {
+      break;
+    }
+    {
+      // The applied-offset pair (sketch state, packets_applied) moves
+      // under the instance lock, which is what lets a checkpoint taken
+      // between bursts record a consistent cut of the stream.
+      std::lock_guard<std::mutex> lock(inst->mu);
+      if (weighted) {
+        inst->algo->InsertBatch(ids, weights);
+      } else {
+        inst->algo->InsertBatch(ids);
+      }
+      inst->packets_applied += ids.size();
+      inst->wire_bytes_applied += burst_bytes;
+    }
+    counters_.Bump(counters_.packets_ingested, ids.size());
+    counters_.Bump(counters_.wire_bytes_ingested, burst_bytes);
+  }
+  if (!reader.ok()) {
+    inst->ingest_error = reader.error();
+  }
+  inst->ingest_done.store(true, std::memory_order_release);
+}
+
+void ServeCore::DrainIngest() {
+  std::vector<Instance*> attached;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    for (auto& [name, inst] : instances_) {
+      if (inst->attached) {
+        attached.push_back(inst.get());
+      }
+    }
+  }
+  for (Instance* inst : attached) {
+    while (!inst->ingest_done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+bool ServeCore::WriteCheckpoint(std::string* err) {
+  if (options_.checkpoint_path.empty()) {
+    *err = "checkpointing disabled (no --checkpoint path)";
+    return false;
+  }
+  std::lock_guard<std::mutex> ckpt_lock(checkpoint_mu_);
+  CheckpointManifest manifest;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    manifest.instances.reserve(instances_.size());
+    for (auto& [name, inst] : instances_) {
+      CheckpointInstance entry;
+      entry.name = inst->name;
+      entry.spec = inst->spec;
+      entry.memory_bytes = inst->defaults.memory_bytes;
+      entry.k = inst->defaults.k;
+      entry.key_kind = static_cast<uint8_t>(inst->defaults.key_kind);
+      entry.seed = inst->defaults.seed;
+      {
+        std::lock_guard<std::mutex> inst_lock(inst->mu);
+        inst->algo->Flush();
+        if (!inst->algo->SaveState(&entry.state)) {
+          *err = "instance '" + inst->name + "' (" + inst->algo->name() +
+                 ") does not support checkpointing";
+          counters_.Bump(counters_.checkpoint_failures);
+          return false;
+        }
+        entry.packets_applied = inst->packets_applied;
+      }
+      if (inst->attached) {
+        entry.source = inst->binding.source;
+        entry.source_key_policy = static_cast<uint8_t>(inst->binding.policy);
+        entry.byte_weighted = inst->binding.byte_weighted ? 1 : 0;
+      }
+      manifest.instances.push_back(std::move(entry));
+    }
+  }
+  if (!WriteCheckpointAtomic(options_.checkpoint_path, manifest, err)) {
+    counters_.Bump(counters_.checkpoint_failures);
+    return false;
+  }
+  counters_.Bump(counters_.checkpoints_written);
+  return true;
+}
+
+bool ServeCore::Recover(size_t* recovered, std::string* err) {
+  if (recovered != nullptr) {
+    *recovered = 0;
+  }
+  if (options_.checkpoint_path.empty()) {
+    return true;
+  }
+  // A crash mid-write leaves a stale temp next to the (intact) previous
+  // checkpoint; clear it so nothing ever reads it.
+  RemoveStaleCheckpointTemp(options_.checkpoint_path);
+  CheckpointManifest manifest;
+  std::string load_err;
+  if (!LoadCheckpoint(options_.checkpoint_path, &manifest, &load_err)) {
+    if (load_err.rfind("open ", 0) == 0) {
+      return true;  // no checkpoint yet: fresh start
+    }
+    *err = load_err;
+    return false;
+  }
+  for (const CheckpointInstance& entry : manifest.instances) {
+    SketchDefaults defaults;
+    defaults.memory_bytes = static_cast<size_t>(entry.memory_bytes);
+    defaults.k = static_cast<size_t>(entry.k);
+    defaults.key_kind = static_cast<KeyKind>(entry.key_kind);
+    defaults.seed = entry.seed;
+    std::unique_ptr<TopKAlgorithm> algo;
+    try {
+      algo = MakeSketch(entry.spec, defaults);
+    } catch (const std::invalid_argument& e) {
+      *err = "instance '" + entry.name + "': " + e.what();
+      return false;
+    }
+    if (!algo->LoadState(entry.state.data(), entry.state.size())) {
+      *err = "instance '" + entry.name + "': checkpoint state rejected by " + algo->name();
+      return false;
+    }
+    auto inst = std::make_unique<Instance>();
+    inst->name = entry.name;
+    inst->spec = entry.spec;
+    inst->defaults = defaults;
+    inst->relaxed_capable = dynamic_cast<ConcurrentTopK*>(algo.get()) != nullptr;
+    inst->algo = std::move(algo);
+    inst->packets_applied = entry.packets_applied;
+    Instance* raw = inst.get();
+    {
+      std::lock_guard<std::mutex> lock(map_mu_);
+      if (FindLocked(entry.name) != nullptr) {
+        *err = "instance '" + entry.name + "' already exists (recover before CREATE)";
+        return false;
+      }
+      instances_.emplace(entry.name, std::move(inst));
+    }
+    if (!entry.source.empty()) {
+      SourceBinding binding;
+      binding.source = entry.source;
+      binding.policy = static_cast<PcapKeyPolicy>(entry.source_key_policy);
+      binding.byte_weighted = entry.byte_weighted != 0;
+      binding.skip_packets = ReplayableSource(entry.source) ? entry.packets_applied : 0;
+      std::string attach_err;
+      if (!Attach(entry.name, binding, &attach_err)) {
+        // The sketch state recovered; a vanished source should not brick
+        // the daemon. Surface it through the instance's ingest_error.
+        raw->ingest_error = attach_err;
+      }
+    }
+    counters_.Bump(counters_.instances_recovered);
+    if (recovered != nullptr) {
+      ++*recovered;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> ServeCore::InstanceNames() const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  std::vector<std::string> names;
+  names.reserve(instances_.size());
+  for (const auto& [name, inst] : instances_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+uint64_t ServeCore::PacketsApplied(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  const auto it = instances_.find(name);
+  if (it == instances_.end()) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> inst_lock(it->second->mu);
+  return it->second->packets_applied;
+}
+
+std::string ServeCore::CmdCreate(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Err(counters_, "usage: CREATE <name> <spec>");
+  }
+  std::string err;
+  if (!Create(args[0], args[1], &err)) {
+    return Err(counters_, err);
+  }
+  return "OK created " + args[0] + "\n";
+}
+
+std::string ServeCore::CmdDrop(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return Err(counters_, "usage: DROP <name>");
+  }
+  std::string err;
+  if (!Drop(args[0], &err)) {
+    return Err(counters_, err);
+  }
+  return "OK dropped " + args[0] + "\n";
+}
+
+std::string ServeCore::CmdAttach(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return Err(counters_, "usage: ATTACH <name> <source> [key=5tuple|pair|src] [bytes]");
+  }
+  SourceBinding binding;
+  binding.source = args[1];
+  std::string err;
+  if (!ParseAttachArgs(args, 2, &binding, &err) || !Attach(args[0], binding, &err)) {
+    return Err(counters_, err);
+  }
+  return "OK attached " + args[0] + "\n";
+}
+
+std::string ServeCore::CmdList() {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  std::string out;
+  for (const auto& [name, inst] : instances_) {
+    uint64_t packets = 0;
+    {
+      std::lock_guard<std::mutex> inst_lock(inst->mu);
+      packets = inst->packets_applied;
+    }
+    out += "INSTANCE " + name + " " + inst->spec + " packets=" + std::to_string(packets) +
+           " source=" + (inst->attached ? inst->binding.source : "none");
+    if (!inst->ingest_error.empty() && inst->ingest_done.load(std::memory_order_acquire)) {
+      out += " ingest_error=1";
+    }
+    out += "\n";
+  }
+  out += "END\n";
+  return out;
+}
+
+std::string ServeCore::CmdTopK(const std::vector<std::string>& args) {
+  // Grammar: TOPK [<name>] <k> [relaxed|exact]. A leading numeric token
+  // means the name was omitted (single-tenant convenience).
+  std::string name;
+  size_t pos = 0;
+  uint64_t k = 0;
+  if (pos < args.size() && !ParseUint(args[pos], &k)) {
+    name = args[pos++];
+  }
+  if (pos >= args.size() || !ParseUint(args[pos], &k) || k == 0) {
+    return Err(counters_, "usage: TOPK [<name>] <k> [relaxed|exact]");
+  }
+  ++pos;
+  bool relaxed = false;
+  if (pos < args.size()) {
+    if (args[pos] == "relaxed") {
+      relaxed = true;
+    } else if (args[pos] != "exact") {
+      return Err(counters_, "consistency must be 'relaxed' or 'exact'");
+    }
+    ++pos;
+  }
+  if (pos != args.size()) {
+    return Err(counters_, "usage: TOPK [<name>] <k> [relaxed|exact]");
+  }
+  QueryResult result;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    std::string err;
+    Instance* inst = Resolve(name, &err);
+    if (inst == nullptr) {
+      return Err(counters_, err);
+    }
+    const QueryOptions query{static_cast<size_t>(k), relaxed ? ConsistencyLevel::kRelaxed
+                                                             : ConsistencyLevel::kExact};
+    if (relaxed && inst->relaxed_capable) {
+      // The whole point of kRelaxed: answer from the live shared slab
+      // without taking the ingest lock - writers never stall.
+      result = inst->algo->Snapshot(query);
+    } else {
+      std::lock_guard<std::mutex> inst_lock(inst->mu);
+      result = inst->algo->Snapshot(query);
+    }
+  }
+  counters_.Bump(result.consistency == ConsistencyLevel::kRelaxed ? counters_.relaxed_queries
+                                                                  : counters_.exact_queries);
+  std::string out;
+  for (const FlowCount& flow : result.flows) {
+    out += "FLOW " + HexId(flow.id) + " " + std::to_string(flow.count) + "\n";
+  }
+  out += std::string("END consistency=") +
+         (result.consistency == ConsistencyLevel::kRelaxed ? "relaxed" : "exact") +
+         " tracked=" + std::to_string(result.stats.tracked_flows) +
+         " min=" + std::to_string(result.stats.min_tracked) + "\n";
+  return out;
+}
+
+std::string ServeCore::CmdPoint(const std::vector<std::string>& args) {
+  std::string name;
+  size_t pos = 0;
+  uint64_t id = 0;
+  if (args.size() == 2) {
+    name = args[pos++];
+  }
+  if (pos + 1 != args.size() || !ParseUint(args[pos], &id, 16)) {
+    return Err(counters_, "usage: POINT [<name>] <flow-id-hex>");
+  }
+  uint64_t estimate = 0;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    std::string err;
+    Instance* inst = Resolve(name, &err);
+    if (inst == nullptr) {
+      return Err(counters_, err);
+    }
+    std::lock_guard<std::mutex> inst_lock(inst->mu);
+    estimate = inst->algo->EstimateSize(id);
+  }
+  counters_.Bump(counters_.exact_queries);
+  return "OK " + std::to_string(estimate) + "\n";
+}
+
+std::string ServeCore::CmdStats(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::string out = counters_.Render();
+    {
+      std::lock_guard<std::mutex> lock(map_mu_);
+      out += "STAT instances " + std::to_string(instances_.size()) + "\n";
+    }
+    out += "END\n";
+    return out;
+  }
+  if (args.size() != 1) {
+    return Err(counters_, "usage: STATS [<name>]");
+  }
+  std::lock_guard<std::mutex> lock(map_mu_);
+  std::string err;
+  Instance* inst = Resolve(args[0], &err);
+  if (inst == nullptr) {
+    return Err(counters_, err);
+  }
+  uint64_t packets = 0;
+  uint64_t wire_bytes = 0;
+  size_t memory = 0;
+  std::string algo_name;
+  {
+    std::lock_guard<std::mutex> inst_lock(inst->mu);
+    packets = inst->packets_applied;
+    wire_bytes = inst->wire_bytes_applied;
+    memory = inst->algo->MemoryBytes();
+    algo_name = inst->algo->name();
+  }
+  std::string out;
+  out += "STAT spec " + inst->spec + "\n";
+  out += "STAT algo " + algo_name + "\n";
+  out += "STAT packets_applied " + std::to_string(packets) + "\n";
+  out += "STAT wire_bytes_applied " + std::to_string(wire_bytes) + "\n";
+  out += "STAT memory_bytes " + std::to_string(memory) + "\n";
+  out += "STAT source " + (inst->attached ? inst->binding.source : "none") + "\n";
+  out += "STAT ingest_done " +
+         std::to_string(inst->ingest_done.load(std::memory_order_acquire) ? 1 : 0) + "\n";
+  if (!inst->ingest_error.empty()) {
+    out += "STAT ingest_error " + inst->ingest_error + "\n";
+  }
+  out += "END\n";
+  return out;
+}
+
+std::string ServeCore::CmdCheckpoint() {
+  std::string err;
+  if (!WriteCheckpoint(&err)) {
+    return Err(counters_, err);
+  }
+  size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    count = instances_.size();
+  }
+  return "OK checkpoint " + options_.checkpoint_path + " instances=" + std::to_string(count) +
+         "\n";
+}
+
+std::string ServeCore::Execute(const std::string& line) {
+  counters_.Bump(counters_.commands);
+  std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    return Err(counters_, "empty command");
+  }
+  const std::string verb = tokens[0];
+  tokens.erase(tokens.begin());
+  if (verb == "CREATE") {
+    return CmdCreate(tokens);
+  }
+  if (verb == "DROP") {
+    return CmdDrop(tokens);
+  }
+  if (verb == "ATTACH") {
+    return CmdAttach(tokens);
+  }
+  if (verb == "LIST") {
+    return CmdList();
+  }
+  if (verb == "TOPK") {
+    return CmdTopK(tokens);
+  }
+  if (verb == "POINT") {
+    return CmdPoint(tokens);
+  }
+  if (verb == "STATS") {
+    return CmdStats(tokens);
+  }
+  if (verb == "CHECKPOINT") {
+    return CmdCheckpoint();
+  }
+  if (verb == "PING") {
+    return "OK pong\n";
+  }
+  return Err(counters_, "unknown command '" + verb + "'");
+}
+
+}  // namespace hk

@@ -1,0 +1,169 @@
+// ServeCore: the hk_serve daemon's brain, transport-free.
+//
+// Hosts a name-keyed map of sketch instances (multi-tenancy: one daemon,
+// many sketches, each its own registry spec and byte budget), feeds each
+// from an optionally attached capture source on a dedicated ingest thread,
+// answers the line protocol, and checkpoints/recovers the whole map
+// atomically. The TCP listener (serve/line_server.h) and the binary
+// (examples/hk_serve.cpp) are thin shells over Execute().
+//
+// Protocol (one request line in, a response of one or more lines out;
+// multi-line responses end with "END"):
+//
+//   CREATE <name> <spec>          OK created <name>
+//   DROP <name>                   OK dropped <name>
+//   ATTACH <name> <source> [key=5tuple|pair|src] [bytes]
+//                                 OK attached <name>  (starts the ingest thread)
+//   LIST                          INSTANCE <name> <spec> packets=<n> source=<s> ... / END
+//   TOPK [<name>] <k> [relaxed|exact]
+//                                 FLOW <id-hex> <estimate> lines / END
+//   POINT [<name>] <id-hex>       OK <estimate>
+//   STATS [<name>]                STAT <key> <value> lines / END
+//   CHECKPOINT                    OK checkpoint <path> instances=<n>
+//   PING                          OK pong
+//   Anything else                 ERR <diagnostic>
+//
+// <name> may be omitted from TOPK/POINT/STATS when exactly one instance
+// exists (the single-tenant convenience the ISSUE grammar shows). <source>
+// is a capture path, "-" for stdin, or "tcp://host:port" for a socket
+// streaming pcap bytes; files are slurped unless larger-than-memory
+// streaming is forced with "stream:" prefix, pipes/sockets always stream.
+//
+// Concurrency: every instance carries its own mutex serializing its
+// ingest thread against queries and checkpoints. A TOPK ... relaxed on a
+// Concurrent-front-end instance bypasses the lock entirely and snapshots
+// the live shared slab (Snapshot(kRelaxed)) - the query answers while the
+// ingest thread keeps inserting, which is the PR 6 API's reason to exist.
+// For every other algorithm "relaxed" degrades to a (brief) lock + exact
+// snapshot, and the response says which consistency was delivered.
+//
+// Crash recovery: WriteCheckpoint() locks instances one at a time,
+// Flush()es, SaveState()s, and records the applied-packet offset under
+// the same lock (state and offset are a consistent pair), then commits
+// the manifest with the atomic temp+fsync+rename protocol
+// (serve/checkpoint.h). Recover() rebuilds every instance from the
+// manifest and re-attaches file sources with the offset skipped - a
+// killed and restarted daemon loses nothing from a file-backed stream
+// and at most one checkpoint interval from a pipe.
+#ifndef HK_SERVE_SERVE_CORE_H_
+#define HK_SERVE_SERVE_CORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ingest/pcap_reader.h"
+#include "metrics/serve_counters.h"
+#include "serve/checkpoint.h"
+#include "sketch/registry.h"
+#include "sketch/topk_algorithm.h"
+
+namespace hk {
+
+struct ServeOptions {
+  std::string checkpoint_path;  // "" = checkpointing disabled
+  SketchDefaults defaults;      // context for CREATE specs
+  size_t ingest_batch = 512;    // records per ingest InsertBatch burst
+};
+
+// A parsed ATTACH source binding.
+struct SourceBinding {
+  std::string source;  // path, "-", or "tcp://host:port"
+  PcapKeyPolicy policy = PcapKeyPolicy::kFiveTuple;
+  bool byte_weighted = false;
+  uint64_t skip_packets = 0;  // recovery: records already applied
+};
+
+class ServeCore {
+ public:
+  explicit ServeCore(ServeOptions options);
+  ~ServeCore();
+
+  ServeCore(const ServeCore&) = delete;
+  ServeCore& operator=(const ServeCore&) = delete;
+
+  // Execute one protocol line; the returned text is the complete response
+  // (every line newline-terminated). Thread-safe.
+  std::string Execute(const std::string& line);
+
+  // Programmatic surface (the protocol verbs call these).
+  bool Create(const std::string& name, const std::string& spec, std::string* err);
+  bool Drop(const std::string& name, std::string* err);
+  bool Attach(const std::string& name, const SourceBinding& binding, std::string* err);
+  bool WriteCheckpoint(std::string* err);
+
+  // Load options_.checkpoint_path and rebuild every instance (state +
+  // source binding + offset skip). Missing file is not an error (fresh
+  // start, returns true with *recovered = 0); a corrupt file is.
+  bool Recover(size_t* recovered, std::string* err);
+
+  // Wait until every attached ingest thread reaches end-of-stream (file
+  // sources; a live pipe never ends). Tests and the smoke script use this
+  // to sequence "after ingest" assertions.
+  void DrainIngest();
+
+  ServeCounters& counters() { return counters_; }
+  const ServeOptions& options() const { return options_; }
+  std::vector<std::string> InstanceNames() const;
+  uint64_t PacketsApplied(const std::string& name) const;
+
+ private:
+  struct Instance {
+    std::string name;
+    std::string spec;
+    SketchDefaults defaults;
+    std::unique_ptr<TopKAlgorithm> algo;
+    bool relaxed_capable = false;  // Concurrent front-end: lock-free kRelaxed
+
+    // Everything below mu: the algorithm plus the applied-offset pair.
+    mutable std::mutex mu;
+    uint64_t packets_applied = 0;
+    uint64_t wire_bytes_applied = 0;
+
+    // Source binding (set once by Attach, read by checkpoint/LIST).
+    SourceBinding binding;
+    bool attached = false;
+    std::thread ingest;
+    std::atomic<bool> stop_ingest{false};
+    std::atomic<bool> ingest_done{false};
+    std::string ingest_error;  // set by the ingest thread before ingest_done
+  };
+
+  // map_mu_ guards the map shape (create/drop/lookup); per-instance mu
+  // guards each algorithm. Lock order: map_mu_ before instance mu.
+  Instance* FindLocked(const std::string& name);
+  // Resolve a possibly-omitted instance name (single-tenant convenience).
+  Instance* Resolve(const std::string& name, std::string* err);
+
+  void IngestLoop(Instance* inst);
+
+  std::string CmdCreate(const std::vector<std::string>& args);
+  std::string CmdDrop(const std::vector<std::string>& args);
+  std::string CmdAttach(const std::vector<std::string>& args);
+  std::string CmdList();
+  std::string CmdTopK(const std::vector<std::string>& args);
+  std::string CmdPoint(const std::vector<std::string>& args);
+  std::string CmdStats(const std::vector<std::string>& args);
+  std::string CmdCheckpoint();
+
+  ServeOptions options_;
+  ServeCounters counters_;
+  mutable std::mutex map_mu_;
+  std::map<std::string, std::unique_ptr<Instance>> instances_;
+  // Serializes whole-manifest writes (protocol CHECKPOINT vs the timer).
+  std::mutex checkpoint_mu_;
+};
+
+// Parse "key=5tuple|pair|src" / "bytes" attach arguments into a binding.
+// Returns false (with *err set) on an unknown token.
+bool ParseAttachArgs(const std::vector<std::string>& args, size_t first, SourceBinding* out,
+                     std::string* err);
+
+}  // namespace hk
+
+#endif  // HK_SERVE_SERVE_CORE_H_

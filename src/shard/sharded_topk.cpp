@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/byte_io.h"
 #include "shard/merge.h"
 
 namespace hk {
@@ -309,6 +310,49 @@ size_t ShardedTopK::MemoryBytes() const {
     total += shard->algo->MemoryBytes();
   }
   return total;
+}
+
+bool ShardedTopK::SaveState(std::vector<uint8_t>* out) const {
+  WaitIdle();
+  // Stage into a local buffer so an inner that cannot checkpoint leaves
+  // the caller's output untouched.
+  std::vector<uint8_t> buf;
+  ByteAppend(buf, static_cast<uint64_t>(shards_.size()));
+  for (const auto& shard : shards_) {
+    std::vector<uint8_t> inner;
+    if (!shard->algo->SaveState(&inner)) {
+      return false;
+    }
+    ByteAppendBlob(buf, inner);
+  }
+  out->insert(out->end(), buf.begin(), buf.end());
+  return true;
+}
+
+bool ShardedTopK::LoadState(const uint8_t* data, size_t size) {
+  WaitIdle();
+  ByteReader reader(data, size);
+  uint64_t n = 0;
+  if (!reader.Read(&n) || n != shards_.size()) {
+    return false;
+  }
+  // Per-shard delegation is not atomic across shards: split the blobs out
+  // first so a short buffer cannot leave half the shards restored.
+  std::vector<std::vector<uint8_t>> blobs(shards_.size());
+  for (auto& blob : blobs) {
+    if (!reader.ReadBlob(&blob)) {
+      return false;
+    }
+  }
+  if (!reader.Done()) {
+    return false;
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->algo->LoadState(blobs[i].data(), blobs[i].size())) {
+      return false;
+    }
+  }
+  return true;
 }
 
 HK_REGISTER_SKETCHES(ShardedTopK) {

@@ -116,6 +116,12 @@ class ShardedTopK : public TopKAlgorithm {
   size_t MemoryBytes() const override;
   size_t WorkerThreads() const override { return options_.threaded ? shards_.size() : 0; }
 
+  // Quiesces the rings, then delegates to each shard in index order. Both
+  // fail (returning false, state untouched) unless every inner supports
+  // checkpointing and the shard count matches.
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool LoadState(const uint8_t* data, size_t size) override;
+
   size_t num_shards() const { return shards_.size(); }
   bool threaded() const { return options_.threaded; }
   size_t ShardOf(FlowId id) const { return partitioner_.ShardOf(id); }

@@ -30,6 +30,23 @@ class CmSketch {
   size_t width() const { return w_; }
   size_t MemoryBytes() const { return d_ * w_ * sizeof(uint32_t); }
 
+  // Checkpoint support (CmTopK::SaveState/LoadState): the raw counter
+  // rows. LoadRows replaces them, refusing a shape mismatch (state
+  // untouched on false).
+  const std::vector<std::vector<uint32_t>>& rows() const { return counters_; }
+  bool LoadRows(const std::vector<std::vector<uint32_t>>& rows) {
+    if (rows.size() != d_) {
+      return false;
+    }
+    for (const auto& row : rows) {
+      if (row.size() != w_) {
+        return false;
+      }
+    }
+    counters_ = rows;
+    return true;
+  }
+
  private:
   size_t d_;
   size_t w_;
@@ -57,6 +74,9 @@ class CmTopK : public TopKAlgorithm {
     return sketch_.depth() == 3 ? "CM-Sketch" : "CM-Sketch:d=" + std::to_string(sketch_.depth());
   }
   size_t MemoryBytes() const override;
+
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool LoadState(const uint8_t* data, size_t size) override;
 
   const CmSketch& sketch() const { return sketch_; }
 

@@ -1,7 +1,9 @@
 #include "sketch/cold_filter.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "common/byte_io.h"
 #include "sketch/registry.h"
 
 namespace hk {
@@ -110,6 +112,33 @@ std::vector<FlowCount> ColdFilter::TopK(size_t k) const {
 
 size_t ColdFilter::MemoryBytes() const {
   return l1_.size() + l2_.size() + backend_.MemoryBytes();
+}
+
+bool ColdFilter::SaveState(std::vector<uint8_t>* out) const {
+  std::vector<uint8_t> l1(l1_.begin(), l1_.end());
+  std::vector<uint8_t> l2(l2_.begin(), l2_.end());
+  ByteAppendBlob(*out, l1);
+  ByteAppendBlob(*out, l2);
+  // Backend state rides along as the tail of the blob.
+  return backend_.SaveState(out);
+}
+
+bool ColdFilter::LoadState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  std::vector<uint8_t> l1;
+  std::vector<uint8_t> l2;
+  if (!reader.ReadBlob(&l1) || l1.size() != l1_.size() || !reader.ReadBlob(&l2) ||
+      l2.size() != l2_.size()) {
+    return false;
+  }
+  const size_t tail = reader.remaining();
+  const uint8_t* backend_blob = reader.Borrow(tail);
+  if (backend_blob == nullptr || !backend_.LoadState(backend_blob, tail)) {
+    return false;
+  }
+  std::memcpy(l1_.data(), l1.data(), l1.size());
+  std::memcpy(l2_.data(), l2.data(), l2.size());
+  return true;
 }
 
 HK_REGISTER_SKETCHES(ColdFilter) {

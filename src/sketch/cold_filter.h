@@ -42,6 +42,9 @@ class ColdFilter : public TopKAlgorithm {
   static constexpr uint32_t kT2 = 240;  // 8-bit layer threshold
   static constexpr size_t kHashes = 3;
 
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool LoadState(const uint8_t* data, size_t size) override;
+
  private:
   uint32_t L1Get(size_t i) const {
     const uint8_t byte = l1_[i / 2];

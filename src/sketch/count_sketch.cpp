@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "common/byte_io.h"
 #include "sketch/registry.h"
 
 namespace hk {
@@ -81,6 +83,58 @@ std::vector<FlowCount> CountSketchTopK::TopK(size_t k) const { return heap_.TopK
 
 size_t CountSketchTopK::MemoryBytes() const {
   return sketch_.MemoryBytes() + heap_.capacity() * IndexedMinHeap::BytesPerEntry(key_bytes_);
+}
+
+bool CountSketchTopK::SaveState(std::vector<uint8_t>* out) const {
+  ByteAppend(*out, static_cast<uint64_t>(sketch_.depth()));
+  ByteAppend(*out, static_cast<uint64_t>(sketch_.width()));
+  for (const auto& row : sketch_.rows()) {
+    for (const int32_t c : row) {
+      ByteAppend(*out, c);
+    }
+  }
+  const std::vector<FlowCount> entries = heap_.Entries();
+  ByteAppend(*out, static_cast<uint64_t>(entries.size()));
+  for (const FlowCount& e : entries) {
+    ByteAppend(*out, e.id);
+    ByteAppend(*out, e.count);
+  }
+  return true;
+}
+
+bool CountSketchTopK::LoadState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint64_t d = 0;
+  uint64_t w = 0;
+  if (!reader.Read(&d) || !reader.Read(&w) || d != sketch_.depth() || w != sketch_.width()) {
+    return false;
+  }
+  std::vector<std::vector<int32_t>> rows(d, std::vector<int32_t>(w, 0));
+  for (auto& row : rows) {
+    for (int32_t& c : row) {
+      if (!reader.Read(&c)) {
+        return false;
+      }
+    }
+  }
+  uint64_t n = 0;
+  if (!reader.Read(&n) || n > heap_.capacity()) {
+    return false;
+  }
+  IndexedMinHeap heap(heap_.capacity());
+  for (uint64_t i = 0; i < n; ++i) {
+    FlowId id = 0;
+    uint64_t count = 0;
+    if (!reader.Read(&id) || !reader.Read(&count) || heap.Contains(id)) {
+      return false;
+    }
+    heap.Insert(id, count);
+  }
+  if (!reader.Done() || !sketch_.LoadRows(rows)) {
+    return false;
+  }
+  heap_ = std::move(heap);
+  return true;
 }
 
 HK_REGISTER_SKETCHES(CountSketchTopK) {

@@ -23,7 +23,24 @@ class CountSketch {
   uint64_t Query(FlowId id) const;
 
   size_t depth() const { return d_; }
+  size_t width() const { return w_; }
   size_t MemoryBytes() const { return d_ * w_ * sizeof(int32_t); }
+
+  // Checkpoint support (CountSketchTopK::SaveState/LoadState): the raw
+  // signed counter rows; LoadRows refuses a shape mismatch.
+  const std::vector<std::vector<int32_t>>& rows() const { return counters_; }
+  bool LoadRows(const std::vector<std::vector<int32_t>>& rows) {
+    if (rows.size() != d_) {
+      return false;
+    }
+    for (const auto& row : rows) {
+      if (row.size() != w_) {
+        return false;
+      }
+    }
+    counters_ = rows;
+    return true;
+  }
 
  private:
   size_t d_;
@@ -53,6 +70,9 @@ class CountSketchTopK : public TopKAlgorithm {
                                 : "Count-Sketch:d=" + std::to_string(sketch_.depth());
   }
   size_t MemoryBytes() const override;
+
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool LoadState(const uint8_t* data, size_t size) override;
 
  private:
   CountSketch sketch_;

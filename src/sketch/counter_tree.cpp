@@ -1,7 +1,9 @@
 #include "sketch/counter_tree.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/byte_io.h"
 #include "sketch/registry.h"
 
 namespace hk {
@@ -94,6 +96,55 @@ size_t CounterTree::MemoryBytes() const {
     bytes += level.size();
   }
   return bytes;
+}
+
+bool CounterTree::SaveState(std::vector<uint8_t>* out) const {
+  ByteAppend(*out, total_);
+  ByteAppend(*out, static_cast<uint64_t>(levels_.size()));
+  for (const auto& level : levels_) {
+    ByteAppendBlob(*out, level);
+  }
+  // The candidate list (evaluation-only memory) is part of the observable
+  // state: TopK reports exactly the flows seen so far.
+  ByteAppend(*out, static_cast<uint64_t>(seen_.size()));
+  for (const FlowId id : seen_) {
+    ByteAppend(*out, id);
+  }
+  return true;
+}
+
+bool CounterTree::LoadState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint64_t total = 0;
+  uint64_t num_levels = 0;
+  if (!reader.Read(&total) || !reader.Read(&num_levels) || num_levels != levels_.size()) {
+    return false;
+  }
+  std::vector<std::vector<uint8_t>> levels(levels_.size());
+  for (size_t l = 0; l < levels.size(); ++l) {
+    if (!reader.ReadBlob(&levels[l]) || levels[l].size() != levels_[l].size()) {
+      return false;
+    }
+  }
+  uint64_t n = 0;
+  if (!reader.Read(&n)) {
+    return false;
+  }
+  std::unordered_set<FlowId> seen;
+  seen.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    FlowId id = 0;
+    if (!reader.Read(&id) || !seen.insert(id).second) {
+      return false;
+    }
+  }
+  if (!reader.Done()) {
+    return false;
+  }
+  total_ = total;
+  levels_ = std::move(levels);
+  seen_ = std::move(seen);
+  return true;
 }
 
 HK_REGISTER_SKETCHES(CounterTree) {

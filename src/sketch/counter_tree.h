@@ -53,6 +53,9 @@ class CounterTree : public TopKAlgorithm {
 
   uint64_t total_packets() const { return total_; }
 
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool LoadState(const uint8_t* data, size_t size) override;
+
  private:
   // Value of the chain rooted at leaf index `leaf`: leaf + carries seen by
   // its ancestors (each ancestor's raw value is scaled by the counter range

@@ -1,8 +1,10 @@
 #include "sketch/css.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "sketch/registry.h"
+#include "summary/summary_state.h"
 
 namespace hk {
 
@@ -59,6 +61,52 @@ std::vector<FlowCount> Css::TopK(size_t k) const {
 uint64_t Css::EstimateSize(FlowId id) const {
   // Fingerprint collisions conflate counts exactly as a real TinyTable does.
   return summary_.Count(fingerprint_(id));
+}
+
+bool Css::SaveState(std::vector<uint8_t>* out) const {
+  ByteAppend(*out, static_cast<uint64_t>(summary_.capacity()));
+  ByteAppend(*out, static_cast<uint64_t>(fingerprint_.bits()));
+  AppendSummaryEntries(*out, summary_);  // keyed by fingerprint
+  ByteAppend(*out, static_cast<uint64_t>(owners_.size()));
+  for (const auto& [fp, id] : owners_) {
+    ByteAppend(*out, fp);
+    ByteAppend(*out, id);
+  }
+  return true;
+}
+
+bool Css::LoadState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint64_t capacity = 0;
+  uint64_t bits = 0;
+  if (!reader.Read(&capacity) || !reader.Read(&bits) || capacity != summary_.capacity() ||
+      bits != fingerprint_.bits()) {
+    return false;
+  }
+  std::optional<StreamSummary> summary = ReadSummaryEntries(reader, summary_.capacity());
+  if (!summary.has_value()) {
+    return false;
+  }
+  uint64_t n = 0;
+  if (!reader.Read(&n) || n > summary_.capacity()) {
+    return false;
+  }
+  std::unordered_map<uint64_t, FlowId> owners;
+  owners.reserve(summary_.capacity());
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t fp = 0;
+    FlowId id = 0;
+    if (!reader.Read(&fp) || !reader.Read(&id) || !summary->Contains(fp) ||
+        !owners.emplace(fp, id).second) {
+      return false;
+    }
+  }
+  if (!reader.Done()) {
+    return false;
+  }
+  summary_ = std::move(*summary);
+  owners_ = std::move(owners);
+  return true;
 }
 
 HK_REGISTER_SKETCHES(Css) {

@@ -43,6 +43,9 @@ class Css : public TopKAlgorithm {
 
   uint32_t fingerprint_bits() const { return fingerprint_.bits(); }
 
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool LoadState(const uint8_t* data, size_t size) override;
+
  private:
   StreamSummary summary_;  // keyed by fingerprint
   Fingerprinter fingerprint_;

@@ -1,7 +1,9 @@
 #include "sketch/elastic.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/byte_io.h"
 #include "sketch/registry.h"
 
 namespace hk {
@@ -88,6 +90,42 @@ std::vector<FlowCount> ElasticSketch::TopK(size_t k) const {
 
 size_t ElasticSketch::MemoryBytes() const {
   return heavy_.size() * HeavyBucketBytes() + light_.size();
+}
+
+bool ElasticSketch::SaveState(std::vector<uint8_t>* out) const {
+  ByteAppend(*out, static_cast<uint64_t>(heavy_.size()));
+  for (const HeavyBucket& bucket : heavy_) {
+    ByteAppend(*out, bucket.key);
+    ByteAppend(*out, bucket.vote_pos);
+    ByteAppend(*out, bucket.vote_neg);
+    ByteAppend(*out, static_cast<uint8_t>(bucket.flag ? 1 : 0));
+  }
+  ByteAppendBlob(*out, light_);
+  return true;
+}
+
+bool ElasticSketch::LoadState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint64_t n = 0;
+  if (!reader.Read(&n) || n != heavy_.size()) {
+    return false;
+  }
+  std::vector<HeavyBucket> heavy(heavy_.size());
+  for (HeavyBucket& bucket : heavy) {
+    uint8_t flag = 0;
+    if (!reader.Read(&bucket.key) || !reader.Read(&bucket.vote_pos) ||
+        !reader.Read(&bucket.vote_neg) || !reader.Read(&flag) || flag > 1) {
+      return false;
+    }
+    bucket.flag = flag != 0;
+  }
+  std::vector<uint8_t> light;
+  if (!reader.ReadBlob(&light) || light.size() != light_.size() || !reader.Done()) {
+    return false;
+  }
+  heavy_ = std::move(heavy);
+  light_ = std::move(light);
+  return true;
 }
 
 HK_REGISTER_SKETCHES(ElasticSketch) {

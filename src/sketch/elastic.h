@@ -36,6 +36,9 @@ class ElasticSketch : public TopKAlgorithm {
 
   size_t HeavyBucketBytes() const { return key_bytes_ + 9; }  // key + 2 votes + flag
 
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool LoadState(const uint8_t* data, size_t size) override;
+
  private:
   struct HeavyBucket {
     FlowId key = 0;

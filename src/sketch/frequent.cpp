@@ -1,8 +1,10 @@
 #include "sketch/frequent.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "sketch/registry.h"
+#include "summary/summary_state.h"
 
 namespace hk {
 
@@ -49,6 +51,29 @@ std::vector<FlowCount> Frequent::TopK(size_t k) const {
 uint64_t Frequent::EstimateSize(FlowId id) const {
   const uint64_t raw = summary_.Count(id);
   return raw > offset_ ? raw - offset_ : 0;
+}
+
+bool Frequent::SaveState(std::vector<uint8_t>* out) const {
+  ByteAppend(*out, static_cast<uint64_t>(summary_.capacity()));
+  ByteAppend(*out, offset_);
+  AppendSummaryEntries(*out, summary_);  // raw counts (effective + offset)
+  return true;
+}
+
+bool Frequent::LoadState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint64_t capacity = 0;
+  uint64_t offset = 0;
+  if (!reader.Read(&capacity) || !reader.Read(&offset) || capacity != summary_.capacity()) {
+    return false;
+  }
+  std::optional<StreamSummary> summary = ReadSummaryEntries(reader, summary_.capacity());
+  if (!summary.has_value() || !reader.Done()) {
+    return false;
+  }
+  summary_ = std::move(*summary);
+  offset_ = offset;
+  return true;
 }
 
 HK_REGISTER_SKETCHES(Frequent) {

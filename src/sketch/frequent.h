@@ -33,6 +33,9 @@ class Frequent : public TopKAlgorithm {
   uint64_t offset() const { return offset_; }
   size_t size() const { return summary_.size(); }
 
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool LoadState(const uint8_t* data, size_t size) override;
+
  private:
   void PurgeDead();
 

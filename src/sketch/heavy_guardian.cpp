@@ -1,7 +1,9 @@
 #include "sketch/heavy_guardian.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/byte_io.h"
 #include "sketch/registry.h"
 
 namespace hk {
@@ -74,6 +76,39 @@ std::vector<FlowCount> HeavyGuardian::TopK(size_t k) const {
   std::partial_sort(all.begin(), all.begin() + take, all.end(), cmp);
   all.resize(take);
   return all;
+}
+
+bool HeavyGuardian::SaveState(std::vector<uint8_t>* out) const {
+  ByteAppend(*out, static_cast<uint64_t>(buckets_));
+  ByteAppend(*out, static_cast<uint64_t>(slots_));
+  // Field-by-field (not a struct memcpy): Slot padding stays out of the
+  // blob. The decay RNG restarts from the seed on load, per the contract.
+  for (const Slot& slot : grid_) {
+    ByteAppend(*out, slot.id);
+    ByteAppend(*out, slot.count);
+  }
+  return true;
+}
+
+bool HeavyGuardian::LoadState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint64_t buckets = 0;
+  uint64_t slots = 0;
+  if (!reader.Read(&buckets) || !reader.Read(&slots) || buckets != buckets_ ||
+      slots != slots_) {
+    return false;
+  }
+  Slab<Slot> grid(buckets_ * slots_);
+  for (Slot& slot : grid) {
+    if (!reader.Read(&slot.id) || !reader.Read(&slot.count)) {
+      return false;
+    }
+  }
+  if (!reader.Done()) {
+    return false;
+  }
+  grid_ = std::move(grid);
+  return true;
 }
 
 HK_REGISTER_SKETCHES(HeavyGuardian) {

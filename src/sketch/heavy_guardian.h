@@ -39,6 +39,9 @@ class HeavyGuardian : public TopKAlgorithm {
 
   static constexpr size_t kDefaultSlots = 8;
 
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool LoadState(const uint8_t* data, size_t size) override;
+
  private:
   struct Slot {
     FlowId id = 0;

@@ -1,8 +1,10 @@
 #include "sketch/lossy_counting.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "common/byte_io.h"
 #include "sketch/registry.h"
 
 namespace hk {
@@ -87,6 +89,51 @@ std::vector<FlowCount> LossyCounting::TopK(size_t k) const {
 uint64_t LossyCounting::EstimateSize(FlowId id) const {
   const auto it = entries_.find(id);
   return it == entries_.end() ? 0 : it->second.count + it->second.delta;
+}
+
+bool LossyCounting::SaveState(std::vector<uint8_t>* out) const {
+  ByteAppend(*out, static_cast<uint64_t>(capacity_));
+  ByteAppend(*out, processed_);
+  ByteAppend(*out, epoch_);
+  ByteAppend(*out, floor_);
+  ByteAppend(*out, static_cast<uint64_t>(entries_.size()));
+  for (const auto& [id, e] : entries_) {
+    ByteAppend(*out, id);
+    ByteAppend(*out, e.count);
+    ByteAppend(*out, e.delta);
+  }
+  return true;
+}
+
+bool LossyCounting::LoadState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint64_t capacity = 0;
+  uint64_t processed = 0;
+  uint64_t epoch = 0;
+  uint64_t floor = 0;
+  uint64_t n = 0;
+  if (!reader.Read(&capacity) || capacity != capacity_ || !reader.Read(&processed) ||
+      !reader.Read(&epoch) || !reader.Read(&floor) || !reader.Read(&n) || n > capacity_) {
+    return false;
+  }
+  std::unordered_map<FlowId, Entry> entries;
+  entries.reserve(capacity_ + 1);
+  for (uint64_t i = 0; i < n; ++i) {
+    FlowId id = 0;
+    Entry e;
+    if (!reader.Read(&id) || !reader.Read(&e.count) || !reader.Read(&e.delta) ||
+        !entries.emplace(id, e).second) {
+      return false;
+    }
+  }
+  if (!reader.Done()) {
+    return false;
+  }
+  processed_ = processed;
+  epoch_ = epoch;
+  floor_ = floor;
+  entries_ = std::move(entries);
+  return true;
 }
 
 HK_REGISTER_SKETCHES(LossyCounting) {

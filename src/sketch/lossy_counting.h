@@ -39,6 +39,9 @@ class LossyCounting : public TopKAlgorithm {
   size_t size() const { return entries_.size(); }
   uint64_t current_epoch() const { return epoch_; }
 
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool LoadState(const uint8_t* data, size_t size) override;
+
  private:
   struct Entry {
     uint64_t count = 0;

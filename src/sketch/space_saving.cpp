@@ -1,8 +1,10 @@
 #include "sketch/space_saving.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "sketch/registry.h"
+#include "summary/summary_state.h"
 
 namespace hk {
 
@@ -20,6 +22,26 @@ std::vector<FlowCount> SpaceSaving::TopK(size_t k) const {
     out.push_back({e.id, e.count});
   }
   return out;
+}
+
+bool SpaceSaving::SaveState(std::vector<uint8_t>* out) const {
+  ByteAppend(*out, static_cast<uint64_t>(summary_.capacity()));
+  AppendSummaryEntries(*out, summary_);
+  return true;
+}
+
+bool SpaceSaving::LoadState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint64_t capacity = 0;
+  if (!reader.Read(&capacity) || capacity != summary_.capacity()) {
+    return false;
+  }
+  std::optional<StreamSummary> summary = ReadSummaryEntries(reader, summary_.capacity());
+  if (!summary.has_value() || !reader.Done()) {
+    return false;
+  }
+  summary_ = std::move(*summary);
+  return true;
 }
 
 // Registry hookup (sketch/registry.h): constructible as "SS" everywhere a

@@ -34,6 +34,9 @@ class SpaceSaving : public TopKAlgorithm {
     return summary_.capacity() * StreamSummary::BytesPerEntry(key_bytes_);
   }
 
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool LoadState(const uint8_t* data, size_t size) override;
+
   const StreamSummary& summary() const { return summary_; }
 
  private:

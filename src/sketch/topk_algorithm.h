@@ -174,6 +174,31 @@ class TopKAlgorithm {
   // untracked). Same quiesced-read caveat as TopK().
   virtual uint64_t EstimateSize(FlowId id) const = 0;
 
+  // Checkpoint support (the hk_serve crash-recovery path). SaveState()
+  // appends an opaque algorithm-specific blob to `out` capturing the full
+  // query-visible state: loading the blob into a freshly constructed
+  // instance of the *identical spec* (MakeSketch(name()) with the same
+  // defaults and seed) must make Snapshot(kExact), TopK, and EstimateSize
+  // answer as the saved instance did. RNG position is deliberately not
+  // captured: decay coins restart from the config seed, which is the
+  // serialization v2 precedent (statistically identical, bit-identical
+  // whenever no randomized transition runs).
+  //
+  // Both default to "not supported" (return false, out untouched); the
+  // registry round-trip sweep in tests/serve_checkpoint_test.cpp fails on
+  // any registered name still answering false. Callers must Flush() (or
+  // hold the instance quiesced) around both calls; LoadState on a
+  // non-empty instance is undefined.
+  virtual bool SaveState(std::vector<uint8_t>* out) const {
+    (void)out;
+    return false;
+  }
+  virtual bool LoadState(const uint8_t* data, size_t size) {
+    (void)data;
+    (void)size;
+    return false;
+  }
+
   // Display name; also a canonical registry spec: MakeSketch(name())
   // reconstructs an equivalently configured instance (see
   // sketch/registry.h).

@@ -1,0 +1,51 @@
+// Checkpoint helpers for StreamSummary-backed algorithms (Space-Saving,
+// CSS, Frequent): one entry-list encoding instead of three hand-rolled
+// copies. The summary's internal group order is not captured - re-inserting
+// the entries reconstructs identical observable state (counts, errors,
+// minimum, TopK), which is all SaveState/LoadState promise.
+#ifndef HK_SUMMARY_SUMMARY_STATE_H_
+#define HK_SUMMARY_SUMMARY_STATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/byte_io.h"
+#include "summary/stream_summary.h"
+
+namespace hk {
+
+inline void AppendSummaryEntries(std::vector<uint8_t>& out, const StreamSummary& summary) {
+  const std::vector<StreamSummary::Entry> entries = summary.Entries();
+  ByteAppend(out, static_cast<uint64_t>(entries.size()));
+  for (const StreamSummary::Entry& e : entries) {
+    ByteAppend(out, e.id);
+    ByteAppend(out, e.count);
+    ByteAppend(out, e.error);
+  }
+}
+
+// Decode an entry list into a fresh summary of `capacity` slots; nullopt on
+// a malformed or oversized list (the caller's state stays untouched).
+inline std::optional<StreamSummary> ReadSummaryEntries(ByteReader& reader, size_t capacity) {
+  uint64_t n = 0;
+  if (!reader.Read(&n) || n > capacity) {
+    return std::nullopt;
+  }
+  StreamSummary summary(capacity);
+  for (uint64_t i = 0; i < n; ++i) {
+    FlowId id = 0;
+    uint64_t count = 0;
+    uint64_t error = 0;
+    if (!reader.Read(&id) || !reader.Read(&count) || !reader.Read(&error) ||
+        summary.Contains(id)) {
+      return std::nullopt;
+    }
+    summary.Insert(id, count, error);
+  }
+  return summary;
+}
+
+}  // namespace hk
+
+#endif  // HK_SUMMARY_SUMMARY_STATE_H_

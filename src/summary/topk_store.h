@@ -54,6 +54,16 @@ class SummaryTopKStore {
     return out;
   }
 
+  // All tracked flows (unordered). The HeavyKeeper pipelines insert with
+  // error 0, so (id, count) is the full per-entry state.
+  std::vector<FlowCount> Entries() const {
+    std::vector<FlowCount> out;
+    for (const auto& e : summary_.Entries()) {
+      out.push_back({e.id, e.count});
+    }
+    return out;
+  }
+
   static size_t BytesPerEntry(size_t key_bytes) {
     return StreamSummary::BytesPerEntry(key_bytes);
   }

@@ -33,9 +33,11 @@ std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
-// The committed fixture parameters (see ingest_replay_test.cpp).
+// The committed fixture parameters (see ingest_replay_test.cpp and
+// ingest_stream_test.cpp for the SLL cooked-capture fixture).
 ZipfTraceConfig CampusFixtureConfig() { return CampusConfig(4000, 31); }
 ZipfTraceConfig CaidaFixtureConfig() { return CaidaConfig(3000, 47); }
+ZipfTraceConfig SllFixtureConfig() { return CampusConfig(800, 77); }
 
 CaptureSynthOptions FixtureSynthOptions(PcapFormat format) {
   CaptureSynthOptions options;
@@ -264,6 +266,13 @@ TEST(PcapFixtures, RegenerateWhenRequested) {
   {
     const Trace trace = SynthesizeCapture(CaidaFixtureConfig(), dir + "/fixture_caida.pcapng",
                                           FixtureSynthOptions(PcapFormat::kPcapNg));
+    ASSERT_GT(trace.num_packets(), 0u);
+  }
+  {
+    CaptureSynthOptions options = FixtureSynthOptions(PcapFormat::kPcap);
+    options.file.link_type = pcapfmt::kLinkTypeSll;
+    const Trace trace =
+        SynthesizeCapture(SllFixtureConfig(), dir + "/fixture_sll.pcap", options);
     ASSERT_GT(trace.num_packets(), 0u);
   }
 }

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# End-to-end hk_serve crash-recovery smoke (the CI serve-smoke job; runs
+# locally too): start the daemon on the committed campus fixture with
+# checkpointing on, query it over the socket with hk_cli, SIGKILL it,
+# restart from the checkpoint, and assert the recovered daemon answers
+# identically - the file-backed source replays with the applied prefix
+# skipped, so a kill loses nothing.
+#
+# usage: tests/serve_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+HK_SERVE="$REPO_DIR/$BUILD_DIR/hk_serve"
+HK_CLI="$REPO_DIR/$BUILD_DIR/hk_cli"
+FIXTURE="$REPO_DIR/tests/data/fixture_campus.pcap"
+
+[ -x "$HK_SERVE" ] || { echo "missing $HK_SERVE (build examples first)"; exit 1; }
+[ -x "$HK_CLI" ] || { echo "missing $HK_CLI"; exit 1; }
+[ -f "$FIXTURE" ] || { echo "missing $FIXTURE"; exit 1; }
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+CKPT="$WORK/smoke.ckpt"
+
+start_daemon() {
+  # $@ = extra flags. Port 0 = ephemeral; parse the choice from the log.
+  "$HK_SERVE" --port 0 --checkpoint "$CKPT" --interval-ms 100 "$@" \
+    2>"$WORK/serve.log" &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/serve.log")"
+    [ -n "$PORT" ] && return 0
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/serve.log"; echo "daemon died"; exit 1; }
+    sleep 0.1
+  done
+  echo "daemon never reported its port"; cat "$WORK/serve.log"; exit 1
+}
+
+query() { "$HK_CLI" query --port "$PORT" "$@"; }
+
+wait_ingest_done() {
+  for _ in $(seq 1 100); do
+    if query "STATS campus" | grep -q "STAT ingest_done 1"; then return 0; fi
+    sleep 0.1
+  done
+  echo "ingest never finished"; query "STATS campus"; exit 1
+}
+
+echo "== first run: ingest the fixture, checkpoint, query =="
+start_daemon --create "campus=SS:mem=24KB" --attach "campus=$FIXTURE,key=5tuple"
+wait_ingest_done
+
+query "PING" | grep -qx "OK pong"
+query "LIST" | grep -q "^INSTANCE campus "
+query "STATS campus" > "$WORK/stats_before.txt"
+grep -q "STAT packets_applied " "$WORK/stats_before.txt"
+PACKETS_BEFORE="$(sed -n 's/^STAT packets_applied //p' "$WORK/stats_before.txt")"
+[ "$PACKETS_BEFORE" -gt 0 ] || { echo "no packets ingested"; exit 1; }
+query "TOPK campus 10 exact" > "$WORK/topk_before.txt"
+grep -q "^FLOW " "$WORK/topk_before.txt"
+query "CHECKPOINT" | grep -q "^OK checkpoint "
+[ -f "$CKPT" ] || { echo "checkpoint file not written"; exit 1; }
+
+echo "== SIGKILL the daemon =="
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+echo "== restart: recover from the checkpoint =="
+start_daemon
+grep -q "recovered 1 instance" "$WORK/serve.log" || {
+  echo "recovery not reported"; cat "$WORK/serve.log"; exit 1; }
+wait_ingest_done
+
+query "TOPK campus 10 exact" > "$WORK/topk_after.txt"
+PACKETS_AFTER="$(query "STATS campus" | sed -n 's/^STAT packets_applied //p')"
+
+[ "$PACKETS_BEFORE" = "$PACKETS_AFTER" ] || {
+  echo "packet offset lost across the kill: $PACKETS_BEFORE vs $PACKETS_AFTER"; exit 1; }
+diff "$WORK/topk_before.txt" "$WORK/topk_after.txt" || {
+  echo "recovered TOPK differs from the pre-kill answer"; exit 1; }
+
+echo "== clean shutdown over the wire =="
+query "SHUTDOWN" | grep -q "^OK shutting down"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$SERVE_PID" 2>/dev/null && { echo "daemon ignored SHUTDOWN"; exit 1; }
+SERVE_PID=""
+
+echo "serve smoke passed: $PACKETS_BEFORE packets, recovery exact"
