@@ -49,6 +49,12 @@ Checks (see ROADMAP "Throughput trajectory", ISSUE 3 and ISSUE 4):
     warn when parse-only stops clearing replay (parsing should never be
     the bottleneck of parse+insert).
 
+  * window (soft): BENCH_micro_window_insert.json - the sliding-window
+    ring's per-packet overhead (epoch clock + slot rebuilds) should stay
+    small: warn when window/insert/w/8 drops below 0.5x the bare inner
+    (window/insert/inner). Also warns when any window/ data point drops
+    below 50% of the committed baseline.
+
   * serve (soft): BENCH_micro_serve_ingest.json - the hk_serve daemon's
     streaming reader (serve/stream, bounded-buffer OpenStream) should stay
     within 2x of the slurp baseline (serve/slurp): the always-on mode is
@@ -86,6 +92,7 @@ SKEW_MIN_RATIO = 1.0
 BASELINE_MIN_FRACTION = 0.5
 REPLAY_TAX_MIN = 2.0
 SERVE_STREAM_MAX_SLOWDOWN = 2.0
+WINDOW_MIN_FRACTION_OF_INNER = 0.5
 
 
 def load_items(path):
@@ -227,6 +234,23 @@ def check_serve(items, baseline_items):
                        {n: v for n, v in baseline_items.items() if n.startswith("serve/")})
 
 
+def check_window(items, baseline_items):
+    """Sliding-window ring tax over the bare inner (soft)."""
+    inner = items.get("window/insert/inner")
+    at8 = items.get("window/insert/w/8")
+    if inner is None or at8 is None:
+        print("[window] WARNING: missing inner or w=8 data point; nothing checked")
+        return
+    frac = at8 / inner if inner > 0 else 0.0
+    status = ("OK" if frac >= WINDOW_MIN_FRACTION_OF_INNER
+              else "WARNING (ring tax too high)")
+    print(f"[window] w=8 {at8:.3e} vs bare inner {inner:.3e} items/s"
+          f" -> {frac:.2f}x (target >= {WINDOW_MIN_FRACTION_OF_INNER}x) {status}")
+    if baseline_items:
+        check_baseline({n: v for n, v in items.items() if n.startswith("window/")},
+                       {n: v for n, v in baseline_items.items() if n.startswith("window/")})
+
+
 def check_sharded(items, hard):
     base = items.get("sharded/insert/n/1/real_time") or items.get("sharded/insert/n/1")
     at8 = items.get("sharded/insert/n/8/real_time") or items.get("sharded/insert/n/8")
@@ -296,6 +320,9 @@ def main():
     parser.add_argument("--pcap", help="fresh BENCH_micro_pcap_ingest.json")
     parser.add_argument("--pcap-baseline",
                         help="committed pcap ingest baseline (soft parse-throughput warn)")
+    parser.add_argument("--window", help="fresh BENCH_micro_window_insert.json")
+    parser.add_argument("--window-baseline",
+                        help="committed window baseline (soft ring-tax warn)")
     parser.add_argument("--serve", help="fresh BENCH_micro_serve_ingest.json")
     parser.add_argument("--serve-baseline",
                         help="committed serve ingest baseline (soft stream-vs-slurp warn)")
@@ -332,6 +359,9 @@ def main():
     if args.pcap:
         check_pcap(load_items(args.pcap),
                    load_items(args.pcap_baseline) if args.pcap_baseline else {})
+    if args.window:
+        check_window(load_items(args.window),
+                     load_items(args.window_baseline) if args.window_baseline else {})
     if args.serve:
         check_serve(load_items(args.serve),
                     load_items(args.serve_baseline) if args.serve_baseline else {})

@@ -1,0 +1,119 @@
+// Sliding-window insertion and query overhead (google-benchmark).
+//
+// WindowedTopK adds two costs over its since-boot inner: the per-packet
+// epoch clock (one counter bump plus an occasional slot rebuild every
+// epoch= packets) and the W-way kSumById merge + rescore at query time.
+// This bench quantifies both on the same deep-tail Zipf workload the other
+// micro benches use:
+//
+//   window/insert/inner        the bare HK-Minimum inner, no ring
+//   window/insert/w=W          Window:w=W,epoch=1M over the same inner
+//                              (W = 1, 4, 8; rotations happen in-loop)
+//   window/snapshot/w=8        TopK(100) against a filled 8-deep ring
+//
+// One insert iteration streams the whole buffer in kBurst batches and
+// Flush()es inside the timed region, so rotation work (slot rebuilds)
+// is paid where it occurs. The CI gate (check_bench_regression.py
+// --window, soft): w=8 insert throughput >= 0.5x the bare inner, plus the
+// usual watch against the committed baseline
+// (bench/results/BENCH_micro_window_insert.json).
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sketch/registry.h"
+#include "trace/generators.h"
+
+namespace {
+
+using namespace hk;
+
+constexpr size_t kBurst = 4096;
+constexpr uint64_t kEpochPackets = 1'000'000;
+
+const std::vector<FlowId>& ZipfPackets() {
+  static const std::vector<FlowId> packets = [] {
+    ZipfTraceConfig config;
+    const char* env = std::getenv("HK_BENCH_SCALE");
+    config.num_packets = env != nullptr ? std::strtoull(env, nullptr, 10) : 4'000'000;
+    config.num_ranks = config.num_packets / 2;  // deep tail: most flows are mice
+    config.skew = 1.0;
+    config.seed = 3;
+    return MakeZipfTrace(config).packets;
+  }();
+  return packets;
+}
+
+std::unique_ptr<TopKAlgorithm> MakeContender(const std::string& spec) {
+  SketchDefaults defaults;
+  defaults.memory_bytes = 8 * 1024 * 1024;  // 1 MB per slot at w=8
+  defaults.k = 100;
+  defaults.key_kind = KeyKind::kSynthetic4B;
+  defaults.seed = 1;
+  return MakeSketch(spec, defaults);
+}
+
+std::string WindowSpec(size_t w) {
+  return "Window:w=" + std::to_string(w) + ",epoch=" + std::to_string(kEpochPackets) +
+         ",inner=HK-Minimum";
+}
+
+// One iteration = the whole packet buffer in bursts plus a Flush, so every
+// applied packet - and every mid-stream slot rebuild - lands inside the
+// timed region.
+void StreamAll(TopKAlgorithm& algo, benchmark::State& state) {
+  const auto& packets = ZipfPackets();
+  for (auto _ : state) {
+    for (size_t base = 0; base < packets.size(); base += kBurst) {
+      const size_t n = std::min(kBurst, packets.size() - base);
+      algo.InsertBatch(std::span<const FlowId>(packets.data() + base, n));
+    }
+    algo.Flush();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(packets.size()));
+}
+
+void BM_InnerInsert(benchmark::State& state) {
+  auto algo = MakeContender("HK-Minimum");
+  StreamAll(*algo, state);
+}
+
+void BM_WindowInsert(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  auto algo = MakeContender(WindowSpec(w));
+  StreamAll(*algo, state);
+  state.counters["w"] = static_cast<double>(w);
+}
+
+void BM_WindowSnapshot(benchmark::State& state) {
+  auto algo = MakeContender(WindowSpec(8));
+  const auto& packets = ZipfPackets();
+  algo->InsertBatch(packets);  // fill the ring: > 4M packets = all 8 slots live
+  algo->Flush();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo->TopK(100));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("window/insert/inner", BM_InnerInsert)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("window/insert/w", BM_WindowInsert)
+      ->Arg(1)
+      ->Arg(4)
+      ->Arg(8)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("window/snapshot/w=8", BM_WindowSnapshot)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

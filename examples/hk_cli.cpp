@@ -52,6 +52,7 @@
 #include "trace/generators.h"
 #include "trace/oracle.h"
 #include "trace/trace.h"
+#include "window/windowed_topk.h"
 
 namespace {
 
@@ -72,6 +73,7 @@ struct Options {
   size_t memory_kb = 50;
   size_t k = 100;
   uint64_t epoch_ms = 0;
+  size_t window = 0;  // >0: sliding ring of W capture-time windows
   bool bytes = false;
   std::string host = "127.0.0.1";
   uint16_t port = 7070;
@@ -88,7 +90,9 @@ int Usage() {
                "  evaluate --trace FILE [--algo SPEC] [--memory-kb KB] [--k K]\n"
                "  bench    --trace FILE [--algo SPEC] [--memory-kb KB] [--k K]\n"
                "  ingest   --pcap FILE [--algo SPEC] [--key 5tuple|pair|src]\n"
-               "           [--bytes] [--epoch-ms N] [--memory-kb KB] [--k K]\n"
+               "           [--bytes] [--epoch-ms N] [--window W] [--memory-kb KB]\n"
+               "           [--k K]   (--window W: sliding top-k over the last W\n"
+               "           capture-time windows of --epoch-ms each)\n"
                "  query    [--host H] [--port N] \"LINE\" [\"LINE\"...]  send protocol\n"
                "           lines to a running hk_serve (default 127.0.0.1:7070)\n"
                "  --key    flow definition: 5tuple (campus), pair (CAIDA), src;\n"
@@ -145,6 +149,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->k = std::strtoull(value.c_str(), nullptr, 10);
     } else if (flag == "--epoch-ms") {
       opts->epoch_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--window") {
+      opts->window = std::strtoull(value.c_str(), nullptr, 10);
     } else if (flag == "--host") {
       opts->host = value;
     } else if (flag == "--port") {
@@ -284,6 +290,61 @@ int Ingest(const Options& opts) {
   replay_opts.byte_weighted = opts.bytes;
   replay_opts.epoch_ns = opts.epoch_ms * 1'000'000ULL;
   const TraceReplayer replayer(replay_opts);
+
+  if (opts.window > 0) {
+    // Sliding mode: a ring of W capture-time windows around --algo. Unlike
+    // the plain --epoch-ms path (independent per-window reports), the ring
+    // keeps the last W windows queryable together, so the final answer is
+    // "top-k over the last W windows of the capture".
+    if (opts.epoch_ms == 0) {
+      std::fprintf(stderr, "--window requires --epoch-ms (the window width)\n");
+      return 2;
+    }
+    WindowedTopKOptions wopts;
+    wopts.window_epochs = opts.window;
+    wopts.epoch_packets = WindowedTopK::kNoPacketRotation;  // capture clock only
+    wopts.inner_spec = opts.algo;
+    SketchDefaults defaults;
+    defaults.memory_bytes = opts.memory_kb * 1024;
+    defaults.k = opts.k;
+    defaults.key_kind = ToKeyKind(policy);
+    defaults.seed = opts.seed;
+    std::unique_ptr<WindowedTopK> window;
+    try {
+      window = std::make_unique<WindowedTopK>(
+          wopts, defaults, [&](uint64_t epoch, std::vector<FlowCount> report) {
+            std::printf("  window %-4llu %zu flows tracked, top",
+                        static_cast<unsigned long long>(epoch), report.size());
+            for (size_t i = 0; i < report.size() && i < 3; ++i) {
+              std::printf("  %llx:%llu", static_cast<unsigned long long>(report[i].id),
+                          static_cast<unsigned long long>(report[i].count));
+            }
+            std::printf("\n");
+          });
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    std::printf("%s on %s (%s keys, %s, %zu KB, k=%zu)\n", window->name().c_str(),
+                opts.pcap_path.c_str(), PcapKeyPolicyName(policy),
+                opts.bytes ? "byte-weighted" : "packet counts", opts.memory_kb, opts.k);
+    const ReplayStats stats = replayer.Replay(reader, *window);
+    const auto top = window->Snapshot({.k = opts.k}).flows;
+    std::printf("sliding top-%zu over the last %zu windows:\n", opts.k,
+                window->window_epochs());
+    for (size_t i = 0; i < top.size() && i < 10; ++i) {
+      std::printf("  %-6zu%-20llx%14llu\n", i + 1,
+                  static_cast<unsigned long long>(top[i].id),
+                  static_cast<unsigned long long>(top[i].count));
+    }
+    std::printf("%llu packets, %llu wire bytes, %llu rotations of %llu ms, %.2f Mps\n",
+                static_cast<unsigned long long>(stats.packets),
+                static_cast<unsigned long long>(stats.wire_bytes),
+                static_cast<unsigned long long>(window->completed_epochs()),
+                static_cast<unsigned long long>(opts.epoch_ms),
+                Mps(stats.packets, stats.seconds));
+    return 0;
+  }
 
   std::printf("%s on %s (%s keys, %s, %zu KB, k=%zu)\n", algo->name().c_str(),
               opts.pcap_path.c_str(), PcapKeyPolicyName(policy),

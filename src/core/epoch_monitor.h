@@ -5,6 +5,18 @@
 // EpochMonitor wraps any TopKAlgorithm factory, rotates the instance every
 // `epoch_packets` insertions, and retains the previous epoch's report so a
 // collector can always read a complete window while the next one fills.
+//
+// Rotation boundary contract (pinned by tests/core_epoch_monitor_test.cpp;
+// WindowedTopK in window/windowed_topk.h mirrors it exactly):
+//   * An insert lands in the old epoch *before* the rotation check, so a
+//     completed window holds exactly epoch_packets packets and the Nth
+//     packet of a window is the one whose insert triggers the rotation.
+//   * The factory is called with epoch index 0 at construction and with
+//     the *new* epoch's index (1, 2, ...) after each rotation.
+//   * The callback receives the *completed* epoch's index (0-based) and
+//     its kExact report; R rotations deliver indices 0..R-1 and leave
+//     completed_epochs() == R. Empty epochs (timer-forced Rotate() with no
+//     inserts) deliver empty reports - they are windows too.
 #ifndef HK_CORE_EPOCH_MONITOR_H_
 #define HK_CORE_EPOCH_MONITOR_H_
 

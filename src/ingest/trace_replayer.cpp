@@ -7,6 +7,55 @@
 #include "common/timer.h"
 
 namespace hk {
+namespace {
+
+// Capture-time windowing over anything with Insert/InsertWeighted/Rotate -
+// EpochMonitor and WindowedTopK share the rotation contract, so both
+// overloads share the (once buggy) gap arithmetic.
+template <typename Rotatable>
+ReplayStats ReplayWindowed(const ReplayOptions& options, PcapReader& reader, Rotatable& target) {
+  ReplayStats stats;
+  bool first = true;
+  uint64_t window_start = 0;
+  PacketRecord record;
+  WallTimer timer;
+  while (reader.Next(&record)) {
+    if (first) {
+      stats.first_ts_ns = record.timestamp_ns;
+      window_start = record.timestamp_ns;
+      first = false;
+    }
+    if (options.epoch_ns > 0 && record.timestamp_ns >= window_start + options.epoch_ns) {
+      // Advance by whole windows and rotate once per window crossed, so an
+      // idle gap yields that many empty-window reports - elapsed capture
+      // time, not one stretched window. completed_epochs() stays equal to
+      // the number of window boundaries the capture clock passed.
+      const uint64_t jumped = (record.timestamp_ns - window_start) / options.epoch_ns;
+      window_start += jumped * options.epoch_ns;
+      const uint64_t rotations = std::min(jumped, TraceReplayer::kMaxGapRotations);
+      for (uint64_t i = 0; i < rotations; ++i) {
+        target.Rotate();
+      }
+      stats.epochs += rotations;
+      // Beyond the cap the idle windows coalesce: a pathological timestamp
+      // jump (corrupt capture, clock step) must not spin here for years of
+      // virtual idle time. Any consumer with ring depth <= kMaxGapRotations
+      // is already fully cleared by the rotations that did run.
+    }
+    if (options.byte_weighted) {
+      target.InsertWeighted(record.id, record.wire_len);
+    } else {
+      target.Insert(record.id);
+    }
+    ++stats.packets;
+    stats.wire_bytes += record.wire_len;
+    stats.last_ts_ns = record.timestamp_ns;
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace
 
 ReplayStats TraceReplayer::Replay(PcapReader& reader, TopKAlgorithm& algo) const {
   const size_t batch = std::max<size_t>(options_.batch, 1);
@@ -59,36 +108,11 @@ ReplayStats TraceReplayer::Replay(PcapReader& reader, TopKAlgorithm& algo) const
 }
 
 ReplayStats TraceReplayer::Replay(PcapReader& reader, EpochMonitor& monitor) const {
-  ReplayStats stats;
-  bool first = true;
-  uint64_t window_start = 0;
-  PacketRecord record;
-  WallTimer timer;
-  while (reader.Next(&record)) {
-    if (first) {
-      stats.first_ts_ns = record.timestamp_ns;
-      window_start = record.timestamp_ns;
-      first = false;
-    }
-    if (options_.epoch_ns > 0 && record.timestamp_ns >= window_start + options_.epoch_ns) {
-      // Advance by whole windows so an idle gap yields empty windows'
-      // worth of elapsed capture time, not one stretched window.
-      const uint64_t jumped = (record.timestamp_ns - window_start) / options_.epoch_ns;
-      window_start += jumped * options_.epoch_ns;
-      monitor.Rotate();
-      ++stats.epochs;
-    }
-    if (options_.byte_weighted) {
-      monitor.InsertWeighted(record.id, record.wire_len);
-    } else {
-      monitor.Insert(record.id);
-    }
-    ++stats.packets;
-    stats.wire_bytes += record.wire_len;
-    stats.last_ts_ns = record.timestamp_ns;
-  }
-  stats.seconds = timer.ElapsedSeconds();
-  return stats;
+  return ReplayWindowed(options_, reader, monitor);
+}
+
+ReplayStats TraceReplayer::Replay(PcapReader& reader, WindowedTopK& window) const {
+  return ReplayWindowed(options_, reader, window);
 }
 
 }  // namespace hk

@@ -9,12 +9,15 @@
 // including the threaded ShardedTopK front-end: Flush() runs at
 // end-of-stream inside the timed region so stats cover applied packets.
 //
-// Windowed mode: the EpochMonitor overload rotates the monitor whenever
-// the capture timestamp crosses an epoch_ns boundary - capture-time
-// windows rather than packet-count windows, so a bursty capture reports
-// what a wall-clock deployment would have reported. Packets are applied
-// one by one in this mode (a window boundary may fall anywhere); the
-// batched overload is the throughput path.
+// Windowed mode: the EpochMonitor and WindowedTopK overloads rotate the
+// target whenever the capture timestamp crosses an epoch_ns boundary -
+// capture-time windows rather than packet-count windows, so a bursty
+// capture reports what a wall-clock deployment would have reported. An
+// idle gap spanning N windows triggers exactly N rotations (one empty
+// report per skipped window), capped at kMaxGapRotations so a pathological
+// timestamp jump cannot spin. Packets are applied one by one in this mode
+// (a window boundary may fall anywhere); the batched overload is the
+// throughput path.
 #ifndef HK_INGEST_TRACE_REPLAYER_H_
 #define HK_INGEST_TRACE_REPLAYER_H_
 
@@ -24,6 +27,7 @@
 #include "core/epoch_monitor.h"
 #include "ingest/pcap_reader.h"
 #include "sketch/topk_algorithm.h"
+#include "window/windowed_topk.h"
 
 namespace hk {
 
@@ -49,6 +53,13 @@ struct ReplayStats {
 
 class TraceReplayer {
  public:
+  // Most rotations a single inter-packet gap may cascade. Beyond this the
+  // skipped idle windows coalesce (stats.epochs stops counting them); any
+  // ring of depth <= kMaxGapRotations is fully cleared by the rotations
+  // that do run, so only per-epoch *callback* consumers can observe the
+  // cap - and only on a capture whose clock jumped by >4096 windows.
+  static constexpr uint64_t kMaxGapRotations = 4096;
+
   explicit TraceReplayer(const ReplayOptions& options = {}) : options_(options) {}
 
   // Stream every remaining packet in `reader` through `algo` in InsertBatch
@@ -57,10 +68,16 @@ class TraceReplayer {
   ReplayStats Replay(PcapReader& reader, TopKAlgorithm& algo) const;
 
   // Windowed replay: apply packets one by one and Rotate() the monitor
-  // when a packet's capture timestamp lands epoch_ns or more past the
-  // current window's start. The monitor's own packet-count rotation (if
+  // once per window boundary a packet's capture timestamp crosses (N
+  // boundaries -> N rotations, empty windows included, capped at
+  // kMaxGapRotations). The monitor's own packet-count rotation (if
   // configured finite) still applies.
   ReplayStats Replay(PcapReader& reader, EpochMonitor& monitor) const;
+
+  // Same capture-time windowing driving a WindowedTopK ring: build it with
+  // WindowedTopK::kNoPacketRotation so capture time is the only clock, and
+  // its Snapshot() answers "top-k over the last W capture windows".
+  ReplayStats Replay(PcapReader& reader, WindowedTopK& window) const;
 
   const ReplayOptions& options() const { return options_; }
 

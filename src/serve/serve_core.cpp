@@ -11,6 +11,7 @@
 #include "concurrent/concurrent_topk.h"
 #include "ingest/byte_source.h"
 #include "serve/net.h"
+#include "window/windowed_topk.h"
 
 namespace hk {
 namespace {
@@ -497,8 +498,11 @@ std::string ServeCore::CmdList() {
 }
 
 std::string ServeCore::CmdTopK(const std::vector<std::string>& args) {
-  // Grammar: TOPK [<name>] <k> [relaxed|exact]. A leading numeric token
-  // means the name was omitted (single-tenant convenience).
+  // Grammar: TOPK [<name>] <k> [relaxed|exact|window]. A leading numeric
+  // token means the name was omitted (single-tenant convenience). "window"
+  // asks for the sliding recent-traffic answer and is only valid against a
+  // Window: instance - the caller is asserting window semantics, so a
+  // silent since-boot fallback would be a wrong answer, not a convenience.
   std::string name;
   size_t pos = 0;
   uint64_t k = 0;
@@ -506,22 +510,26 @@ std::string ServeCore::CmdTopK(const std::vector<std::string>& args) {
     name = args[pos++];
   }
   if (pos >= args.size() || !ParseUint(args[pos], &k) || k == 0) {
-    return Err(counters_, "usage: TOPK [<name>] <k> [relaxed|exact]");
+    return Err(counters_, "usage: TOPK [<name>] <k> [relaxed|exact|window]");
   }
   ++pos;
   bool relaxed = false;
+  bool windowed = false;
   if (pos < args.size()) {
     if (args[pos] == "relaxed") {
       relaxed = true;
+    } else if (args[pos] == "window") {
+      windowed = true;
     } else if (args[pos] != "exact") {
-      return Err(counters_, "consistency must be 'relaxed' or 'exact'");
+      return Err(counters_, "consistency must be 'relaxed', 'exact' or 'window'");
     }
     ++pos;
   }
   if (pos != args.size()) {
-    return Err(counters_, "usage: TOPK [<name>] <k> [relaxed|exact]");
+    return Err(counters_, "usage: TOPK [<name>] <k> [relaxed|exact|window]");
   }
   QueryResult result;
+  std::string window_suffix;
   {
     std::lock_guard<std::mutex> lock(map_mu_);
     std::string err;
@@ -531,7 +539,18 @@ std::string ServeCore::CmdTopK(const std::vector<std::string>& args) {
     }
     const QueryOptions query{static_cast<size_t>(k), relaxed ? ConsistencyLevel::kRelaxed
                                                              : ConsistencyLevel::kExact};
-    if (relaxed && inst->relaxed_capable) {
+    if (windowed) {
+      auto* window = dynamic_cast<WindowedTopK*>(inst->algo.get());
+      if (window == nullptr) {
+        return Err(counters_, "instance '" + inst->name + "' is not windowed (spec " +
+                                  inst->spec + "); CREATE it with Window:...");
+      }
+      std::lock_guard<std::mutex> inst_lock(inst->mu);
+      result = window->Snapshot(query);
+      window_suffix = " window=" + std::to_string(window->window_epochs()) +
+                      " epoch_packets=" + std::to_string(window->epoch_packets()) +
+                      " completed_epochs=" + std::to_string(window->completed_epochs());
+    } else if (relaxed && inst->relaxed_capable) {
       // The whole point of kRelaxed: answer from the live shared slab
       // without taking the ingest lock - writers never stall.
       result = inst->algo->Snapshot(query);
@@ -549,7 +568,7 @@ std::string ServeCore::CmdTopK(const std::vector<std::string>& args) {
   out += std::string("END consistency=") +
          (result.consistency == ConsistencyLevel::kRelaxed ? "relaxed" : "exact") +
          " tracked=" + std::to_string(result.stats.tracked_flows) +
-         " min=" + std::to_string(result.stats.min_tracked) + "\n";
+         " min=" + std::to_string(result.stats.min_tracked) + window_suffix + "\n";
   return out;
 }
 

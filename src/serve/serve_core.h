@@ -15,8 +15,12 @@
 //   ATTACH <name> <source> [key=5tuple|pair|src] [bytes]
 //                                 OK attached <name>  (starts the ingest thread)
 //   LIST                          INSTANCE <name> <spec> packets=<n> source=<s> ... / END
-//   TOPK [<name>] <k> [relaxed|exact]
+//   TOPK [<name>] <k> [relaxed|exact|window]
 //                                 FLOW <id-hex> <estimate> lines / END
+//                                 ("window": sliding top-k over the last W
+//                                 epochs; ERR unless the instance spec is
+//                                 Window:...; END gains window=<W>
+//                                 epoch_packets=<E> completed_epochs=<N>)
 //   POINT [<name>] <id-hex>       OK <estimate>
 //   STATS [<name>]                STAT <key> <value> lines / END
 //   CHECKPOINT                    OK checkpoint <path> instances=<n>

@@ -1,11 +1,41 @@
 #include "shard/merge.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace hk {
+namespace {
 
-std::vector<FlowCount> MergeTopK(const std::vector<std::vector<FlowCount>>& per_shard, size_t k) {
+void SortAndTruncate(std::vector<FlowCount>& merged, size_t k) {
+  std::sort(merged.begin(), merged.end(), [](const FlowCount& a, const FlowCount& b) {
+    return a.count != b.count ? a.count > b.count : a.id < b.id;
+  });
+  if (merged.size() > k) {
+    merged.resize(k);
+  }
+}
+
+}  // namespace
+
+std::vector<FlowCount> MergeTopK(const std::vector<std::vector<FlowCount>>& per_shard, size_t k,
+                                 MergeMode mode) {
   std::vector<FlowCount> merged;
+  if (mode == MergeMode::kSumById) {
+    // Overlapping inputs (per-epoch reports of one stream): estimates for
+    // the same flow accumulate across lists before ranking.
+    std::unordered_map<FlowId, uint64_t> sums;
+    for (const auto& list : per_shard) {
+      for (const FlowCount& fc : list) {
+        sums[fc.id] += fc.count;
+      }
+    }
+    merged.reserve(sums.size());
+    for (const auto& [id, count] : sums) {
+      merged.push_back({id, count});
+    }
+    SortAndTruncate(merged, k);
+    return merged;
+  }
   size_t total = 0;
   for (const auto& list : per_shard) {
     total += list.size();
@@ -14,12 +44,7 @@ std::vector<FlowCount> MergeTopK(const std::vector<std::vector<FlowCount>>& per_
   for (const auto& list : per_shard) {
     merged.insert(merged.end(), list.begin(), list.end());
   }
-  std::sort(merged.begin(), merged.end(), [](const FlowCount& a, const FlowCount& b) {
-    return a.count != b.count ? a.count > b.count : a.id < b.id;
-  });
-  if (merged.size() > k) {
-    merged.resize(k);
-  }
+  SortAndTruncate(merged, k);
   return merged;
 }
 

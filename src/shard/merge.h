@@ -1,12 +1,26 @@
-// Merging per-shard top-k reports into a global top-k.
+// Merging per-shard / per-epoch top-k reports into one global top-k.
 //
-// Estimate semantics: shards partition the key space (shard/partition.h),
-// so every flow is tracked by exactly one shard and its merged estimate is
-// that shard's estimate, unchanged - merging never adds cross-shard error.
-// If each input list is its shard's top-k by the shard's own estimates,
-// the merged list is the global top-k by those same estimates: a flow
-// ranked r-th globally is ranked <= r-th inside its shard, so it appears
-// in the shard's list whenever the shard reports >= k entries.
+// Two merge semantics live here, picked by MergeMode:
+//
+//   kDisjoint - the inputs partition the flow space, so every flow appears
+//     in at most one list and its merged estimate is that list's estimate,
+//     unchanged. This is the sharded fast path (shard/partition.h):
+//     key-partitioned shards guarantee disjointness, merging never adds
+//     cross-shard error, and a flow ranked r-th globally is ranked <= r-th
+//     inside its shard, so it appears in the shard's list whenever the
+//     shard reports >= k entries. Callers: ShardedTopK::Snapshot/TopK.
+//     Feeding overlapping lists through this mode silently emits duplicate
+//     flow ids (each occurrence ranked by its own estimate) - that is the
+//     documented contract, not a bug; use kSumById when inputs can overlap.
+//
+//   kSumById - the inputs cover disjoint *time slices* of one stream, so
+//     the same flow may appear in several lists and its sliding estimate
+//     is the SUM of its per-slice estimates. A flow absent from a slice's
+//     report contributes 0 for that slice (the slice's sketch either never
+//     saw it or ranked it below the report cutoff), so merged estimates
+//     are lower bounds of a full-resolution sliding sketch. Callers:
+//     WindowedTopK::Snapshot/TopK (window/windowed_topk.h), which merges
+//     its ring of per-epoch reports.
 //
 // Relative to one sketch with the same *total* memory, a k-shard split
 // changes the error profile in two documented ways: each shard's arrays
@@ -24,11 +38,17 @@
 
 namespace hk {
 
-// Union the per-shard reports, order by (estimate desc, id asc) - the
+enum class MergeMode {
+  kDisjoint,  // inputs partition the key space; ids must not repeat
+  kSumById,   // inputs may overlap; duplicate ids combine by summing
+};
+
+// Merge the per-list reports, order by (estimate desc, id asc) - the
 // TopKAlgorithm reporting order - and keep the k largest. Inputs need not
-// be sorted; ids must be disjoint across lists (key-partitioned shards
-// guarantee this).
-std::vector<FlowCount> MergeTopK(const std::vector<std::vector<FlowCount>>& per_shard, size_t k);
+// be sorted. The default mode keeps the historical disjoint-shard
+// semantics; see the mode contract above before switching.
+std::vector<FlowCount> MergeTopK(const std::vector<std::vector<FlowCount>>& per_shard, size_t k,
+                                 MergeMode mode = MergeMode::kDisjoint);
 
 }  // namespace hk
 

@@ -47,6 +47,14 @@ ShardedTopK::ShardedTopK(const ShardedTopKOptions& options, const SketchDefaults
         "ShardedTopK: inner= must not be Concurrent (compose one front-end per "
         "stream; use Sharded:n=N or Concurrent:threads=N, not both)");
   }
+  // Epoch rotation must be stream-global: per-shard rings would rotate on
+  // per-shard packet counts, desynchronizing the windows. Window outside,
+  // shard inside: "Window:...,inner=Sharded:n=N,inner=...".
+  if (inner_head == "Window") {
+    throw std::invalid_argument(
+        "ShardedTopK: inner= must not be Window (wrap the ring around the "
+        "sharded instance instead: Window:...,inner=Sharded:n=N,...)");
+  }
 
   // Every shard gets an equal slice of the byte budget and the *same* seed:
   // shards hold disjoint keys, so identical hash functions cannot interact,

@@ -27,6 +27,7 @@ HK_PIN_SKETCHES(CounterTree)
 HK_PIN_SKETCHES(HeavyGuardian)
 HK_PIN_SKETCHES(ShardedTopK)
 HK_PIN_SKETCHES(ConcurrentTopK)
+HK_PIN_SKETCHES(WindowedTopK)
 #undef HK_PIN_SKETCHES
 
 namespace {
@@ -57,6 +58,7 @@ void EnsureRegistered() {
     HkRegisterSketches_HeavyGuardian();
     HkRegisterSketches_ShardedTopK();
     HkRegisterSketches_ConcurrentTopK();
+    HkRegisterSketches_WindowedTopK();
   });
 }
 

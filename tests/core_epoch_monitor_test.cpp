@@ -81,6 +81,68 @@ TEST(EpochMonitorTest, ManualRotate) {
   EXPECT_EQ(monitor.packets_in_current_epoch(), 0u);
 }
 
+// The pinned rotation-boundary contract (epoch_monitor.h): factory epoch
+// arguments, callback indices, and the exact packet on which rotation
+// fires. WindowedTopK mirrors this contract, so a drift here would skew
+// every sliding-window answer.
+TEST(EpochMonitorContractTest, FactorySeesEpochZeroAtConstructionThenEachNewEpoch) {
+  std::vector<uint64_t> factory_epochs;
+  EpochMonitor monitor(
+      [&](uint64_t epoch) {
+        factory_epochs.push_back(epoch);
+        return HkFactory()(epoch);
+      },
+      /*epoch_packets=*/10, /*k=*/10);
+  // factory_(0) seeds the first window before any packet arrives.
+  ASSERT_EQ(factory_epochs, (std::vector<uint64_t>{0}));
+  for (int i = 0; i < 30; ++i) {
+    monitor.Insert(1);
+  }
+  // Each rotation builds the *new* epoch's instance: indices 1..R.
+  EXPECT_EQ(factory_epochs, (std::vector<uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(monitor.completed_epochs(), 3u);
+}
+
+TEST(EpochMonitorContractTest, RotationFiresOnTheNthInsertAfterItLands) {
+  // The insert lands in the old epoch first, so a completed window holds
+  // exactly epoch_packets packets - the Nth packet triggers the rotation
+  // and is counted inside the window it completes.
+  uint64_t rotations = 0;
+  std::vector<FlowCount> last;
+  EpochMonitor monitor(HkFactory(), /*epoch_packets=*/5, /*k=*/10,
+                       [&](uint64_t, std::vector<FlowCount> report) {
+                         ++rotations;
+                         last = std::move(report);
+                       });
+  for (int i = 0; i < 4; ++i) {
+    monitor.Insert(9);
+    EXPECT_EQ(rotations, 0u) << "rotated before the window filled";
+  }
+  monitor.Insert(9);  // the 5th packet: lands, then rotates
+  EXPECT_EQ(rotations, 1u);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].count, 5u);  // the triggering insert is in the report
+  EXPECT_EQ(monitor.packets_in_current_epoch(), 0u);
+}
+
+TEST(EpochMonitorContractTest, ForcedEmptyRotationsStillReportAndAdvance) {
+  std::vector<uint64_t> epochs;
+  std::vector<size_t> sizes;
+  EpochMonitor monitor(HkFactory(), 1'000'000, 10,
+                       [&](uint64_t epoch, std::vector<FlowCount> report) {
+                         epochs.push_back(epoch);
+                         sizes.push_back(report.size());
+                       });
+  monitor.Rotate();
+  monitor.Rotate();
+  monitor.Rotate();
+  // An empty window is a window: three callbacks, indices 0..2, all empty.
+  EXPECT_EQ(epochs, (std::vector<uint64_t>{0, 1, 2}));
+  EXPECT_EQ(sizes, (std::vector<size_t>{0, 0, 0}));
+  EXPECT_EQ(monitor.completed_epochs(), 3u);
+  EXPECT_TRUE(monitor.LastReport().empty());
+}
+
 TEST(EpochMonitorTest, EpochsAreIndependent) {
   EpochMonitor monitor(HkFactory(), 100, 10);
   for (int i = 0; i < 100; ++i) {

@@ -19,9 +19,11 @@
 
 #include "core/epoch_monitor.h"
 #include "ingest/pcap_reader.h"
+#include "ingest/pcap_writer.h"
 #include "ingest/trace_replayer.h"
 #include "metrics/accuracy.h"
 #include "sketch/registry.h"
+#include "trace/generators.h"
 #include "trace/oracle.h"
 
 namespace hk {
@@ -260,6 +262,70 @@ TEST(IngestReplayTest, EpochWindowsFollowCaptureTime) {
   for (const size_t size : report_sizes) {
     EXPECT_GT(size, 0u);  // every closed window saw packets and reports
   }
+}
+
+TEST(IngestReplayTest, IdleGapReplayRotatesOncePerSkippedWindow) {
+  // Regression for the multi-window rotation loss: three bursts separated
+  // by idle gaps of 3+ windows. Every crossed window boundary must rotate
+  // - empty windows included - and each completed window's report must
+  // match that window's exact oracle (Space-Saving inner: exact while the
+  // distinct flows fit).
+  const std::string path = std::string(::testing::TempDir()) + "/ingest_gap.pcap";
+  constexpr uint64_t kEpochNs = 1'000'000;  // 1 ms windows
+  const uint64_t t0 = 1'500'000'000ULL * 1'000'000'000ULL;
+
+  PcapWriter writer;
+  ASSERT_TRUE(writer.Open(path));
+  // Burst 0 in window 0, burst 1 in window 4 (3 idle windows between),
+  // burst 2 in window 9 (4 idle windows between). 40 packets per burst
+  // over 2 flows, 1 us packet spacing (well inside one window).
+  const uint64_t burst_windows[] = {0, 4, 9};
+  for (int b = 0; b < 3; ++b) {
+    uint64_t ts = t0 + burst_windows[b] * kEpochNs;
+    for (int i = 0; i < 40; ++i) {
+      const uint64_t rank = 2 * b + (i < 25 ? 0 : 1);  // 25/15 split per burst
+      ASSERT_TRUE(writer.Write(RankToTuple(rank, KeyKind::kFiveTuple13B, 9), ts, 100));
+      ts += 1000;
+    }
+  }
+  ASSERT_TRUE(writer.Close());
+
+  // Per-window exact oracles, bucketed by the same capture clock.
+  std::unordered_map<uint64_t, Oracle> window_oracle;
+  {
+    PcapReader reader(PcapKeyPolicy::kFiveTuple);
+    ASSERT_TRUE(reader.Open(path)) << reader.error();
+    PacketRecord record;
+    while (reader.Next(&record)) {
+      window_oracle[(record.timestamp_ns - t0) / kEpochNs].Add(record.id);
+    }
+  }
+
+  std::vector<std::vector<FlowCount>> reports;
+  EpochMonitor monitor([](uint64_t) { return MakeSketch("SS", CampusDefaults()); },
+                       UINT64_MAX, kK, [&](uint64_t, std::vector<FlowCount> report) {
+                         reports.push_back(std::move(report));
+                       });
+  PcapReader reader(PcapKeyPolicy::kFiveTuple);
+  ASSERT_TRUE(reader.Open(path)) << reader.error();
+  ReplayOptions options;
+  options.epoch_ns = kEpochNs;
+  const ReplayStats stats = TraceReplayer(options).Replay(reader, monitor);
+
+  // Windows 0..8 completed (window 9 is still filling): 9 rotations, and
+  // stats.epochs agrees with the monitor's own count.
+  EXPECT_EQ(stats.packets, 120u);
+  EXPECT_EQ(stats.epochs, 9u);
+  EXPECT_EQ(monitor.completed_epochs(), stats.epochs);
+  ASSERT_EQ(reports.size(), 9u);
+  for (uint64_t w = 0; w < reports.size(); ++w) {
+    const auto it = window_oracle.find(w);
+    const std::vector<FlowCount> expected =
+        it == window_oracle.end() ? std::vector<FlowCount>{} : it->second.TopK(kK);
+    EXPECT_EQ(reports[w], expected) << "window " << w;
+  }
+  // The partial window 9 is burst 2, visible through the live view.
+  EXPECT_EQ(monitor.CurrentTopK(), window_oracle[9].TopK(kK));
 }
 
 TEST(IngestReplayTest, SrcOnlyPolicyCoarsensTheFlowSpace) {

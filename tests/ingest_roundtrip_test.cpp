@@ -33,6 +33,13 @@ std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
+// Parameterized tests run as independent ctest entries that may execute
+// concurrently, so the path must carry the param or the /pcap and /pcapng
+// instances race on one file.
+std::string TempPath(const std::string& name, PcapFormat format) {
+  return TempPath(name + (format == PcapFormat::kPcap ? ".pcap" : ".pcapng"));
+}
+
 // The committed fixture parameters (see ingest_replay_test.cpp and
 // ingest_stream_test.cpp for the SLL cooked-capture fixture).
 ZipfTraceConfig CampusFixtureConfig() { return CampusConfig(4000, 31); }
@@ -79,7 +86,7 @@ void ExpectBitIdenticalCounts(const Oracle& oracle, const ReadBack& read) {
 class RoundTripTest : public ::testing::TestWithParam<PcapFormat> {};
 
 TEST_P(RoundTripTest, CampusFiveTupleCountsAndTimestampsAreBitExact) {
-  const std::string path = TempPath("rt_campus.pcap");
+  const std::string path = TempPath("rt_campus", GetParam());
   CaptureSynthOptions options = FixtureSynthOptions(GetParam());
   CaptureSynthStats synth;
   const Trace trace = SynthesizeCapture(CampusFixtureConfig(), path, options, &synth);
@@ -101,7 +108,7 @@ TEST_P(RoundTripTest, CampusFiveTupleCountsAndTimestampsAreBitExact) {
 }
 
 TEST_P(RoundTripTest, CaidaAddrPairCountsAreBitExact) {
-  const std::string path = TempPath("rt_caida.pcap");
+  const std::string path = TempPath("rt_caida", GetParam());
   const CaptureSynthOptions options = FixtureSynthOptions(GetParam());
   const Trace trace = SynthesizeCapture(CaidaFixtureConfig(), path, options);
   ASSERT_GT(trace.num_packets(), 0u);

@@ -189,6 +189,36 @@ TEST(ServeProtocol, RelaxedDegradesToExactOnSynchronousSketch) {
   EXPECT_EQ(lines[0].rfind("END consistency=exact", 0), 0u) << lines[0];
 }
 
+TEST(ServeProtocol, WindowTopKAnswersSlidingAndRejectsNonWindowed) {
+  const Fixture& fx = CampusCapture();
+  ServeOptions options = SmallOptions();
+  options.defaults.memory_bytes = 64 * 1024;
+  ServeCore core(options);
+  // 1000-packet epochs, 4-deep ring: the 5000-packet capture rotates the
+  // ring and the window answer covers only the newest epochs.
+  ASSERT_EQ(core.Execute("CREATE recent Window:w=4,epoch=1000,inner=SS"),
+            "OK created recent\n");
+  ASSERT_EQ(core.Execute("ATTACH recent " + fx.path), "OK attached recent\n");
+  core.DrainIngest();
+
+  const auto lines = Lines(core.Execute("TOPK recent 5 window"));
+  ASSERT_FALSE(lines.empty());
+  // END advertises the ring shape and how far the capture rotated it:
+  // 5000 packets / 1000 per epoch = 5 completed epochs.
+  EXPECT_NE(lines.back().find(" window=4 epoch_packets=1000 completed_epochs=5"),
+            std::string::npos)
+      << lines.back();
+  EXPECT_EQ(lines.back().rfind("END consistency=exact", 0), 0u) << lines.back();
+  EXPECT_GT(lines.size(), 1u) << "sliding window answered no flows";
+
+  // "window" against a non-windowed instance is an error, not a silent
+  // since-boot answer - the caller asked for sliding semantics.
+  core.Execute("CREATE plain HK");
+  EXPECT_EQ(core.Execute("TOPK plain 5 window").rfind("ERR ", 0), 0u);
+  // And the grammar rejects unknown consistency tokens as before.
+  EXPECT_EQ(core.Execute("TOPK recent 5 sliding").rfind("ERR ", 0), 0u);
+}
+
 TEST(ServeProtocol, GlobalStatsRender) {
   ServeCore core(SmallOptions());
   core.Execute("CREATE a HK");

@@ -70,6 +70,28 @@ TEST(ShardMergeTest, OrdersUnionAndTruncates) {
   EXPECT_EQ(MergeTopK({}, 10), std::vector<FlowCount>{});
 }
 
+TEST(ShardMergeTest, SumByIdCombinesOverlappingLists) {
+  // The window-ring shape: per-epoch reports of one stream, so the same
+  // flow id recurs across lists and its sliding estimate is the sum.
+  const std::vector<std::vector<FlowCount>> per_epoch = {
+      {{7, 100}, {2, 40}, {1, 5}},
+      {},
+      {{2, 70}, {7, 30}, {3, 60}},
+  };
+  const auto merged = MergeTopK(per_epoch, 3, MergeMode::kSumById);
+  const std::vector<FlowCount> expected = {{7, 130}, {2, 110}, {3, 60}};
+  EXPECT_EQ(merged, expected);
+  // Regression pin for the documented kDisjoint contract: the fast path
+  // fed overlapping lists emits duplicate ids instead of combining them.
+  const auto disjoint = MergeTopK(per_epoch, 6, MergeMode::kDisjoint);
+  size_t sevens = 0;
+  for (const auto& fc : disjoint) {
+    sevens += fc.id == 7 ? 1 : 0;
+  }
+  EXPECT_EQ(sevens, 2u);
+  EXPECT_EQ(MergeTopK({}, 10, MergeMode::kSumById), std::vector<FlowCount>{});
+}
+
 TEST(ShardedTopKTest, RejectsDegenerateSpecs) {
   EXPECT_THROW(MakeSketch("Sharded:n=0"), std::invalid_argument);
   EXPECT_THROW(MakeSketch("Sharded:n=2000"), std::invalid_argument);  // > kMaxShards
