@@ -55,6 +55,13 @@ Checks (see ROADMAP "Throughput trajectory", ISSUE 3 and ISSUE 4):
     (window/insert/inner). Also warns when any window/ data point drops
     below 50% of the committed baseline.
 
+  * simd (hard on vector-capable runners): BENCH_micro_simd_insert.json -
+    the d=4 vectorized InsertBatch rows (avx2/neon) must hold >= 1.3x the
+    same spec's simd=scalar rows (the ISSUE 9 acceptance gate). The bench
+    registers vector rows only when the host has the kernel, so scalar-only
+    runners skip with a message instead of failing. --simd-baseline feeds
+    the soft 50% watch.
+
   * serve (soft): BENCH_micro_serve_ingest.json - the hk_serve daemon's
     streaming reader (serve/stream, bounded-buffer OpenStream) should stay
     within 2x of the slurp baseline (serve/slurp): the always-on mode is
@@ -85,6 +92,7 @@ import json
 import sys
 
 BATCH_MIN_RATIO = 1.2
+SIMD_MIN_RATIO = 1.3
 SCALAR_MIN_RATIO = 1.15
 SHARDED_MIN_RATIO = 3.5
 CONCURRENT_MIN_RATIO = 3.0
@@ -96,13 +104,24 @@ WINDOW_MIN_FRACTION_OF_INNER = 0.5
 
 
 def load_items(path):
-    """name -> items_per_second for every benchmark in a JSON report."""
+    """name -> items_per_second for every benchmark in a JSON report.
+
+    Repetition reports (--benchmark_repetitions with
+    --benchmark_report_aggregates_only) contribute only their median
+    aggregate, filed under the plain row name - so noisy runners can
+    record baselines from interleaved repetitions and the checks compare
+    medians against medians."""
     with open(path) as f:
         report = json.load(f)
     out = {}
     for bench in report.get("benchmarks", []):
         ips = bench.get("items_per_second")
-        if ips is not None:
+        if ips is None:
+            continue
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") == "median":
+                out[bench["run_name"]] = ips
+        else:
             out[bench["name"]] = ips
     return out
 
@@ -125,6 +144,58 @@ def check_batch(items):
               f" -> {ratio:.2f}x (need >= {BATCH_MIN_RATIO}x) {status}")
         if ratio < BATCH_MIN_RATIO:
             failures.append(f"{spec}: batch only {ratio:.2f}x scalar")
+    return failures
+
+
+def check_simd(items, baseline_items):
+    """SIMD kernel gate (ISSUE 9): on runners whose micro_simd_insert
+    registered vector rows (the bench only registers them when the host
+    has the kernel), the d=4 vectorized HK-Minimum InsertBatch must be
+    >= 1.3x the same spec's simd=scalar InsertBatch - hard failure below
+    that. The gate is scoped to HK-Minimum because only the Minimum
+    discipline has a vector insert kernel (scan-then-touch-one);
+    Basic/Parallel mutate every mapped bucket, so their vector rows gain
+    only the prepare/hash stages and are reported as context. On
+    scalar-only runners there is nothing to compare: skip with a message.
+    The committed baseline feeds the usual soft 50% watch."""
+    failures = []
+    vector_rows = {n: v for n, v in items.items()
+                   if n.startswith("simd/insert/") and
+                   n.split("/")[-1] in ("avx2", "neon")}
+    if not vector_rows:
+        print("[simd] runner reports no vector kernel (no avx2/neon rows);"
+              " hard gate skipped")
+    for name, vec in sorted(vector_rows.items()):
+        if "/d/4/" not in name:
+            continue
+        scalar_name = name.rsplit("/", 1)[0] + "/scalar"
+        scalar = items.get(scalar_name)
+        if scalar is None:
+            failures.append(f"{name}: missing {scalar_name} twin")
+            continue
+        ratio = vec / scalar
+        if "/HK-Minimum/" not in name:
+            print(f"[simd] {name}: {ratio:.2f}x scalar (no vector apply:"
+                  " informational)")
+            continue
+        status = "OK" if ratio >= SIMD_MIN_RATIO else "FAIL"
+        print(f"[simd] {name}: {vec:.3e} vs scalar {scalar:.3e}"
+              f" -> {ratio:.2f}x (need >= {SIMD_MIN_RATIO}x) {status}")
+        if ratio < SIMD_MIN_RATIO:
+            failures.append(f"{name}: vector batch only {ratio:.2f}x scalar")
+    # Context rows (informational): prepare/query/hashbytes stage speedups.
+    for stage in ("prepare", "query", "hashbytes"):
+        for name, vec in sorted(items.items()):
+            if not name.startswith(f"simd/{stage}/"):
+                continue
+            if name.split("/")[-1] not in ("avx2", "neon"):
+                continue
+            scalar = items.get(name.rsplit("/", 1)[0] + "/scalar")
+            if scalar:
+                print(f"[simd] {name}: {vec / scalar:.2f}x scalar")
+    if baseline_items:
+        check_baseline({n: v for n, v in items.items() if n.startswith("simd/")},
+                       {n: v for n, v in baseline_items.items() if n.startswith("simd/")})
     return failures
 
 
@@ -326,6 +397,10 @@ def main():
     parser.add_argument("--serve", help="fresh BENCH_micro_serve_ingest.json")
     parser.add_argument("--serve-baseline",
                         help="committed serve ingest baseline (soft stream-vs-slurp warn)")
+    parser.add_argument("--simd", help="fresh BENCH_micro_simd_insert.json"
+                        " (hard d=4 vector-vs-scalar gate on vector-capable runners)")
+    parser.add_argument("--simd-baseline",
+                        help="committed simd baseline JSON to warn against")
     parser.add_argument("--sharded-hard", action="store_true",
                         help="fail (not warn) when the sharded scaling target is missed")
     parser.add_argument("--concurrent", help="fresh BENCH_micro_concurrent_insert.json")
@@ -365,6 +440,9 @@ def main():
     if args.serve:
         check_serve(load_items(args.serve),
                     load_items(args.serve_baseline) if args.serve_baseline else {})
+    if args.simd:
+        failures += check_simd(load_items(args.simd),
+                               load_items(args.simd_baseline) if args.simd_baseline else {})
 
     if failures:
         print("\nbench regression check FAILED:")

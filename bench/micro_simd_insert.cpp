@@ -1,0 +1,253 @@
+// SIMD kernel dispatch: vectorized vs scalar hot path (google-benchmark).
+//
+// The simd/ batch kernels vectorize three stages of the HeavyKeeper hot
+// path - lane-parallel hashing (PrepareBatch), the gather-compare bucket
+// probe (Minimum insert / Query), and the batched byte hash the replayer's
+// key extraction uses. This bench isolates each stage and measures the
+// end-to-end InsertBatch win, pinning the same spec with simd=scalar vs
+// the best vector kernel the host offers.
+//
+// Unlike micro_batch_insert (sized past LLC to measure prefetching), the
+// sketch here stays cache-resident (4 MB unless HK_BENCH_SIMD_MB
+// overrides): the vector kernels cut compute, and compute only dominates
+// when DRAM misses don't.
+//
+//   simd/insert/<spec>/d/<d>/<kernel>   InsertBatch bursts of 512
+//   simd/prepare/d/<d>/<kernel>         raw PrepareBatch (hash + index)
+//   simd/query/d/<d>/<kernel>           EstimateSizeBatch (rescore loop)
+//   simd/hashbytes/len/<len>/<kernel>   HashBytesBatch (key extraction)
+//
+// Vector rows are registered only on hosts that have the kernel, so the
+// CI gate (check_bench_regression.py --simd, hard: HK-Minimum insert d=4
+// avx2 >= 1.3x scalar) degrades to a skip-with-message on scalar-only
+// runners. HK-Parallel rows are context: every mapped bucket mutates, so
+// only the prepare/hash stages vectorize there.
+// CI uploads the JSON (BENCH_micro_simd_insert.json) as an artifact.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/heavykeeper.h"
+#include "simd/hash_batch.h"
+#include "sketch/registry.h"
+#include "trace/generators.h"
+
+namespace {
+
+using namespace hk;
+
+size_t SketchMegabytes() {
+  const char* env = std::getenv("HK_BENCH_SIMD_MB");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 4;
+}
+
+const std::vector<FlowId>& ZipfPackets() {
+  static const std::vector<FlowId> packets = [] {
+    ZipfTraceConfig config;
+    const char* env = std::getenv("HK_BENCH_SCALE");
+    config.num_packets = env != nullptr ? std::strtoull(env, nullptr, 10) : 2'000'000;
+    config.num_ranks = config.num_packets / 2;  // deep tail: decay path dominates
+    const char* skew = std::getenv("HK_BENCH_SIMD_SKEW");
+    config.skew = skew != nullptr ? std::strtod(skew, nullptr) : 0.6;
+    config.seed = 3;
+    return MakeZipfTrace(config).packets;
+  }();
+  return packets;
+}
+
+std::unique_ptr<TopKAlgorithm> MakeContender(const std::string& spec) {
+  SketchDefaults defaults;
+  defaults.memory_bytes = SketchMegabytes() * 1024 * 1024;
+  defaults.k = 100;
+  defaults.key_kind = KeyKind::kSynthetic4B;
+  defaults.seed = 1;
+  return MakeSketch(spec, defaults);
+}
+
+constexpr size_t kBurst = 512;
+
+void BM_SimdInsert(benchmark::State& state, const std::string& spec) {
+  auto algo = MakeContender(spec);
+  const auto& packets = ZipfPackets();
+  const size_t burst = std::min(kBurst, packets.size());
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i + burst > packets.size()) {
+      i = 0;
+    }
+    algo->InsertBatch(std::span<const FlowId>(packets.data() + i, burst));
+    i += burst;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(burst));
+}
+
+HeavyKeeper MakeSketchOnly(size_t d, SimdMode mode) {
+  HeavyKeeperConfig config;
+  config.d = d;
+  config.w = (SketchMegabytes() * 1024 * 1024) / (config.BucketBytes() * d);
+  config.seed = 1;
+  config.simd = mode;
+  return HeavyKeeper(config);
+}
+
+void BM_SimdPrepare(benchmark::State& state, size_t d, SimdMode mode) {
+  const HeavyKeeper sketch = MakeSketchOnly(d, mode);
+  const auto& packets = ZipfPackets();
+  HeavyKeeper::Prepared prepared[kBurst];
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i + kBurst > packets.size()) {
+      i = 0;
+    }
+    sketch.PrepareBatch(packets.data() + i, kBurst, prepared);
+    benchmark::DoNotOptimize(prepared[0].idx[0]);
+    i += kBurst;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kBurst));
+}
+
+// The Minimum apply stage alone: handles pre-addressed, no store lookup,
+// no pipeline loop - isolates the probe-vs-scalar-scan delta the same way
+// simd/prepare isolates the hashing delta.
+void BM_SimdApply(benchmark::State& state, size_t d, SimdMode mode) {
+  HeavyKeeper sketch = MakeSketchOnly(d, mode);
+  const auto& packets = ZipfPackets();
+  HeavyKeeper::Prepared prepared[kBurst];
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i + kBurst > packets.size()) {
+      i = 0;
+    }
+    sketch.PrepareBatch(packets.data() + i, kBurst, prepared);
+    for (size_t j = 0; j < kBurst; ++j) {
+      sketch.Prefetch(prepared[j]);
+    }
+    uint64_t sink = 0;
+    for (size_t j = 0; j < kBurst; ++j) {
+      sink += sketch.InsertMinimumPrepared(prepared[j], /*monitored=*/false, /*nmin=*/8);
+    }
+    benchmark::DoNotOptimize(sink);
+    i += kBurst;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kBurst));
+}
+
+void BM_SimdQuery(benchmark::State& state, const std::string& spec) {
+  auto algo = MakeContender(spec);
+  const auto& packets = ZipfPackets();
+  // Populate, then rescore random keys (the windowed merge-and-rescore
+  // shape: mostly cold, untracked flows).
+  algo->InsertBatch(std::span<const FlowId>(packets.data(),
+                                            std::min<size_t>(packets.size(), 1'000'000)));
+  uint64_t out[kBurst];
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i + kBurst > packets.size()) {
+      i = 0;
+    }
+    algo->EstimateSizeBatch(std::span<const FlowId>(packets.data() + i, kBurst),
+                            std::span<uint64_t>(out, kBurst));
+    benchmark::DoNotOptimize(out[0]);
+    i += kBurst;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kBurst));
+}
+
+void BM_HashBytes(benchmark::State& state, size_t len, SimdKernel kernel) {
+  const auto& packets = ZipfPackets();
+  std::vector<uint8_t> keys(kBurst * simd::kHashBatchStride);
+  for (size_t i = 0; i < kBurst; ++i) {
+    std::memcpy(keys.data() + i * simd::kHashBatchStride, &packets[i], sizeof(FlowId));
+    std::memcpy(keys.data() + i * simd::kHashBatchStride + 8, &packets[i], sizeof(FlowId));
+  }
+  uint64_t out[kBurst];
+  for (auto _ : state) {
+    simd::HashBytesBatch(kernel, keys.data(), kBurst, len, 0x68656176796b6565ULL, out);
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kBurst));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The vector kernel this host resolves under auto; scalar-only hosts
+  // register only the /scalar rows and the CI gate skips.
+  const SimdKernel best = ResolveSimdKernel(SimdMode::kAuto);
+  const bool has_vector = best != SimdKernel::kScalar;
+  const std::string vec = SimdKernelName(best);
+  const SimdMode vec_mode = best == SimdKernel::kAvx2 ? SimdMode::kAvx2 : SimdMode::kNeon;
+
+  for (const std::string spec : {"HK-Minimum", "HK-Parallel"}) {
+    for (const size_t d : {size_t{2}, size_t{4}, size_t{8}}) {
+      const std::string base =
+          "simd/insert/" + spec + "/d/" + std::to_string(d);
+      const std::string scalar_spec =
+          spec + ":d=" + std::to_string(d) + ",simd=scalar";
+      benchmark::RegisterBenchmark(
+          (base + "/scalar").c_str(),
+          [scalar_spec](benchmark::State& state) { BM_SimdInsert(state, scalar_spec); });
+      if (has_vector) {
+        const std::string vec_spec = spec + ":d=" + std::to_string(d) + ",simd=" + vec;
+        benchmark::RegisterBenchmark(
+            (base + "/" + vec).c_str(),
+            [vec_spec](benchmark::State& state) { BM_SimdInsert(state, vec_spec); });
+      }
+    }
+  }
+  for (const size_t d : {size_t{2}, size_t{4}, size_t{8}}) {
+    benchmark::RegisterBenchmark(
+        ("simd/prepare/d/" + std::to_string(d) + "/scalar").c_str(),
+        [d](benchmark::State& state) { BM_SimdPrepare(state, d, SimdMode::kScalar); });
+    if (has_vector) {
+      benchmark::RegisterBenchmark(
+          ("simd/prepare/d/" + std::to_string(d) + "/" + vec).c_str(),
+          [d, vec_mode](benchmark::State& state) { BM_SimdPrepare(state, d, vec_mode); });
+    }
+  }
+  for (const size_t d : {size_t{4}, size_t{8}}) {
+    benchmark::RegisterBenchmark(
+        ("simd/apply/d/" + std::to_string(d) + "/scalar").c_str(),
+        [d](benchmark::State& state) { BM_SimdApply(state, d, SimdMode::kScalar); });
+    if (has_vector) {
+      benchmark::RegisterBenchmark(
+          ("simd/apply/d/" + std::to_string(d) + "/" + vec).c_str(),
+          [d, vec_mode](benchmark::State& state) { BM_SimdApply(state, d, vec_mode); });
+    }
+  }
+  for (const size_t d : {size_t{2}, size_t{4}}) {
+    const std::string base = "simd/query/d/" + std::to_string(d);
+    const std::string scalar_spec =
+        "HK-Minimum:d=" + std::to_string(d) + ",simd=scalar";
+    benchmark::RegisterBenchmark(
+        (base + "/scalar").c_str(),
+        [scalar_spec](benchmark::State& state) { BM_SimdQuery(state, scalar_spec); });
+    if (has_vector) {
+      const std::string vec_spec = "HK-Minimum:d=" + std::to_string(d) + ",simd=" + vec;
+      benchmark::RegisterBenchmark(
+          (base + "/" + vec).c_str(),
+          [vec_spec](benchmark::State& state) { BM_SimdQuery(state, vec_spec); });
+    }
+  }
+  for (const size_t len : {size_t{4}, size_t{8}, size_t{13}}) {
+    benchmark::RegisterBenchmark(
+        ("simd/hashbytes/len/" + std::to_string(len) + "/scalar").c_str(),
+        [len](benchmark::State& state) { BM_HashBytes(state, len, SimdKernel::kScalar); });
+    if (has_vector) {
+      benchmark::RegisterBenchmark(
+          ("simd/hashbytes/len/" + std::to_string(len) + "/" + vec).c_str(),
+          [len, best](benchmark::State& state) { BM_HashBytes(state, len, best); });
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

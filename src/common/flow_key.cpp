@@ -8,7 +8,7 @@
 namespace hk {
 namespace {
 
-constexpr uint64_t kIdSeed = 0x68656176796b6565ULL;  // "heavykee"
+constexpr uint64_t kIdSeed = kFlowIdSeed;
 
 std::string Ipv4ToString(uint32_t ip) {
   char buf[16];

@@ -78,6 +78,11 @@ struct AddrPair {
   std::string ToString() const;
 };
 
+// Seed of the canonical id hash ("heavykee"). Exposed so batch id
+// derivation (ingest/pcap_reader.h DerivePacketIds) can run the same
+// HashBytes lane-parallel; every Id() above uses exactly this seed.
+inline constexpr uint64_t kFlowIdSeed = 0x68656176796b6565ULL;
+
 // Source-only flow definition (per-source aggregation, e.g. DDoS-style
 // ingest): the canonical id of the 4-byte source address, derived through
 // the same seeded byte hash as FiveTuple::Id / AddrPair::Id.

@@ -61,6 +61,11 @@ class TwoWiseHash {
     return static_cast<uint64_t>((static_cast<__uint128_t>((*this)(x)) * w) >> 64);
   }
 
+  // Coefficients, exposed so the simd/ batch kernels can replicate the
+  // addressing lane-parallel (simd::SimdPrepareParams).
+  uint64_t mul() const { return a_; }
+  uint64_t add() const { return b_; }
+
  private:
   uint64_t a_;
   uint64_t b_;
@@ -88,6 +93,7 @@ class HashFamily {
 
   uint64_t Index(size_t j, uint64_t key, uint64_t w) const { return fns_[j].Index(key, w); }
   uint64_t Value(size_t j, uint64_t key) const { return fns_[j](key); }
+  const TwoWiseHash& fn(size_t j) const { return fns_[j]; }
 
  private:
   std::vector<TwoWiseHash> fns_;
@@ -102,6 +108,7 @@ class Fingerprinter {
   Fingerprinter(uint32_t bits, uint64_t seed) : bits_(bits), seed_(seed) {}
 
   uint32_t bits() const { return bits_; }
+  uint64_t seed() const { return seed_; }
 
   uint32_t operator()(uint64_t key) const {
     uint32_t fp = static_cast<uint32_t>(HashU64(key, seed_) >> (64 - bits_));

@@ -297,6 +297,9 @@ QueryResult ConcurrentTopK::Snapshot(const QueryOptions& options) {
   result.stats.tracked_flows = store_.size();
   result.stats.worker_threads = options_.threads;
   result.stats.memory_bytes = MemoryBytes();
+  // The shared-slab insert path is its own CAS loop (no SIMD dispatch), so
+  // the base-class "" answer stands; fill it explicitly for clarity.
+  result.stats.simd_kernel = ActiveSimdKernel();
   return result;
 }
 

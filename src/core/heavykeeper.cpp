@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simd/hk_kernels.h"
+
 namespace hk {
 namespace {
 
@@ -40,10 +42,35 @@ HeavyKeeper::HeavyKeeper(const HeavyKeeperConfig& config)
       counter_bits_eff_ >= 32 ? ~0u : ((1u << counter_bits_eff_) - 1);
   word_bytes_ = config_.BucketBytes();
   decay_ = &SharedDecayTable(config_.decay_function, config_.b);
+  kernel_ = ResolveSimdKernel(config_.simd);
   rows_ = config_.d;
   slab_.Resize(rows_ * config_.w * word_bytes_);
   SplitMix64 sm(config_.seed ^ 0xa88a0eedULL);
   next_array_seed_ = sm.Next();
+  RefreshPrepareParams();
+}
+
+void HeavyKeeper::RefreshPrepareParams() {
+  prep_.fp_seed = fingerprint_.seed();
+  prep_.fp_bits = fingerprint_.bits();
+  prep_.rows = static_cast<uint32_t>(rows_);
+  prep_.w = config_.w;
+  for (size_t j = 0; j < rows_ && j < kMaxPreparedArrays; ++j) {
+    prep_.mul[j] = hashes_.fn(j).mul();
+    prep_.add[j] = hashes_.fn(j).add();
+  }
+}
+
+void HeavyKeeper::SetSimdMode(SimdMode mode) {
+  config_.simd = mode;
+  kernel_ = ResolveSimdKernel(mode);
+}
+
+void HeavyKeeper::PrepareBatch(const FlowId* ids, size_t n, Prepared* out) const {
+  size_t done = simd::PrepareBatch(kernel_, prep_, ids, n, out);
+  for (; done < n; ++done) {
+    out[done] = Prepare(ids[done]);
+  }
 }
 
 HeavyKeeper HeavyKeeper::Restore(const HeavyKeeperConfig& config,
@@ -73,6 +100,7 @@ HeavyKeeper HeavyKeeper::Restore(const HeavyKeeperConfig& config,
   }
   sketch.stuck_events_ = stuck_events;
   sketch.expansions_ = expansions;
+  sketch.RefreshPrepareParams();
   return sketch;
 }
 
@@ -102,6 +130,7 @@ void HeavyKeeper::NoteStuck() {
     next_array_seed_ = Mix64(next_array_seed_ + 1);
     ++rows_;
     slab_.Resize(rows_ * config_.w * word_bytes_);  // appended row is zeroed
+    RefreshPrepareParams();
   }
 }
 
@@ -305,8 +334,35 @@ uint32_t HeavyKeeper::InsertMinimumPrepared(const Prepared& p, bool monitored,
   if (p.n != rows_) {
     return InsertMinimumPrepared(Prepare(p.id), monitored, nmin);
   }
+  if (ProbeEligible(p)) {
+    return InsertMinimumProbed(p, monitored, nmin);
+  }
   return wide() ? InsertMinimumImpl<uint64_t>(p, monitored, nmin)
                 : InsertMinimumImpl<uint32_t>(p, monitored, nmin);
+}
+
+// One-shot vector Minimum insert: the kernel resolves Algorithm 2's three
+// situations in one gather + compare + horizontal min AND applies the
+// scalar-identical transition in the same call (simd::ApplyMinimumProbe) -
+// one kernel entry per packet instead of probe-out/epilogue-in. The decay
+// coin is drawn inside the kernel but stays scalar and in packet order, so
+// the RNG stream matches the scalar path exactly; only NoteStuck() (which
+// may restructure the sketch) is applied here.
+uint32_t HeavyKeeper::InsertMinimumProbed(const Prepared& p, bool monitored, uint64_t nmin) {
+  const uint32_t cb = counter_bits_eff_;
+  const uint32_t gate =
+      monitored ? ~0u : static_cast<uint32_t>(std::min<uint64_t>(nmin, ~0u));
+  uint32_t estimate = 0;
+  bool stuck = false;
+  if (!simd::InsertMinimumVec(kernel_, Words<uint32_t>(), p.idx, p.n, p.fp << cb,
+                              CounterMask<uint32_t>(cb), gate, counter_max_, *decay_, rng_,
+                              &estimate, &stuck)) {
+    return InsertMinimumImpl<uint32_t>(p, monitored, nmin);
+  }
+  if (stuck) {
+    NoteStuck();
+  }
+  return estimate;
 }
 
 template <typename W>
@@ -542,9 +598,36 @@ uint32_t HeavyKeeper::QueryImpl(const Prepared& p) const {
   return best;
 }
 
-uint32_t HeavyKeeper::Query(FlowId id) const {
-  const Prepared p = Prepare(id);
+uint32_t HeavyKeeper::QueryPrepared(const Prepared& p) const {
+  if (ProbeEligible(p)) {
+    const uint32_t cb = counter_bits_eff_;
+    uint32_t best = 0;
+    if (simd::ProbeQuery(kernel_, Words<uint32_t>(), p.idx, p.n,
+                         p.fp << cb, CounterMask<uint32_t>(cb), &best)) {
+      return best;
+    }
+  }
   return wide() ? QueryImpl<uint64_t>(p) : QueryImpl<uint32_t>(p);
+}
+
+uint32_t HeavyKeeper::Query(FlowId id) const { return QueryPrepared(Prepare(id)); }
+
+void HeavyKeeper::QueryBatch(const FlowId* ids, size_t n, uint64_t* out) const {
+  // Batch-address a chunk, prefetch every mapped line, then probe: the
+  // rescore loop touches cold buckets (candidates come from many epochs),
+  // so overlapping the misses matters as much as the vector compare.
+  constexpr size_t kChunk = 32;
+  Prepared prep[kChunk];
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t m = std::min(kChunk, n - base);
+    PrepareBatch(ids + base, m, prep);
+    for (size_t i = 0; i < m; ++i) {
+      Prefetch(prep[i]);
+    }
+    for (size_t i = 0; i < m; ++i) {
+      out[base + i] = QueryPrepared(prep[i]);
+    }
+  }
 }
 
 }  // namespace hk

@@ -53,6 +53,7 @@
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/slab.h"
+#include "simd/simd.h"
 
 namespace hk {
 
@@ -79,6 +80,14 @@ struct HeavyKeeperConfig {
   // handles can address every array with fixed storage.
   uint64_t expansion_threshold = 0;  // stuck events before adding an array
   size_t max_arrays = 8;
+
+  // Hot-path kernel selection (simd/simd.h). Every kernel is bit-identical
+  // to the scalar path, so this is a pure speed knob: it is not part of
+  // the checkpoint identity and a blob saved under one kernel loads under
+  // any other. kAuto resolves via cpuid at construction (overridable with
+  // the HK_SIMD environment variable); an explicit kAvx2/kNeon throws when
+  // the host lacks it.
+  SimdMode simd = SimdMode::kAuto;
 
   // Width of the counter field inside the packed word. Counters are stored
   // in (at most) 32 bits; a configured width beyond that saturates at the
@@ -142,6 +151,25 @@ class HeavyKeeper {
     }
     return p;
   }
+
+  // Lane-parallel Prepare for a burst: fills out[0..n) bit-identically to
+  // n scalar Prepare() calls, through the resolved SIMD kernel when one is
+  // active (all d bucket indices + the fingerprint for 4 keys per AVX2
+  // iteration). This is the batch pipelines' addressing stage.
+  void PrepareBatch(const FlowId* ids, size_t n, Prepared* out) const;
+
+  // Batched point query: out[i] = Query(ids[i]), with batch addressing and
+  // the gather-compare probe. Feeds TopKAlgorithm::EstimateSizeBatch (the
+  // WindowedTopK merge-and-rescore path).
+  void QueryBatch(const FlowId* ids, size_t n, uint64_t* out) const;
+
+  // The kernel construction resolved (SnapshotStats exposure).
+  SimdKernel kernel() const { return kernel_; }
+
+  // Re-resolve the kernel (used by LoadState to keep an instance's
+  // configured mode across a deserialized-sketch swap; state is unaffected
+  // because every kernel is bit-identical).
+  void SetSimdMode(SimdMode mode);
 
   void Prefetch(const Prepared& p) const {
     const uint8_t* base = slab_.data();
@@ -271,15 +299,33 @@ class HeavyKeeper {
   template <typename W>
   uint32_t QueryImpl(const Prepared& p) const;
 
+  // Narrow-word epilogues over a vector probe (core/heavykeeper.cpp); the
+  // probe classifies the d mapped words in one gather+compare, the
+  // epilogue applies the scalar-identical transition (coins drawn here,
+  // never in the kernel).
+  uint32_t InsertMinimumProbed(const Prepared& p, bool monitored, uint64_t nmin);
+  uint32_t QueryPrepared(const Prepared& p) const;
+
   bool wide() const { return word_bytes_ == 8; }
+
+  // True when the resolved kernel can probe this handle (narrow words,
+  // d >= 4 - below that a gather cannot pay for itself).
+  bool ProbeEligible(const Prepared& p) const {
+    return kernel_ != SimdKernel::kScalar && word_bytes_ == 4 && p.n >= 4;
+  }
 
   // Record a stuck event and expand with a fresh array if configured.
   void NoteStuck();
+
+  // Rebuild prep_ from the hash family (construction, expansion, restore).
+  void RefreshPrepareParams();
 
   HeavyKeeperConfig config_;
   uint32_t counter_bits_eff_;  // counter field width inside the word
   uint32_t counter_max_;
   size_t word_bytes_;
+  SimdKernel kernel_ = SimdKernel::kScalar;  // resolved once at construction
+  SimdPrepareParams prep_;  // addressing constants for the batch kernels
   const DecayTable* decay_;  // shared, immutable (SharedDecayTable)
   HashFamily hashes_;
   Fingerprinter fingerprint_;

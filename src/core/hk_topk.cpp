@@ -43,6 +43,17 @@ std::unique_ptr<TopKAlgorithm> BuildHk(HkVersion version, const SketchArgs& args
     }
     builder.decay_function(f);
   }
+  if (const auto it = args.params().find("simd"); it != args.params().end()) {
+    SimdMode mode;
+    if (!ParseSimdMode(it->second.c_str(), &mode)) {
+      throw std::invalid_argument("sketch spec: simd= must be auto, scalar, avx2 or neon (got '" +
+                                  it->second + "')");
+    }
+    // An explicitly requested kernel the host cannot run throws
+    // std::invalid_argument from the HeavyKeeper constructor (simd/simd.h
+    // ResolveSimdKernel) - a spec that says avx2 never silently runs scalar.
+    builder.simd(mode);
+  }
   if (const auto it = args.params().find("wdecay"); it != args.params().end()) {
     if (it->second == "collapsed") {
       // The pipeline-level collapse is implemented for the Minimum
@@ -63,8 +74,8 @@ std::unique_ptr<TopKAlgorithm> BuildHk(HkVersion version, const SketchArgs& args
   return builder.Build();
 }
 
-const std::vector<std::string> kHkParamKeys = {"d",     "b",      "fp",    "cb",
-                                               "decay", "wdecay", "expand"};
+const std::vector<std::string> kHkParamKeys = {"d",      "b",      "fp",   "cb",
+                                               "decay",  "wdecay", "expand", "simd"};
 
 }  // namespace
 

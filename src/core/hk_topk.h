@@ -109,6 +109,11 @@ class HeavyKeeperTopK : public TopKAlgorithm {
       collapsed_weighted_decay_ = on;
       return *this;
     }
+    // Hot-path kernel selection (HeavyKeeperConfig::simd).
+    Builder& simd(SimdMode mode) {
+      simd_ = mode;
+      return *this;
+    }
 
     std::unique_ptr<HeavyKeeperTopK> Build() const {
       const size_t key_bytes = KeyBytes(key_kind_);
@@ -127,6 +132,7 @@ class HeavyKeeperTopK : public TopKAlgorithm {
       config.collapsed_weighted_decay = collapsed_weighted_decay_;
       config.expansion_threshold = expansion_threshold_;
       config.max_arrays = max_arrays_;
+      config.simd = simd_;
       // Derive w from the budget under the *configured* bucket layout.
       config.w = std::max<size_t>(sketch_bytes / (config.BucketBytes() * config.d), 1);
       return std::make_unique<HeavyKeeperTopK>(version_, config, k_, key_bytes);
@@ -146,6 +152,7 @@ class HeavyKeeperTopK : public TopKAlgorithm {
     bool collapsed_weighted_decay_ = false;
     uint64_t expansion_threshold_ = 0;
     size_t max_arrays_ = 8;
+    SimdMode simd_ = SimdMode::kAuto;
   };
 
   // Legacy positional construction (prefer Builder). The paper's default
@@ -175,29 +182,38 @@ class HeavyKeeperTopK : public TopKAlgorithm {
     InsertWeightedPrepared(sketch_.Prepare(id), weight);
   }
 
-  // Software-pipelined burst: a rolling window hashes and prefetches
-  // packet i + kPrefetchAhead while the case logic runs against packet i's
-  // (by now resident) buckets. The steady prefetch distance keeps a bounded
-  // number of lines in flight instead of bursting them, which matters once
-  // the sketch outlives the caches.
+  // Software-pipelined burst in double-buffered chunks: the SIMD batch
+  // hash addresses chunk C+1 (4 keys per AVX2 iteration, see
+  // HeavyKeeper::PrepareBatch) and prefetches its buckets while the case
+  // logic runs against chunk C's (by now resident) buckets. Packets are
+  // applied strictly in arrival order and decay coins are drawn inside
+  // InsertPrepared, so the final state is bit-identical to the scalar run
+  // whatever kernel resolved.
   void InsertBatch(std::span<const FlowId> ids) override {
     const size_t n = ids.size();
-    HeavyKeeper::Prepared window[kPrefetchAhead];
-    const size_t lead = std::min(kPrefetchAhead, n);
-    for (size_t i = 0; i < lead; ++i) {
-      window[i] = sketch_.Prepare(ids[i]);
-      sketch_.Prefetch(window[i]);
+    HeavyKeeper::Prepared buf[2][kPrefetchAhead];
+    size_t base = 0;
+    size_t cur = 0;
+    size_t m = std::min(kPrefetchAhead, n);
+    sketch_.PrepareBatch(ids.data(), m, buf[0]);
+    for (size_t i = 0; i < m; ++i) {
+      sketch_.Prefetch(buf[0][i]);
     }
-    for (size_t i = 0; i < n; ++i) {
-      // Apply in place, then refill the slot with packet i + ahead: the
-      // handle is consumed before it is overwritten, so no copy is needed
-      // (kPrefetchAhead is a power of two; the ring index is an AND).
-      HeavyKeeper::Prepared& slot = window[i % kPrefetchAhead];
-      InsertPrepared(slot);
-      if (i + kPrefetchAhead < n) {
-        slot = sketch_.Prepare(ids[i + kPrefetchAhead]);
-        sketch_.Prefetch(slot);
+    while (base < n) {
+      const size_t next_base = base + m;
+      const size_t next_m = next_base < n ? std::min(kPrefetchAhead, n - next_base) : 0;
+      if (next_m > 0) {
+        sketch_.PrepareBatch(ids.data() + next_base, next_m, buf[1 - cur]);
+        for (size_t i = 0; i < next_m; ++i) {
+          sketch_.Prefetch(buf[1 - cur][i]);
+        }
       }
+      for (size_t i = 0; i < m; ++i) {
+        InsertPrepared(buf[cur][i]);
+      }
+      base = next_base;
+      m = next_m;
+      cur = 1 - cur;
     }
   }
 
@@ -205,8 +221,8 @@ class HeavyKeeperTopK : public TopKAlgorithm {
     HeavyKeeper::Prepared prepared[kBatchChunk];
     for (size_t base = 0; base < ids.size(); base += kBatchChunk) {
       const size_t n = std::min(kBatchChunk, ids.size() - base);
+      sketch_.PrepareBatch(ids.data() + base, n, prepared);
       for (size_t i = 0; i < n; ++i) {
-        prepared[i] = sketch_.Prepare(ids[base + i]);
         sketch_.Prefetch(prepared[i]);
       }
       for (size_t i = 0; i < n; ++i) {
@@ -227,6 +243,21 @@ class HeavyKeeperTopK : public TopKAlgorithm {
     }
     return sketch_.Query(id);
   }
+
+  // Vectorized rescore: batch-hash and batch-probe the sketch, then patch
+  // in tracked values. QueryBatch returns exactly what Query would per id,
+  // so this equals the element-by-element loop (the contract in
+  // sketch/topk_algorithm.h).
+  void EstimateSizeBatch(std::span<const FlowId> ids, std::span<uint64_t> out) const override {
+    sketch_.QueryBatch(ids.data(), ids.size(), out.data());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (store_.Contains(ids[i])) {
+        out[i] = store_.Value(ids[i]);
+      }
+    }
+  }
+
+  const char* ActiveSimdKernel() const override { return SimdKernelName(sketch_.kernel()); }
 
   // Canonical registry spec: base name plus any non-default sketch
   // parameters, so MakeSketch(name()) rebuilds an equivalent pipeline.
@@ -264,6 +295,9 @@ class HeavyKeeperTopK : public TopKAlgorithm {
       std::snprintf(buf, sizeof(buf), "expand=%llu",
                     static_cast<unsigned long long>(c.expansion_threshold));
       append(buf);
+    }
+    if (c.simd != SimdMode::kAuto) {
+      append(std::string("simd=") + SimdModeToken(c.simd));
     }
     return spec;
   }
@@ -323,6 +357,10 @@ class HeavyKeeperTopK : public TopKAlgorithm {
     if (!reader.Done()) {
       return false;
     }
+    // The blob does not carry the SIMD mode (pure speed knob, not part of
+    // checkpoint identity); keep this instance's choice rather than the
+    // deserialized default.
+    restored->SetSimdMode(mine.simd);
     sketch_ = std::move(*restored);
     store_ = std::move(store);
     return true;

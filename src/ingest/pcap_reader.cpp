@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "simd/hash_batch.h"
+
 namespace hk {
 
 using namespace pcapfmt;
@@ -634,6 +636,10 @@ bool PcapReader::ParseIp(const uint8_t* data, size_t len, PacketRecord* out) {
 }
 
 void PcapReader::DeriveId(PacketRecord* out) const {
+  if (defer_ids_) {
+    out->id = 0;  // the caller batch-derives via DerivePacketIds; never
+    return;       // leave a stale id in a reused record
+  }
   switch (policy_) {
     case PcapKeyPolicy::kFiveTuple:
       out->id = out->tuple.Id();
@@ -644,6 +650,49 @@ void PcapReader::DeriveId(PacketRecord* out) const {
     case PcapKeyPolicy::kSrcOnly:
       out->id = SrcOnlyId(out->tuple.src_ip);
       break;
+  }
+}
+
+void DerivePacketIds(PcapKeyPolicy policy, PacketRecord* records, size_t n) {
+  // Pack each record's key bytes into a fixed-stride scratch block (the
+  // layouts below byte-match FiveTuple::Id / AddrPair::Id / SrcOnlyId) and
+  // hash a chunk at a time lane-parallel. The resolved kernel is process-
+  // wide: id derivation has no per-instance spec to carry a mode.
+  static const SimdKernel kernel = ResolveSimdKernel(SimdMode::kAuto);
+  constexpr size_t kChunk = 64;
+  uint8_t keys[kChunk * simd::kHashBatchStride];
+  uint64_t ids[kChunk];
+  size_t key_len = 0;
+  switch (policy) {
+    case PcapKeyPolicy::kFiveTuple:
+      key_len = 13;
+      break;
+    case PcapKeyPolicy::kAddrPair:
+      key_len = 8;
+      break;
+    case PcapKeyPolicy::kSrcOnly:
+      key_len = 4;
+      break;
+  }
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t m = std::min(kChunk, n - base);
+    for (size_t i = 0; i < m; ++i) {
+      const FiveTuple& t = records[base + i].tuple;
+      uint8_t* slot = keys + i * simd::kHashBatchStride;
+      std::memcpy(slot, &t.src_ip, 4);
+      if (policy != PcapKeyPolicy::kSrcOnly) {
+        std::memcpy(slot + 4, &t.dst_ip, 4);
+      }
+      if (policy == PcapKeyPolicy::kFiveTuple) {
+        std::memcpy(slot + 8, &t.src_port, 2);
+        std::memcpy(slot + 10, &t.dst_port, 2);
+        slot[12] = t.proto;
+      }
+    }
+    simd::HashBytesBatch(kernel, keys, m, key_len, kFlowIdSeed, ids);
+    for (size_t i = 0; i < m; ++i) {
+      records[base + i].id = ids[i];
+    }
   }
 }
 

@@ -129,6 +129,14 @@ class PcapReader {
   PcapKeyPolicy policy() const { return policy_; }
   KeyKind key_kind() const { return ToKeyKind(policy_); }
 
+  // Defer id derivation: Next() leaves PacketRecord::id at 0 and the caller
+  // runs DerivePacketIds over whole batches instead (the TraceReplayer
+  // burst loop does - the byte hash vectorizes across records there, where
+  // per-record it cannot). Off by default; every scalar consumer keeps
+  // getting derived ids.
+  void set_defer_ids(bool defer) { defer_ids_ = defer; }
+  bool defer_ids() const { return defer_ids_; }
+
  private:
   struct Interface {
     uint32_t link_type = pcapfmt::kLinkTypeEthernet;
@@ -164,6 +172,7 @@ class PcapReader {
   uint32_t Load32(const uint8_t* p) const;
 
   PcapKeyPolicy policy_;
+  bool defer_ids_ = false;
   std::vector<uint8_t> data_;
   std::unique_ptr<ByteSource> source_;  // non-null = streaming mode
   bool source_eof_ = false;
@@ -176,6 +185,12 @@ class PcapReader {
   IngestStats stats_;
   std::string error_;
 };
+
+// Batch id derivation: records[i].id becomes exactly what Next() would
+// have derived under `policy` (FiveTuple/AddrPair/SrcOnly Id()), computed
+// lane-parallel via simd/hash_batch.h where the host supports it. Pairs
+// with PcapReader::set_defer_ids(true).
+void DerivePacketIds(PcapKeyPolicy policy, PacketRecord* records, size_t n);
 
 }  // namespace hk
 

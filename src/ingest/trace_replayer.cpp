@@ -59,6 +59,7 @@ ReplayStats ReplayWindowed(const ReplayOptions& options, PcapReader& reader, Rot
 
 ReplayStats TraceReplayer::Replay(PcapReader& reader, TopKAlgorithm& algo) const {
   const size_t batch = std::max<size_t>(options_.batch, 1);
+  std::vector<PacketRecord> records(batch);
   std::vector<FlowId> ids;
   std::vector<uint64_t> weights;
   ids.reserve(batch);
@@ -66,35 +67,48 @@ ReplayStats TraceReplayer::Replay(PcapReader& reader, TopKAlgorithm& algo) const
     weights.reserve(batch);
   }
 
+  // Batch the key extraction too: the reader parses headers only, and the
+  // canonical byte hash runs over the whole burst lane-parallel
+  // (DerivePacketIds). Restore the reader's mode on exit - the windowed
+  // overload and other consumers stay per-record.
+  const bool was_deferred = reader.defer_ids();
+  reader.set_defer_ids(true);
+
   ReplayStats stats;
   bool first = true;
-  PacketRecord record;
   WallTimer timer;
   for (;;) {
-    ids.clear();
-    weights.clear();
-    while (ids.size() < batch && reader.Next(&record)) {
-      ids.push_back(record.id);
-      if (options_.byte_weighted) {
-        weights.push_back(record.wire_len);
-      }
+    size_t n = 0;
+    while (n < batch && reader.Next(&records[n])) {
+      const PacketRecord& record = records[n];
       stats.wire_bytes += record.wire_len;
       if (first) {
         stats.first_ts_ns = record.timestamp_ns;
         first = false;
       }
       stats.last_ts_ns = record.timestamp_ns;
+      ++n;
     }
-    if (ids.empty()) {
+    if (n == 0) {
       break;
+    }
+    DerivePacketIds(reader.policy(), records.data(), n);
+    ids.clear();
+    weights.clear();
+    for (size_t i = 0; i < n; ++i) {
+      ids.push_back(records[i].id);
+      if (options_.byte_weighted) {
+        weights.push_back(records[i].wire_len);
+      }
     }
     if (options_.byte_weighted) {
       algo.InsertBatch(std::span<const FlowId>(ids), std::span<const uint64_t>(weights));
     } else {
       algo.InsertBatch(std::span<const FlowId>(ids));
     }
-    stats.packets += ids.size();
+    stats.packets += n;
   }
+  reader.set_defer_ids(was_deferred);
   // Threaded front-ends only enqueued above; pay for the applied packets
   // inside the timed region. Snapshot quiesces before reading, so when a
   // report was requested it doubles as the end-of-stream Flush.

@@ -620,16 +620,21 @@ std::string ServeCore::CmdStats(const std::vector<std::string>& args) {
   uint64_t wire_bytes = 0;
   size_t memory = 0;
   std::string algo_name;
+  std::string simd_kernel;
   {
     std::lock_guard<std::mutex> inst_lock(inst->mu);
     packets = inst->packets_applied;
     wire_bytes = inst->wire_bytes_applied;
     memory = inst->algo->MemoryBytes();
     algo_name = inst->algo->name();
+    simd_kernel = inst->algo->ActiveSimdKernel();
   }
   std::string out;
   out += "STAT spec " + inst->spec + "\n";
   out += "STAT algo " + algo_name + "\n";
+  if (!simd_kernel.empty()) {
+    out += "STAT simd " + simd_kernel + "\n";
+  }
   out += "STAT packets_applied " + std::to_string(packets) + "\n";
   out += "STAT wire_bytes_applied " + std::to_string(wire_bytes) + "\n";
   out += "STAT memory_bytes " + std::to_string(memory) + "\n";

@@ -272,7 +272,12 @@ QueryResult ShardedTopK::Snapshot(const QueryOptions& options) {
   result.stats.min_tracked = result.flows.empty() ? 0 : result.flows.back().count;
   result.stats.worker_threads = WorkerThreads();
   result.stats.memory_bytes = MemoryBytes();
+  result.stats.simd_kernel = ActiveSimdKernel();
   return result;
+}
+
+const char* ShardedTopK::ActiveSimdKernel() const {
+  return shards_[0]->algo->ActiveSimdKernel();
 }
 
 std::vector<FlowCount> ShardedTopK::TopK(size_t k) const {

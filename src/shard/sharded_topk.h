@@ -116,6 +116,9 @@ class ShardedTopK : public TopKAlgorithm {
   size_t MemoryBytes() const override;
   size_t WorkerThreads() const override { return options_.threaded ? shards_.size() : 0; }
 
+  // Every shard is built from the same spec, so shard 0 speaks for all.
+  const char* ActiveSimdKernel() const override;
+
   // Quiesces the rings, then delegates to each shard in index order. Both
   // fail (returning false, state untouched) unless every inner supports
   // checkpointing and the shard count matches.

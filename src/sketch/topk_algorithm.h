@@ -80,6 +80,9 @@ struct SnapshotStats {
   uint64_t min_tracked = 0;   // smallest tracked estimate (the paper's nmin)
   size_t worker_threads = 0;  // WorkerThreads() at snapshot time
   size_t memory_bytes = 0;    // MemoryBytes() of the instance
+  // Resolved hot-path kernel ("scalar"/"avx2"/"neon"; "" when the
+  // algorithm has no SIMD dispatch). Static-literal lifetime.
+  const char* simd_kernel = "";
 };
 
 struct QueryResult {
@@ -151,8 +154,15 @@ class TopKAlgorithm {
     result.stats.min_tracked = result.flows.empty() ? 0 : result.flows.back().count;
     result.stats.worker_threads = WorkerThreads();
     result.stats.memory_bytes = MemoryBytes();
+    result.stats.simd_kernel = ActiveSimdKernel();
     return result;
   }
+
+  // The SIMD kernel the instance resolved at construction (simd/simd.h
+  // dispatch), as a static string for SnapshotStats / serve STATS. ""
+  // means the algorithm has no vectorized path; wrappers report their
+  // inner's kernel.
+  virtual const char* ActiveSimdKernel() const { return ""; }
 
   // Internal worker threads this instance runs (0 for synchronous
   // algorithms; a threaded sharded front-end reports its shard count).
@@ -173,6 +183,17 @@ class TopKAlgorithm {
   // Point estimate of a single flow's size (0 = reported as a mouse flow /
   // untracked). Same quiesced-read caveat as TopK().
   virtual uint64_t EstimateSize(FlowId id) const = 0;
+
+  // Batched point estimates: out[i] = EstimateSize(ids[i]). `out` must be
+  // at least as long as `ids`. Implementations may batch the hashing and
+  // probe their buckets vectorized (the HeavyKeeper pipelines do), but the
+  // values must equal the element-by-element loop exactly. This is the
+  // WindowedTopK merge-and-rescore hot path.
+  virtual void EstimateSizeBatch(std::span<const FlowId> ids, std::span<uint64_t> out) const {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      out[i] = EstimateSize(ids[i]);
+    }
+  }
 
   // Checkpoint support (the hk_serve crash-recovery path). SaveState()
   // appends an opaque algorithm-specific blob to `out` capturing the full

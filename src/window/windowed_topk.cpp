@@ -163,10 +163,19 @@ std::vector<FlowCount> WindowedTopK::MergedWindow(size_t k, size_t* tracked) con
   // point query, because the reported sum misses every epoch where the flow
   // fell below the report depth (a flow at one packet per epoch can rank
   // above k window-wide while never entering a single epoch's report tail).
+  // The rescore runs batched: one EstimateSizeBatch per slot lets the HK
+  // inners hash lane-parallel and overlap the bucket-gather misses across
+  // the whole candidate list instead of probing one cold flow at a time.
   std::vector<FlowCount> candidates =
       MergeTopK(per_epoch, k * kMergeOversample, MergeMode::kSumById);
-  for (auto& fc : candidates) {
-    fc.count = EstimateSize(fc.id);
+  std::vector<FlowId> ids(candidates.size());
+  std::vector<uint64_t> counts(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    ids[i] = candidates[i].id;
+  }
+  EstimateSizeBatch(ids, counts);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i].count = counts[i];
   }
   std::sort(candidates.begin(), candidates.end(), [](const FlowCount& a, const FlowCount& b) {
     return a.count != b.count ? a.count > b.count : a.id < b.id;
@@ -189,6 +198,7 @@ QueryResult WindowedTopK::Snapshot(const QueryOptions& options) {
   result.stats.min_tracked = result.flows.empty() ? 0 : result.flows.back().count;
   result.stats.worker_threads = WorkerThreads();
   result.stats.memory_bytes = MemoryBytes();
+  result.stats.simd_kernel = ActiveSimdKernel();
   return result;
 }
 
@@ -202,6 +212,22 @@ uint64_t WindowedTopK::EstimateSize(FlowId id) const {
     total += slot->EstimateSize(id);
   }
   return total;
+}
+
+void WindowedTopK::EstimateSizeBatch(std::span<const FlowId> ids, std::span<uint64_t> out) const {
+  std::fill(out.begin(), out.begin() + static_cast<ptrdiff_t>(ids.size()), 0);
+  std::vector<uint64_t> slot_counts(ids.size());
+  for (const auto& slot : slots_) {
+    slot->EstimateSizeBatch(ids, slot_counts);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      out[i] += slot_counts[i];
+    }
+  }
+}
+
+const char* WindowedTopK::ActiveSimdKernel() const {
+  // Every slot is built from the same spec, so slot 0 speaks for the ring.
+  return slots_[0]->ActiveSimdKernel();
 }
 
 std::string WindowedTopK::name() const {

@@ -113,6 +113,13 @@ class WindowedTopK : public TopKAlgorithm {
   // slot never tracked the flow). 0 once the flow's epochs aged out.
   uint64_t EstimateSize(FlowId id) const override;
 
+  // Batched sliding estimates: one inner EstimateSizeBatch per slot
+  // (vectorized hash + probe in the HK inners), accumulated per id. Equals
+  // the element-by-element loop exactly; this is the merge-and-rescore path.
+  void EstimateSizeBatch(std::span<const FlowId> ids, std::span<uint64_t> out) const override;
+
+  const char* ActiveSimdKernel() const override;
+
   std::string name() const override;
   size_t MemoryBytes() const override;
   size_t WorkerThreads() const override;
