@@ -62,6 +62,14 @@ Checks (see ROADMAP "Throughput trajectory", ISSUE 3 and ISSUE 4):
     runners skip with a message instead of failing. --simd-baseline feeds
     the soft 50% watch.
 
+  * telemetry (hard): BENCH_micro_telemetry_overhead.json - the
+    instrumented HK-Minimum InsertBatch (registry enabled) must hold
+    >= 0.97x the same binary's throughput with the runtime kill switch
+    flipped (Registry::SetEnabled(false)). This is the ISSUE 10 acceptance
+    gate: telemetry may cost at most 3% on the DRAM-bound hot path. The
+    cache-resident twin rows (HK-Minimum-small) are informational only.
+    --telemetry-baseline feeds the soft 50% watch.
+
   * serve (soft): BENCH_micro_serve_ingest.json - the hk_serve daemon's
     streaming reader (serve/stream, bounded-buffer OpenStream) should stay
     within 2x of the slurp baseline (serve/slurp): the always-on mode is
@@ -84,7 +92,9 @@ Usage:
       [--concurrent-baseline bench/results/BENCH_micro_concurrent_insert.json] \
       [--concurrent-hard] \
       [--serve build/BENCH_micro_serve_ingest.json] \
-      [--serve-baseline bench/results/BENCH_micro_serve_ingest.json]
+      [--serve-baseline bench/results/BENCH_micro_serve_ingest.json] \
+      [--telemetry build/BENCH_micro_telemetry_overhead.json] \
+      [--telemetry-baseline bench/results/BENCH_micro_telemetry_overhead.json]
 """
 
 import argparse
@@ -92,6 +102,7 @@ import json
 import sys
 
 BATCH_MIN_RATIO = 1.2
+TELEMETRY_MIN_RATIO = 0.97
 SIMD_MIN_RATIO = 1.3
 SCALAR_MIN_RATIO = 1.15
 SHARDED_MIN_RATIO = 3.5
@@ -288,6 +299,32 @@ def check_pcap(items, baseline_items):
           + "".join(f", {n.split('/', 2)[2]} {v:.3e}" for n, v in sorted(replays.items())))
 
 
+def check_telemetry(items, baseline_items):
+    """Instrumented-vs-stripped hot path (hard, ISSUE 10)."""
+    failures = []
+    on = items.get("telemetry/insert/HK-Minimum/on")
+    off = items.get("telemetry/insert/HK-Minimum/off")
+    if on is None or off is None:
+        failures.append("telemetry JSON missing the HK-Minimum on/off pair")
+        return failures
+    ratio = on / off if off > 0 else 0.0
+    status = "OK" if ratio >= TELEMETRY_MIN_RATIO else "FAIL"
+    print(f"[telemetry] instrumented {on:.3e} vs stripped {off:.3e} items/s"
+          f" -> {ratio:.3f}x (need >= {TELEMETRY_MIN_RATIO}x) {status}")
+    if ratio < TELEMETRY_MIN_RATIO:
+        failures.append(f"telemetry overhead: instrumented only {ratio:.3f}x stripped")
+    small_on = items.get("telemetry/insert/HK-Minimum-small/on")
+    small_off = items.get("telemetry/insert/HK-Minimum-small/off")
+    if small_on and small_off:
+        print(f"[telemetry] cache-resident context: {small_on / small_off:.3f}x"
+              " (informational, not gated)")
+    if baseline_items:
+        check_baseline({n: v for n, v in items.items() if n.startswith("telemetry/")},
+                       {n: v for n, v in baseline_items.items()
+                        if n.startswith("telemetry/")})
+    return failures
+
+
 def check_serve(items, baseline_items):
     """Streaming-reader cost vs the slurp baseline (soft)."""
     slurp = items.get("serve/slurp")
@@ -394,6 +431,10 @@ def main():
     parser.add_argument("--window", help="fresh BENCH_micro_window_insert.json")
     parser.add_argument("--window-baseline",
                         help="committed window baseline (soft ring-tax warn)")
+    parser.add_argument("--telemetry", help="fresh BENCH_micro_telemetry_overhead.json"
+                        " (hard 0.97x instrumented-vs-stripped gate)")
+    parser.add_argument("--telemetry-baseline",
+                        help="committed telemetry baseline JSON to warn against")
     parser.add_argument("--serve", help="fresh BENCH_micro_serve_ingest.json")
     parser.add_argument("--serve-baseline",
                         help="committed serve ingest baseline (soft stream-vs-slurp warn)")
@@ -437,6 +478,10 @@ def main():
     if args.window:
         check_window(load_items(args.window),
                      load_items(args.window_baseline) if args.window_baseline else {})
+    if args.telemetry:
+        failures += check_telemetry(
+            load_items(args.telemetry),
+            load_items(args.telemetry_baseline) if args.telemetry_baseline else {})
     if args.serve:
         check_serve(load_items(args.serve),
                     load_items(args.serve_baseline) if args.serve_baseline else {})

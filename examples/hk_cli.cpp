@@ -9,6 +9,8 @@
 //   hk_cli ingest   --pcap c.pcap [--algo HK] [--key 5tuple|pair|src]
 //                   [--bytes] [--epoch-ms N] [--memory-kb 50] [--k 100]
 //   hk_cli query    [--host 127.0.0.1] [--port 7070] "TOPK 10 relaxed" ...
+//   hk_cli metrics  [--host 127.0.0.1] [--port 7070] [filter]
+//   hk_cli watch    [--host 127.0.0.1] [--port 7070] [--interval-ms N] [filter]
 //
 // `--algo` accepts any sketch registry spec (sketch/registry.h): a name
 // from `hk_cli algos` plus optional key=value overrides, e.g.
@@ -25,6 +27,12 @@
 // (through its OK/ERR/END terminator) is printed. Exit status 1 when any
 // request came back ERR.
 //
+// `metrics` scrapes the daemon's METRICS verb and prints the Prometheus
+// text exposition with the protocol's END sentinel stripped, so the
+// output pipes straight into promtool or a file_sd scraper. `watch`
+// re-scrapes on an interval and prints per-interval counter deltas - a
+// poor man's `top` for a live daemon.
+//
 // `ingest` reads a real capture (pcap or pcapng, src/ingest/), replays it
 // through the algorithm in InsertBatch bursts - byte-weighted by wire
 // length with --bytes - and reports the top-k next to the capture's exact
@@ -33,12 +41,15 @@
 // flag overrides the key accounting for the trace commands.
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/algorithms.h"
@@ -77,12 +88,14 @@ struct Options {
   bool bytes = false;
   std::string host = "127.0.0.1";
   uint16_t port = 7070;
-  std::vector<std::string> lines;  // query: protocol lines to send
+  uint64_t interval_ms = 2000;     // watch: re-scrape cadence
+  std::vector<std::string> lines;  // query: protocol lines / metrics: filter
 };
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hk_cli <algos|generate|topk|evaluate|bench|ingest|query> [options]\n"
+               "usage: hk_cli <algos|generate|topk|evaluate|bench|ingest|query|metrics|watch>"
+               " [options]\n"
                "  algos    list registered algorithm names (specs for --algo)\n"
                "  generate --out FILE [--packets N] [--kind campus|caida|zipf]\n"
                "           [--skew S] [--seed X]\n"
@@ -95,6 +108,11 @@ int Usage() {
                "           capture-time windows of --epoch-ms each)\n"
                "  query    [--host H] [--port N] \"LINE\" [\"LINE\"...]  send protocol\n"
                "           lines to a running hk_serve (default 127.0.0.1:7070)\n"
+               "  metrics  [--host H] [--port N] [FILTER]  scrape the daemon's\n"
+               "           Prometheus exposition (END stripped; FILTER keeps\n"
+               "           names with that prefix or instance=\"FILTER\" series)\n"
+               "  watch    [--host H] [--port N] [--interval-ms N] [FILTER]\n"
+               "           re-scrape every interval and print counter deltas\n"
                "  --key    flow definition: 5tuple (campus), pair (CAIDA), src;\n"
                "           also overrides the key accounting for trace commands\n"
                "  SPEC = NAME[:key=value,...], e.g. \"HK-Minimum:d=4,b=1.05\"\n"
@@ -155,6 +173,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->host = value;
     } else if (flag == "--port") {
       opts->port = static_cast<uint16_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (flag == "--interval-ms") {
+      opts->interval_ms = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -462,6 +482,114 @@ int Query(const Options& opts) {
   return status;
 }
 
+// One METRICS scrape over an existing connection. Appends exposition lines
+// (END stripped) to *lines; false when the daemon answered ERR or hung up.
+bool ScrapeMetrics(int fd, std::string* carry, const std::string& filter,
+                   std::vector<std::string>* lines) {
+  const std::string request = filter.empty() ? "METRICS\n" : "METRICS " + filter + "\n";
+  if (!WriteAll(fd, request.data(), request.size())) {
+    std::fprintf(stderr, "connection lost sending METRICS\n");
+    return false;
+  }
+  std::string line;
+  while (ReadLine(fd, carry, &line)) {
+    if (line.rfind("END", 0) == 0) {
+      return true;
+    }
+    if (line.rfind("ERR", 0) == 0) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+      return false;
+    }
+    lines->push_back(line);
+  }
+  std::fprintf(stderr, "connection closed mid-exposition\n");
+  return false;
+}
+
+// `hk_cli metrics`: one scrape, exposition on stdout, END stripped.
+int Metrics(const Options& opts) {
+  if (opts.lines.size() > 1) {
+    std::fprintf(stderr, "metrics takes at most one positional FILTER argument\n");
+    return 2;
+  }
+  std::string err;
+  const int fd = ConnectTcp(opts.host, opts.port, &err);
+  if (fd < 0) {
+    std::fprintf(stderr, "hk_serve unreachable: %s\n", err.c_str());
+    return 1;
+  }
+  std::string carry;
+  std::vector<std::string> lines;
+  const bool ok =
+      ScrapeMetrics(fd, &carry, opts.lines.empty() ? "" : opts.lines[0], &lines);
+  ::close(fd);
+  if (!ok) {
+    return 1;
+  }
+  for (const std::string& line : lines) {
+    std::printf("%s\n", line.c_str());
+  }
+  return 0;
+}
+
+// `hk_cli watch`: periodic scrapes printing per-interval counter deltas.
+// Only series whose value moved are shown, so a quiet daemon prints only
+// the heartbeat line. Runs until the connection drops or the user kills it.
+int Watch(const Options& opts) {
+  if (opts.lines.size() > 1) {
+    std::fprintf(stderr, "watch takes at most one positional FILTER argument\n");
+    return 2;
+  }
+  const std::string filter = opts.lines.empty() ? "" : opts.lines[0];
+  std::string err;
+  const int fd = ConnectTcp(opts.host, opts.port, &err);
+  if (fd < 0) {
+    std::fprintf(stderr, "hk_serve unreachable: %s\n", err.c_str());
+    return 1;
+  }
+  std::string carry;
+  std::map<std::string, double> previous;
+  bool first = true;
+  for (;;) {
+    std::vector<std::string> lines;
+    if (!ScrapeMetrics(fd, &carry, filter, &lines)) {
+      ::close(fd);
+      return 1;
+    }
+    std::map<std::string, double> current;
+    for (const std::string& line : lines) {
+      if (line.empty() || line[0] == '#') {  // HELP/TYPE commentary
+        continue;
+      }
+      const size_t space = line.find_last_of(' ');
+      if (space == std::string::npos) {
+        continue;
+      }
+      current[line.substr(0, space)] = std::strtod(line.c_str() + space + 1, nullptr);
+    }
+    if (first) {
+      std::printf("watching %s:%u (%zu series, every %llums); deltas follow\n",
+                  opts.host.c_str(), static_cast<unsigned>(opts.port), current.size(),
+                  static_cast<unsigned long long>(opts.interval_ms));
+      first = false;
+    } else {
+      size_t moved = 0;
+      for (const auto& [series, value] : current) {
+        const auto it = previous.find(series);
+        const double delta = it == previous.end() ? value : value - it->second;
+        if (delta != 0) {
+          std::printf("  %-60s %+.0f\n", series.c_str(), delta);
+          ++moved;
+        }
+      }
+      std::printf("-- %zu/%zu series moved --\n", moved, current.size());
+      std::fflush(stdout);
+    }
+    previous = std::move(current);
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -493,6 +621,12 @@ int main(int argc, char** argv) {
   }
   if (opts.command == "query") {
     return Query(opts);
+  }
+  if (opts.command == "metrics") {
+    return Metrics(opts);
+  }
+  if (opts.command == "watch") {
+    return Watch(opts);
   }
   return Usage();
 }

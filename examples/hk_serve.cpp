@@ -28,6 +28,7 @@
 
 #include "serve/line_server.h"
 #include "serve/serve_core.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -49,6 +50,7 @@ struct Options {
   uint16_t port = 7070;
   std::string checkpoint_path;
   uint64_t interval_ms = 5000;
+  uint64_t metrics_interval_ms = 0;  // 0 = no periodic metrics line
   std::vector<CreateSpec> creates;
   std::vector<AttachSpec> attaches;
   hk::SketchDefaults defaults;
@@ -67,6 +69,9 @@ void Usage() {
                "  --checkpoint FILE     checkpoint manifest path; recovered on start\n"
                "                        when the file exists\n"
                "  --interval-ms N       checkpoint period (default 5000; 0 = only on exit)\n"
+               "  --metrics-interval-ms N\n"
+               "                        log a compact telemetry line to stderr every N ms\n"
+               "                        (default 0 = off; scrape METRICS for the full set)\n"
                "  --memory-kb N         default sketch budget for CREATE (default 50)\n"
                "  --k N                 default top-k for CREATE (default 100)\n"
                "  --seed N              default hash seed for CREATE (default 1)\n"
@@ -124,6 +129,10 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       const char* v = next("--interval-ms");
       if (v == nullptr) return false;
       out->interval_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--metrics-interval-ms") {
+      const char* v = next("--metrics-interval-ms");
+      if (v == nullptr) return false;
+      out->metrics_interval_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--memory-kb") {
       const char* v = next("--memory-kb");
       if (v == nullptr) return false;
@@ -183,6 +192,26 @@ bool AttachFromFlag(hk::ServeCore& core, const AttachSpec& spec) {
     return false;
   }
   return true;
+}
+
+// One compact stderr line per tick: the handful of rates an operator
+// tails for, summed across label series. METRICS over the wire has the
+// full catalog; this is the "is it alive and moving" heartbeat.
+void LogMetricsLine() {
+  hk::telemetry::Registry& registry = hk::telemetry::Registry::Get();
+  std::fprintf(stderr,
+               "hk_serve: metrics packets=%llu bytes=%llu commands=%llu errors=%llu "
+               "proto_errors=%llu checkpoints=%llu decays=%llu evictions=%llu\n",
+               static_cast<unsigned long long>(registry.SumCounter("hk_ingest_packets_total")),
+               static_cast<unsigned long long>(registry.SumCounter("hk_ingest_bytes_total")),
+               static_cast<unsigned long long>(registry.SumCounter("hk_serve_commands_total")),
+               static_cast<unsigned long long>(registry.SumCounter("hk_serve_errors_total")),
+               static_cast<unsigned long long>(
+                   registry.SumCounter("hk_serve_protocol_errors_total")),
+               static_cast<unsigned long long>(registry.SumCounter("hk_serve_checkpoints_total")),
+               static_cast<unsigned long long>(
+                   registry.SumCounter("hk_core_decay_attempts_total")),
+               static_cast<unsigned long long>(registry.SumCounter("hk_store_evictions_total")));
 }
 
 }  // namespace
@@ -250,6 +279,8 @@ int main(int argc, char** argv) {
 
   const auto interval = std::chrono::milliseconds(opt.interval_ms == 0 ? 100 : opt.interval_ms);
   auto next_checkpoint = std::chrono::steady_clock::now() + interval;
+  const auto metrics_interval = std::chrono::milliseconds(opt.metrics_interval_ms);
+  auto next_metrics = std::chrono::steady_clock::now() + metrics_interval;
   bool drained_exit = false;
   while (g_signal_stop == 0 && !server.shutdown_requested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -259,6 +290,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "hk_serve: checkpoint failed: %s\n", err.c_str());
       }
       next_checkpoint = std::chrono::steady_clock::now() + interval;
+    }
+    if (opt.metrics_interval_ms != 0 && std::chrono::steady_clock::now() >= next_metrics) {
+      LogMetricsLine();
+      next_metrics = std::chrono::steady_clock::now() + metrics_interval;
     }
     if (opt.drain_then_exit) {
       core.DrainIngest();  // blocks until every attached stream hits EOF

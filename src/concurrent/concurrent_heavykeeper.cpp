@@ -38,6 +38,16 @@ ConcurrentHeavyKeeper::ConcurrentHeavyKeeper(const HeavyKeeperConfig& config)
   decay_ = &SharedDecayTable(config_.decay_function, config_.b);
   rows_ = config_.d;
   slab_.Resize(rows_ * config_.w * word_bytes_);
+  telemetry::Registry& registry = telemetry::Registry::Get();
+  tm_cas_retries_ = registry.GetCounter(
+      "hk_concurrent_cas_retries_total",
+      "Bucket re-classifications after a lost CAS on the shared slab");
+  tm_dropped_units_ = registry.GetCounter(
+      "hk_concurrent_dropped_units_total",
+      "Insert units abandoned after exhausting the CAS retry budget");
+  tm_stuck_events_ = registry.GetCounter(
+      "hk_concurrent_stuck_events_total",
+      "Shared-slab packets whose mapped buckets were all beyond the decay cutoff");
 }
 
 // Algorithm 1 (Parallel), one atomic transition per mapped bucket. Each
@@ -108,14 +118,19 @@ uint32_t ConcurrentHeavyKeeper::InsertParallelImpl(const Prepared& p, bool monit
         // one. Statistically this only decays *less* than the sequential
         // run would, keeping estimates lower bounds.
       }
+      // Reaching the loop bottom means the CAS lost (every applied
+      // transition breaks out above).
+      tm_cas_retries_->Add();
       if (attempt == kCasRetryBudget - 1) {
         dropped_units_.fetch_add(1, std::memory_order_relaxed);
+        tm_dropped_units_->Add();
       }
     }
   }
 
   if (estimate == 0 && immovable == n) {
     stuck_events_.fetch_add(1, std::memory_order_relaxed);
+    tm_stuck_events_->Add();
   }
   return estimate;
 }
@@ -180,6 +195,7 @@ uint32_t ConcurrentHeavyKeeper::InsertMinimumImpl(const Prepared& p, bool monito
       }
     }
     if (cas_lost) {
+      tm_cas_retries_->Add();
       continue;
     }
 
@@ -192,6 +208,7 @@ uint32_t ConcurrentHeavyKeeper::InsertMinimumImpl(const Prepared& p, bool monito
                                        std::memory_order_relaxed)) {
         return 1;
       }
+      tm_cas_retries_->Add();
       continue;  // another thread claimed it first
     }
 
@@ -201,6 +218,7 @@ uint32_t ConcurrentHeavyKeeper::InsertMinimumImpl(const Prepared& p, bool monito
       const uint32_t c32 = static_cast<uint32_t>(min_count);
       if (c32 >= decay_->cutoff()) {
         stuck_events_.fetch_add(1, std::memory_order_relaxed);
+        tm_stuck_events_->Add();
         return 0;
       }
       if (!decay_->ShouldDecay(c32, rng)) {
@@ -213,6 +231,7 @@ uint32_t ConcurrentHeavyKeeper::InsertMinimumImpl(const Prepared& p, bool monito
                                        std::memory_order_relaxed)) {
         return min_count == 1 ? 1 : 0;
       }
+      tm_cas_retries_->Add();
       continue;  // coin's premise vanished; rescan flips a fresh one
     }
 
@@ -220,6 +239,7 @@ uint32_t ConcurrentHeavyKeeper::InsertMinimumImpl(const Prepared& p, bool monito
   }
 
   dropped_units_.fetch_add(1, std::memory_order_relaxed);
+  tm_dropped_units_->Add();
   return 0;
 }
 

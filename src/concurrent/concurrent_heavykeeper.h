@@ -48,6 +48,7 @@
 #include "common/random.h"
 #include "common/slab.h"
 #include "core/heavykeeper.h"
+#include "telemetry/telemetry.h"
 
 namespace hk {
 
@@ -165,6 +166,12 @@ class ConcurrentHeavyKeeper {
   size_t rows_ = 0;
   std::atomic<uint64_t> stuck_events_{0};
   std::atomic<uint64_t> dropped_units_{0};
+
+  // Registry handles; bumped only on contended/stuck branches, never on a
+  // first-try CAS success.
+  telemetry::Counter* tm_cas_retries_;
+  telemetry::Counter* tm_dropped_units_;
+  telemetry::Counter* tm_stuck_events_;
 };
 
 }  // namespace hk

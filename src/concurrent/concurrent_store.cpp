@@ -16,6 +16,17 @@ ConcurrentTopKStore::ConcurrentTopKStore(size_t capacity) : capacity_(capacity) 
   slots_ = std::make_unique<Slot[]>(n);
   max_slot_.id.store(kTombstoneId, std::memory_order_relaxed);
   heap_.reserve(capacity);
+  telemetry::Registry& registry = telemetry::Registry::Get();
+  tm_admissions_ = registry.GetCounter("hk_store_admissions_total",
+                                       "Flows admitted into a top-k candidate store",
+                                       "store=\"concurrent\"");
+  tm_evictions_ = registry.GetCounter("hk_store_evictions_total",
+                                      "Minimum flows expelled to make room for an admission",
+                                      "store=\"concurrent\"");
+  tm_root_resyncs_ = registry.GetCounter(
+      "hk_store_root_resyncs_total",
+      "Lazy-heap root refreshes (stale minimum re-synced before it was trusted)",
+      "store=\"concurrent\"");
 }
 
 ConcurrentTopKStore::Slot* ConcurrentTopKStore::Find(FlowId id) {
@@ -96,6 +107,7 @@ void ConcurrentTopKStore::InsertLocked(FlowId id, uint64_t count) {
   SiftUp(heap_.size() - 1);
   size_.store(heap_.size(), std::memory_order_relaxed);
   PublishRootLocked();
+  tm_admissions_->Add();
 }
 
 void ConcurrentTopKStore::ReplaceMinLocked(FlowId id, uint64_t count) {
@@ -108,6 +120,8 @@ void ConcurrentTopKStore::ReplaceMinLocked(FlowId id, uint64_t count) {
   // root; let the next MinCount() re-verify (lazy store discipline).
   root_stale_.store(true, std::memory_order_release);
   PublishRootLocked();
+  tm_admissions_->Add();
+  tm_evictions_->Add();
 }
 
 ConcurrentTopKStore::Slot* ConcurrentTopKStore::ClaimLocked(FlowId id, uint64_t count) {
@@ -221,6 +235,7 @@ void ConcurrentTopKStore::FixRootLocked() {
     }
     heap_[0].count = fresh;
     SiftDown(0);
+    tm_root_resyncs_->Add();
   }
   PublishRootLocked();
 }

@@ -44,6 +44,7 @@
 #include "common/atomic_word.h"
 #include "common/flow_key.h"
 #include "common/hash.h"
+#include "telemetry/telemetry.h"
 
 namespace hk {
 
@@ -156,6 +157,11 @@ class ConcurrentTopKStore {
   std::atomic<FlowId> root_id_{kEmptyId};
   std::atomic<uint64_t> min_cache_{0};
   std::atomic<bool> root_stale_{false};
+
+  // store="concurrent" series (the sequential store reports store="lazy").
+  telemetry::Counter* tm_admissions_;
+  telemetry::Counter* tm_evictions_;
+  telemetry::Counter* tm_root_resyncs_;
 };
 
 }  // namespace hk

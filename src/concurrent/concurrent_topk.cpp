@@ -87,6 +87,10 @@ ConcurrentTopK::ConcurrentTopK(const ConcurrentTopKOptions& options,
   if (options_.ring_capacity < 1 || options_.drain_burst < 1) {
     throw std::invalid_argument("ConcurrentTopK: ring= and burst= must be >= 1");
   }
+  tm_ring_highwater_ = telemetry::Registry::Get().GetGauge(
+      "hk_ring_occupancy_highwater",
+      "Deepest producer-observed queue depth of any single worker ring",
+      "ring=\"concurrent\"");
   workers_.reserve(options_.threads);
   for (size_t i = 0; i < options_.threads; ++i) {
     auto worker = std::make_unique<Worker>();
@@ -177,7 +181,9 @@ void ConcurrentTopK::PushRun(Worker& worker, std::span<const FlowId> ids,
   // Count-before-push protocol (see ShardedTopK::PushRun): the producer is
   // the only thread that sees its own not-yet-pushed packets, so WaitIdle
   // from the producer can never miss one.
-  worker.queued.fetch_add(ids.size(), std::memory_order_relaxed);
+  const uint64_t depth =
+      worker.queued.fetch_add(ids.size(), std::memory_order_relaxed) + ids.size();
+  tm_ring_highwater_->MaxTo(static_cast<int64_t>(depth));
   for (size_t i = 0; i < ids.size(); ++i) {
     const Packet packet{ids[i], weights != nullptr ? weights[i] : 1};
     size_t spins = 0;

@@ -188,6 +188,9 @@ class ConcurrentTopK : public TopKAlgorithm {
   std::string inner_name_;  // canonical inner spec, captured at build
   ConcurrentHeavyKeeper sketch_;
   ConcurrentTopKStore store_;
+  // High-water mark of any single worker ring's queued depth (producer-side
+  // view); pairs with the ring="sharded" series from ShardedTopK.
+  telemetry::Gauge* tm_ring_highwater_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};

@@ -48,6 +48,19 @@ HeavyKeeper::HeavyKeeper(const HeavyKeeperConfig& config)
   SplitMix64 sm(config_.seed ^ 0xa88a0eedULL);
   next_array_seed_ = sm.Next();
   RefreshPrepareParams();
+  telemetry::Registry& registry = telemetry::Registry::Get();
+  tm_decay_attempts_ = registry.GetCounter(
+      "hk_core_decay_attempts_total",
+      "Per-unit decay coin flips (Case 3 / Situation 3; collapsed weighted decay and "
+      "in-kernel SIMD coins are not counted)");
+  tm_decay_success_ = registry.GetCounter("hk_core_decay_success_total",
+                                          "Decay coins that came up heads (counter "
+                                          "decremented or bucket claimed)");
+  tm_stuck_events_ = registry.GetCounter(
+      "hk_core_stuck_events_total",
+      "Packets whose mapped buckets were all beyond the decay cutoff (Section III-F)");
+  tm_expansions_ = registry.GetCounter(
+      "hk_core_expansions_total", "Section III-F expansions (arrays appended to the slab)");
 }
 
 void HeavyKeeper::RefreshPrepareParams() {
@@ -120,12 +133,14 @@ std::vector<std::vector<HeavyKeeper::Bucket>> HeavyKeeper::DebugDump() const {
 
 void HeavyKeeper::NoteStuck() {
   ++stuck_events_;
+  tm_stuck_events_->Add();
   if (config_.expansion_threshold == 0 || rows_ >= config_.max_arrays) {
     return;
   }
   if (stuck_events_ >= config_.expansion_threshold) {
     stuck_events_ = 0;
     ++expansions_;
+    tm_expansions_->Add();
     hashes_.Add(next_array_seed_);
     next_array_seed_ = Mix64(next_array_seed_ + 1);
     ++rows_;
@@ -169,12 +184,16 @@ uint32_t HeavyKeeper::InsertParallelImpl(const Prepared& p, bool monitored, uint
       const uint32_t c32 = static_cast<uint32_t>(cnt);
       if (c32 >= decay_->cutoff()) {
         ++immovable;
-      } else if (decay_->ShouldDecay(c32, rng_)) {
-        if (cnt == 1) {
-          word = fpw | static_cast<W>(1);
-          estimate = std::max(estimate, 1u);
-        } else {
-          word = word - 1;
+      } else {
+        tm_decay_attempts_->Add();
+        if (decay_->ShouldDecay(c32, rng_)) {
+          tm_decay_success_->Add();
+          if (cnt == 1) {
+            word = fpw | static_cast<W>(1);
+            estimate = std::max(estimate, 1u);
+          } else {
+            word = word - 1;
+          }
         }
       }
     }
@@ -226,12 +245,17 @@ uint32_t HeavyKeeper::InsertBasicWeightedImpl(const Prepared& p, uint32_t weight
         // weight 1; see DecayTable::DecayRun).
         decay_->DecayRun(&c, &remaining, rng_);
       } else {
+        const uint32_t c0 = c;
+        uint64_t coins = 0;
         while (remaining > 0 && c > 0) {
           --remaining;
+          ++coins;
           if (decay_->ShouldDecay(c, rng_) && --c == 0) {
             break;
           }
         }
+        tm_decay_attempts_->Add(coins);
+        tm_decay_success_->Add(c0 - c);
       }
       if (c > 0) {
         word = (word & ~cmask) | static_cast<W>(c);
@@ -318,7 +342,9 @@ uint32_t HeavyKeeper::InsertMinimumImpl(const Prepared& p, bool monitored, uint6
       NoteStuck();
       return 0;
     }
+    tm_decay_attempts_->Add();
     if (decay_->ShouldDecay(c32, rng_)) {
+      tm_decay_success_->Add();
       if (min_count == 1) {
         word = fpw | static_cast<W>(1);
         return 1;

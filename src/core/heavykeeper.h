@@ -54,6 +54,7 @@
 #include "common/random.h"
 #include "common/slab.h"
 #include "simd/simd.h"
+#include "telemetry/telemetry.h"
 
 namespace hk {
 
@@ -335,6 +336,14 @@ class HeavyKeeper {
   uint64_t stuck_events_ = 0;
   uint64_t expansions_ = 0;
   uint64_t next_array_seed_;
+
+  // Registry handles, resolved once at construction. Bumped only on the
+  // decay/stuck branches (never the fingerprint-match fast path), so the
+  // per-packet cost stays inside the micro_telemetry_overhead gate.
+  telemetry::Counter* tm_decay_attempts_;
+  telemetry::Counter* tm_decay_success_;
+  telemetry::Counter* tm_stuck_events_;
+  telemetry::Counter* tm_expansions_;
 };
 
 }  // namespace hk

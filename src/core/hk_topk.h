@@ -71,7 +71,14 @@ class HeavyKeeperTopK : public TopKAlgorithm {
   // Builder below, which derives key_bytes from a KeyKind.
   HeavyKeeperTopK(HkVersion version, const HeavyKeeperConfig& config, size_t k,
                   size_t key_bytes)
-      : version_(version), k_(k), key_bytes_(key_bytes), sketch_(config), store_(k) {}
+      : version_(version),
+        k_(k),
+        key_bytes_(key_bytes),
+        sketch_(config),
+        store_(k),
+        tm_packets_(telemetry::Registry::Get().GetCounter(
+            "hk_core_packets_total",
+            "Packets applied through the HeavyKeeper pipelines (batch and scalar)")) {}
 
   // Fluent construction; subsumes the positional FromMemory() call. The
   // KeyKind -> key_bytes derivation lives here (and in the sketch
@@ -167,7 +174,10 @@ class HeavyKeeperTopK : public TopKAlgorithm {
         version, HeavyKeeperConfig::FromMemory(sketch_bytes, d, seed), k, key_bytes);
   }
 
-  void Insert(FlowId id) override { InsertPrepared(sketch_.Prepare(id)); }
+  void Insert(FlowId id) override {
+    tm_packets_->Add();
+    InsertPrepared(sketch_.Prepare(id));
+  }
 
   // Weighted insert under the TopKAlgorithm contract: monitored flows whose
   // mapped buckets need no decay coin collapse to O(d); everything else
@@ -179,6 +189,7 @@ class HeavyKeeperTopK : public TopKAlgorithm {
     if (weight == 0) {
       return;
     }
+    tm_packets_->Add();
     InsertWeightedPrepared(sketch_.Prepare(id), weight);
   }
 
@@ -191,6 +202,7 @@ class HeavyKeeperTopK : public TopKAlgorithm {
   // whatever kernel resolved.
   void InsertBatch(std::span<const FlowId> ids) override {
     const size_t n = ids.size();
+    tm_packets_->Add(n);
     HeavyKeeper::Prepared buf[2][kPrefetchAhead];
     size_t base = 0;
     size_t cur = 0;
@@ -218,6 +230,7 @@ class HeavyKeeperTopK : public TopKAlgorithm {
   }
 
   void InsertBatch(std::span<const FlowId> ids, std::span<const uint64_t> weights) override {
+    tm_packets_->Add(ids.size());
     HeavyKeeper::Prepared prepared[kBatchChunk];
     for (size_t base = 0; base < ids.size(); base += kBatchChunk) {
       const size_t n = std::min(kBatchChunk, ids.size() - base);
@@ -493,6 +506,7 @@ class HeavyKeeperTopK : public TopKAlgorithm {
   size_t key_bytes_;
   HeavyKeeper sketch_;
   Store store_;
+  telemetry::Counter* tm_packets_;  // bumped once per batch, never per packet
 };
 
 inline const char* HkVersionName(HkVersion v) {

@@ -10,6 +10,7 @@
 
 #include "common/byte_io.h"
 #include "ingest/pcap_reader.h"
+#include "telemetry/telemetry.h"
 
 namespace hk {
 namespace {
@@ -131,6 +132,9 @@ bool DecodeCheckpoint(const uint8_t* data, size_t size, CheckpointManifest* out,
     return Fail(error, "checkpoint payload truncated");
   }
   if (Crc32(payload, static_cast<size_t>(payload_len)) != crc) {
+    static telemetry::Counter* const crc_failures = telemetry::Registry::Get().GetCounter(
+        "hk_serve_crc_failures_total", "Checkpoint payloads rejected by the CRC check");
+    crc_failures->Add();
     return Fail(error, "checkpoint payload failed CRC (corrupt write)");
   }
   return DecodePayload(payload, static_cast<size_t>(payload_len), out, error);
@@ -138,7 +142,13 @@ bool DecodeCheckpoint(const uint8_t* data, size_t size, CheckpointManifest* out,
 
 bool WriteCheckpointAtomic(const std::string& path, const CheckpointManifest& manifest,
                            std::string* error) {
+  static telemetry::Histogram* const checkpoint_us = telemetry::Registry::Get().GetHistogram(
+      "hk_serve_checkpoint_us", "Encode-to-rename checkpoint commit latency (microseconds)");
+  static telemetry::Gauge* const checkpoint_bytes = telemetry::Registry::Get().GetGauge(
+      "hk_serve_checkpoint_bytes", "Encoded size of the most recent checkpoint file");
+  const telemetry::ScopedTimer timer(checkpoint_us);
   const std::vector<uint8_t> bytes = EncodeCheckpoint(manifest);
+  checkpoint_bytes->Set(static_cast<int64_t>(bytes.size()));
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {

@@ -10,6 +10,15 @@
 
 namespace hk {
 
+LineServer::LineServer(ServeCore& core) : core_(core) {
+  telemetry::Registry& registry = telemetry::Registry::Get();
+  tm_connections_ = registry.GetCounter("hk_serve_connections_total",
+                                        "Protocol connections accepted by the listener");
+  tm_protocol_errors_ = registry.GetCounter(
+      "hk_serve_protocol_errors_total",
+      "Connections that ended mid-request (truncated line) or on a socket error");
+}
+
 bool LineServer::Start(uint16_t port, std::string* err) {
   if (listen_fd_.load(std::memory_order_acquire) >= 0) {
     if (err != nullptr) {
@@ -68,6 +77,7 @@ void LineServer::AcceptLoop() {
       }
       return;  // listener fd gone
     }
+    tm_connections_->Add();
     std::lock_guard<std::mutex> lock(clients_mu_);
     client_fds_.push_back(fd);
     clients_.emplace_back([this, fd] { ServeConnection(fd); });
@@ -77,7 +87,18 @@ void LineServer::AcceptLoop() {
 void LineServer::ServeConnection(int fd) {
   std::string carry;
   std::string line;
-  while (!stopping_.load(std::memory_order_acquire) && ReadLine(fd, &carry, &line)) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const ReadLineStatus status = ReadLineEx(fd, &carry, &line);
+    if (status != ReadLineStatus::kLine) {
+      // A clean EOF is just a client leaving; a truncated line or a socket
+      // error is a connection that died mid-request. Count the latter (the
+      // daemon's own Stop() shutdown also surfaces as an error here -
+      // stopping_ filters it out of the metric).
+      if (status != ReadLineStatus::kEof && !stopping_.load(std::memory_order_acquire)) {
+        tm_protocol_errors_->Add();
+      }
+      break;
+    }
     if (line == "QUIT" || line == "quit") {
       WriteAll(fd, "OK bye\n", 7);
       break;

@@ -16,12 +16,13 @@
 #include <vector>
 
 #include "serve/serve_core.h"
+#include "telemetry/telemetry.h"
 
 namespace hk {
 
 class LineServer {
  public:
-  explicit LineServer(ServeCore& core) : core_(core) {}
+  explicit LineServer(ServeCore& core);
   ~LineServer() { Stop(); }
 
   LineServer(const LineServer&) = delete;
@@ -50,6 +51,11 @@ class LineServer {
   std::mutex clients_mu_;
   std::vector<std::thread> clients_;
   std::vector<int> client_fds_;
+
+  telemetry::Counter* tm_connections_;
+  // Connections that ended mid-request (EOF with a partial line buffered)
+  // or on a socket error - never bumped for a clean QUIT/EOF.
+  telemetry::Counter* tm_protocol_errors_;
 };
 
 }  // namespace hk

@@ -111,7 +111,7 @@ bool WriteAll(int fd, const char* data, size_t size) {
   return true;
 }
 
-bool ReadLine(int fd, std::string* carry, std::string* line) {
+ReadLineStatus ReadLineEx(int fd, std::string* carry, std::string* line) {
   for (;;) {
     const size_t nl = carry->find('\n');
     if (nl != std::string::npos) {
@@ -120,18 +120,20 @@ bool ReadLine(int fd, std::string* carry, std::string* line) {
         line->pop_back();
       }
       carry->erase(0, nl + 1);
-      return true;
+      return ReadLineStatus::kLine;
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) {
-        continue;
+        continue;  // interrupted mid-read, not a disconnect: keep going
       }
-      return false;
+      return ReadLineStatus::kError;
     }
     if (n == 0) {
-      return false;  // EOF mid-line: drop the partial line, like netcat
+      // EOF. With bytes in the carry the client died mid-request - that is
+      // a protocol error the caller may want to count, not a clean close.
+      return carry->empty() ? ReadLineStatus::kEof : ReadLineStatus::kTruncated;
     }
     carry->append(chunk, static_cast<size_t>(n));
   }

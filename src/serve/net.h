@@ -24,9 +24,26 @@ bool ParseTcpEndpoint(const std::string& text, std::string* host, uint16_t* port
 // write(2) the whole buffer, retrying EINTR / short writes.
 bool WriteAll(int fd, const char* data, size_t size);
 
+// How a ReadLineEx call ended. EINTR and short reads are retried inside;
+// none of these statuses ever means "try the same call again".
+enum class ReadLineStatus {
+  kLine,       // *line holds a complete request line
+  kEof,        // clean disconnect: EOF with an empty carry buffer
+  kTruncated,  // EOF with a partial line buffered (client died mid-request)
+  kError,      // recv failed (connection reset and friends)
+};
+
 // Read one '\n'-terminated line (newline stripped, CR tolerated) through a
-// caller-held carry buffer. False at EOF/error with nothing buffered.
-bool ReadLine(int fd, std::string* carry, std::string* line);
+// caller-held carry buffer. Distinguishes a clean disconnect from a
+// connection that died mid-line or errored, so servers can count protocol
+// errors instead of treating every short read as a polite goodbye.
+ReadLineStatus ReadLineEx(int fd, std::string* carry, std::string* line);
+
+// Compatibility wrapper: true only for kLine (clients that retry or close
+// either way do not care which way the stream ended).
+inline bool ReadLine(int fd, std::string* carry, std::string* line) {
+  return ReadLineEx(fd, carry, line) == ReadLineStatus::kLine;
+}
 
 }  // namespace hk
 

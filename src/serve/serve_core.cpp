@@ -40,11 +40,6 @@ bool ParseUint(const std::string& text, uint64_t* out, int base = 10) {
   return true;
 }
 
-std::string Err(ServeCounters& counters, const std::string& what) {
-  counters.Bump(counters.errors);
-  return "ERR " + what + "\n";
-}
-
 std::string HexId(FlowId id) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%llx", static_cast<unsigned long long>(id));
@@ -121,7 +116,39 @@ bool ParseAttachArgs(const std::vector<std::string>& args, size_t first, SourceB
   return true;
 }
 
-ServeCore::ServeCore(ServeOptions options) : options_(std::move(options)) {}
+ServeCore::ServeCore(ServeOptions options) : options_(std::move(options)) {
+  telemetry::Registry& registry = telemetry::Registry::Get();
+  tm_commands_ = registry.GetCounter("hk_serve_commands_total", "Protocol lines executed");
+  tm_errors_ = registry.GetCounter("hk_serve_errors_total", "Protocol lines answered with ERR");
+  tm_exact_queries_ = registry.GetCounter("hk_serve_exact_queries_total",
+                                          "TOPK/POINT queries served at exact consistency");
+  tm_relaxed_queries_ = registry.GetCounter(
+      "hk_serve_relaxed_queries_total",
+      "TOPK queries served from the live structures without the ingest lock");
+  tm_checkpoints_ =
+      registry.GetCounter("hk_serve_checkpoints_total", "Checkpoint manifests committed");
+  tm_checkpoint_failures_ = registry.GetCounter("hk_serve_checkpoint_failures_total",
+                                                "Checkpoint attempts that failed");
+  tm_instances_recovered_ = registry.GetCounter(
+      "hk_serve_instances_recovered_total", "Instances rebuilt from a checkpoint at startup");
+  tm_burst_packets_ = registry.GetHistogram(
+      "hk_ingest_burst_packets", "Records applied per ingest burst (one InsertBatch call)");
+  // Eager per-verb registration: the full catalog shows up in METRICS
+  // before any request has been served.
+  for (const char* verb : {"CREATE", "DROP", "ATTACH", "LIST", "TOPK", "POINT", "STATS",
+                           "METRICS", "CHECKPOINT", "PING"}) {
+    const std::string labels = std::string("verb=\"") + verb + "\"";
+    verb_metrics_[verb] = VerbMetrics{
+        registry.GetCounter("hk_serve_requests_total", "Protocol requests by verb", labels),
+        registry.GetHistogram("hk_serve_request_us",
+                              "Request handling latency by verb (microseconds)", labels)};
+  }
+}
+
+std::string ServeCore::Err(const std::string& what) {
+  tm_errors_->Add();
+  return "ERR " + what + "\n";
+}
 
 ServeCore::~ServeCore() {
   std::lock_guard<std::mutex> lock(map_mu_);
@@ -223,6 +250,22 @@ bool ServeCore::Attach(const std::string& name, const SourceBinding& binding,
   }
   inst->binding = binding;
   inst->attached = true;
+  // Register the instance's ingest series here (not in the thread) so the
+  // metric names are visible to METRICS the moment ATTACH returns.
+  {
+    telemetry::Registry& registry = telemetry::Registry::Get();
+    const std::string labels = "instance=\"" + inst->name + "\"";
+    inst->tm_packets = registry.GetCounter(
+        "hk_ingest_packets_total", "Capture records applied to an instance's sketch", labels);
+    inst->tm_bytes = registry.GetCounter(
+        "hk_ingest_bytes_total", "Wire bytes represented by the applied records", labels);
+    inst->tm_malformed = registry.GetCounter(
+        "hk_ingest_malformed_frames_total",
+        "Frames the capture parser skipped (non-IP, truncated, zero-length)", labels);
+    inst->tm_source_wait_us = registry.GetCounter(
+        "hk_ingest_source_wait_us_total",
+        "Microseconds the ingest thread spent reading and parsing its source", labels);
+  }
   inst->ingest_done.store(false, std::memory_order_release);
   inst->ingest = std::thread([this, inst] { IngestLoop(inst); });
   return true;
@@ -250,21 +293,32 @@ void ServeCore::IngestLoop(Instance* inst) {
   ids.reserve(options_.ingest_batch);
   weights.reserve(options_.ingest_batch);
   const bool weighted = inst->binding.byte_weighted;
+  const auto malformed_of = [](const IngestStats& s) {
+    return s.skipped_non_ip + s.skipped_truncated + s.skipped_other;
+  };
+  uint64_t malformed_seen = malformed_of(reader.stats());
   bool more = true;
   while (more && !inst->stop_ingest.load(std::memory_order_acquire)) {
     ids.clear();
     weights.clear();
     uint64_t burst_bytes = 0;
-    while (ids.size() < options_.ingest_batch && (more = reader.Next(&record))) {
-      ids.push_back(record.id);
-      if (weighted) {
-        weights.push_back(record.wire_len);
+    {
+      // Source-stall time: everything between bursts is waiting on (and
+      // parsing) the capture source, the number that tells an operator the
+      // pipe, not the sketch, is the bottleneck.
+      const telemetry::ScopedTimer wait(nullptr, inst->tm_source_wait_us);
+      while (ids.size() < options_.ingest_batch && (more = reader.Next(&record))) {
+        ids.push_back(record.id);
+        if (weighted) {
+          weights.push_back(record.wire_len);
+        }
+        burst_bytes += record.wire_len;
       }
-      burst_bytes += record.wire_len;
     }
     if (ids.empty()) {
       break;
     }
+    tm_burst_packets_->Observe(ids.size());
     {
       // The applied-offset pair (sketch state, packets_applied) moves
       // under the instance lock, which is what lets a checkpoint taken
@@ -278,8 +332,11 @@ void ServeCore::IngestLoop(Instance* inst) {
       inst->packets_applied += ids.size();
       inst->wire_bytes_applied += burst_bytes;
     }
-    counters_.Bump(counters_.packets_ingested, ids.size());
-    counters_.Bump(counters_.wire_bytes_ingested, burst_bytes);
+    inst->tm_packets->Add(ids.size());
+    inst->tm_bytes->Add(burst_bytes);
+    const uint64_t malformed_now = malformed_of(reader.stats());
+    inst->tm_malformed->Add(malformed_now - malformed_seen);
+    malformed_seen = malformed_now;
   }
   if (!reader.ok()) {
     inst->ingest_error = reader.error();
@@ -328,7 +385,7 @@ bool ServeCore::WriteCheckpoint(std::string* err) {
         if (!inst->algo->SaveState(&entry.state)) {
           *err = "instance '" + inst->name + "' (" + inst->algo->name() +
                  ") does not support checkpointing";
-          counters_.Bump(counters_.checkpoint_failures);
+          tm_checkpoint_failures_->Add();
           return false;
         }
         entry.packets_applied = inst->packets_applied;
@@ -342,10 +399,10 @@ bool ServeCore::WriteCheckpoint(std::string* err) {
     }
   }
   if (!WriteCheckpointAtomic(options_.checkpoint_path, manifest, err)) {
-    counters_.Bump(counters_.checkpoint_failures);
+    tm_checkpoint_failures_->Add();
     return false;
   }
-  counters_.Bump(counters_.checkpoints_written);
+  tm_checkpoints_->Add();
   return true;
 }
 
@@ -414,7 +471,7 @@ bool ServeCore::Recover(size_t* recovered, std::string* err) {
         raw->ingest_error = attach_err;
       }
     }
-    counters_.Bump(counters_.instances_recovered);
+    tm_instances_recovered_->Add();
     if (recovered != nullptr) {
       ++*recovered;
     }
@@ -444,35 +501,35 @@ uint64_t ServeCore::PacketsApplied(const std::string& name) const {
 
 std::string ServeCore::CmdCreate(const std::vector<std::string>& args) {
   if (args.size() != 2) {
-    return Err(counters_, "usage: CREATE <name> <spec>");
+    return Err("usage: CREATE <name> <spec>");
   }
   std::string err;
   if (!Create(args[0], args[1], &err)) {
-    return Err(counters_, err);
+    return Err(err);
   }
   return "OK created " + args[0] + "\n";
 }
 
 std::string ServeCore::CmdDrop(const std::vector<std::string>& args) {
   if (args.size() != 1) {
-    return Err(counters_, "usage: DROP <name>");
+    return Err("usage: DROP <name>");
   }
   std::string err;
   if (!Drop(args[0], &err)) {
-    return Err(counters_, err);
+    return Err(err);
   }
   return "OK dropped " + args[0] + "\n";
 }
 
 std::string ServeCore::CmdAttach(const std::vector<std::string>& args) {
   if (args.size() < 2) {
-    return Err(counters_, "usage: ATTACH <name> <source> [key=5tuple|pair|src] [bytes]");
+    return Err("usage: ATTACH <name> <source> [key=5tuple|pair|src] [bytes]");
   }
   SourceBinding binding;
   binding.source = args[1];
   std::string err;
   if (!ParseAttachArgs(args, 2, &binding, &err) || !Attach(args[0], binding, &err)) {
-    return Err(counters_, err);
+    return Err(err);
   }
   return "OK attached " + args[0] + "\n";
 }
@@ -510,7 +567,7 @@ std::string ServeCore::CmdTopK(const std::vector<std::string>& args) {
     name = args[pos++];
   }
   if (pos >= args.size() || !ParseUint(args[pos], &k) || k == 0) {
-    return Err(counters_, "usage: TOPK [<name>] <k> [relaxed|exact|window]");
+    return Err("usage: TOPK [<name>] <k> [relaxed|exact|window]");
   }
   ++pos;
   bool relaxed = false;
@@ -521,12 +578,12 @@ std::string ServeCore::CmdTopK(const std::vector<std::string>& args) {
     } else if (args[pos] == "window") {
       windowed = true;
     } else if (args[pos] != "exact") {
-      return Err(counters_, "consistency must be 'relaxed', 'exact' or 'window'");
+      return Err("consistency must be 'relaxed', 'exact' or 'window'");
     }
     ++pos;
   }
   if (pos != args.size()) {
-    return Err(counters_, "usage: TOPK [<name>] <k> [relaxed|exact|window]");
+    return Err("usage: TOPK [<name>] <k> [relaxed|exact|window]");
   }
   QueryResult result;
   std::string window_suffix;
@@ -535,14 +592,14 @@ std::string ServeCore::CmdTopK(const std::vector<std::string>& args) {
     std::string err;
     Instance* inst = Resolve(name, &err);
     if (inst == nullptr) {
-      return Err(counters_, err);
+      return Err(err);
     }
     const QueryOptions query{static_cast<size_t>(k), relaxed ? ConsistencyLevel::kRelaxed
                                                              : ConsistencyLevel::kExact};
     if (windowed) {
       auto* window = dynamic_cast<WindowedTopK*>(inst->algo.get());
       if (window == nullptr) {
-        return Err(counters_, "instance '" + inst->name + "' is not windowed (spec " +
+        return Err("instance '" + inst->name + "' is not windowed (spec " +
                                   inst->spec + "); CREATE it with Window:...");
       }
       std::lock_guard<std::mutex> inst_lock(inst->mu);
@@ -559,8 +616,8 @@ std::string ServeCore::CmdTopK(const std::vector<std::string>& args) {
       result = inst->algo->Snapshot(query);
     }
   }
-  counters_.Bump(result.consistency == ConsistencyLevel::kRelaxed ? counters_.relaxed_queries
-                                                                  : counters_.exact_queries);
+  (result.consistency == ConsistencyLevel::kRelaxed ? tm_relaxed_queries_ : tm_exact_queries_)
+      ->Add();
   std::string out;
   for (const FlowCount& flow : result.flows) {
     out += "FLOW " + HexId(flow.id) + " " + std::to_string(flow.count) + "\n";
@@ -580,7 +637,7 @@ std::string ServeCore::CmdPoint(const std::vector<std::string>& args) {
     name = args[pos++];
   }
   if (pos + 1 != args.size() || !ParseUint(args[pos], &id, 16)) {
-    return Err(counters_, "usage: POINT [<name>] <flow-id-hex>");
+    return Err("usage: POINT [<name>] <flow-id-hex>");
   }
   uint64_t estimate = 0;
   {
@@ -588,18 +645,34 @@ std::string ServeCore::CmdPoint(const std::vector<std::string>& args) {
     std::string err;
     Instance* inst = Resolve(name, &err);
     if (inst == nullptr) {
-      return Err(counters_, err);
+      return Err(err);
     }
     std::lock_guard<std::mutex> inst_lock(inst->mu);
     estimate = inst->algo->EstimateSize(id);
   }
-  counters_.Bump(counters_.exact_queries);
+  tm_exact_queries_->Add();
   return "OK " + std::to_string(estimate) + "\n";
 }
 
 std::string ServeCore::CmdStats(const std::vector<std::string>& args) {
   if (args.empty()) {
-    std::string out = counters_.Render();
+    // The STAT key set and order are wire format (tests and dashboards
+    // parse them); the values now come from the registry, where the ingest
+    // keys sum the per-instance hk_ingest_* series.
+    telemetry::Registry& registry = telemetry::Registry::Get();
+    const auto line = [](const char* key, uint64_t value) {
+      return std::string("STAT ") + key + " " + std::to_string(value) + "\n";
+    };
+    std::string out;
+    out += line("commands", tm_commands_->Value());
+    out += line("errors", tm_errors_->Value());
+    out += line("exact_queries", tm_exact_queries_->Value());
+    out += line("relaxed_queries", tm_relaxed_queries_->Value());
+    out += line("packets_ingested", registry.SumCounter("hk_ingest_packets_total"));
+    out += line("wire_bytes_ingested", registry.SumCounter("hk_ingest_bytes_total"));
+    out += line("checkpoints_written", tm_checkpoints_->Value());
+    out += line("checkpoint_failures", tm_checkpoint_failures_->Value());
+    out += line("instances_recovered", tm_instances_recovered_->Value());
     {
       std::lock_guard<std::mutex> lock(map_mu_);
       out += "STAT instances " + std::to_string(instances_.size()) + "\n";
@@ -608,13 +681,13 @@ std::string ServeCore::CmdStats(const std::vector<std::string>& args) {
     return out;
   }
   if (args.size() != 1) {
-    return Err(counters_, "usage: STATS [<name>]");
+    return Err("usage: STATS [<name>]");
   }
   std::lock_guard<std::mutex> lock(map_mu_);
   std::string err;
   Instance* inst = Resolve(args[0], &err);
   if (inst == nullptr) {
-    return Err(counters_, err);
+    return Err(err);
   }
   uint64_t packets = 0;
   uint64_t wire_bytes = 0;
@@ -648,10 +721,19 @@ std::string ServeCore::CmdStats(const std::vector<std::string>& args) {
   return out;
 }
 
+std::string ServeCore::CmdMetrics(const std::vector<std::string>& args) {
+  if (args.size() > 1) {
+    return Err("usage: METRICS [<filter>]");
+  }
+  // Metric lines always start with "hk_" or "#", so appending the protocol
+  // END sentinel keeps multi-line framing unambiguous for thin clients.
+  return telemetry::Registry::Get().RenderPrometheus(args.empty() ? "" : args[0]) + "END\n";
+}
+
 std::string ServeCore::CmdCheckpoint() {
   std::string err;
   if (!WriteCheckpoint(&err)) {
-    return Err(counters_, err);
+    return Err(err);
   }
   size_t count = 0;
   {
@@ -663,41 +745,53 @@ std::string ServeCore::CmdCheckpoint() {
 }
 
 std::string ServeCore::Execute(const std::string& line) {
-  counters_.Bump(counters_.commands);
+  tm_commands_->Add();
   std::vector<std::string> tokens = Tokenize(line);
   if (tokens.empty()) {
-    return Err(counters_, "empty command");
+    return Err("empty command");
   }
   const std::string verb = tokens[0];
   tokens.erase(tokens.begin());
+  const auto it = verb_metrics_.find(verb);
+  if (it == verb_metrics_.end()) {
+    return Err("unknown command '" + verb + "'");
+  }
+  it->second.requests->Add();
+  const telemetry::ScopedTimer timer(it->second.latency_us);
+  return Dispatch(verb, tokens);
+}
+
+std::string ServeCore::Dispatch(const std::string& verb, const std::vector<std::string>& args) {
   if (verb == "CREATE") {
-    return CmdCreate(tokens);
+    return CmdCreate(args);
   }
   if (verb == "DROP") {
-    return CmdDrop(tokens);
+    return CmdDrop(args);
   }
   if (verb == "ATTACH") {
-    return CmdAttach(tokens);
+    return CmdAttach(args);
   }
   if (verb == "LIST") {
     return CmdList();
   }
   if (verb == "TOPK") {
-    return CmdTopK(tokens);
+    return CmdTopK(args);
   }
   if (verb == "POINT") {
-    return CmdPoint(tokens);
+    return CmdPoint(args);
   }
   if (verb == "STATS") {
-    return CmdStats(tokens);
+    return CmdStats(args);
+  }
+  if (verb == "METRICS") {
+    return CmdMetrics(args);
   }
   if (verb == "CHECKPOINT") {
     return CmdCheckpoint();
   }
-  if (verb == "PING") {
-    return "OK pong\n";
-  }
-  return Err(counters_, "unknown command '" + verb + "'");
+  // PING is the only verb left in verb_metrics_; anything else never
+  // reaches Dispatch (Execute rejects unknown verbs by map lookup).
+  return "OK pong\n";
 }
 
 }  // namespace hk

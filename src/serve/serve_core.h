@@ -23,6 +23,12 @@
 //                                 epoch_packets=<E> completed_epochs=<N>)
 //   POINT [<name>] <id-hex>       OK <estimate>
 //   STATS [<name>]                STAT <key> <value> lines / END
+//   METRICS [<filter>]            Prometheus text exposition / END
+//                                 (<filter> keeps series whose name starts
+//                                 with it, or that carry a matching
+//                                 instance="..." label; metric lines always
+//                                 start with "hk_" or "#", so the END
+//                                 sentinel stays unambiguous)
 //   CHECKPOINT                    OK checkpoint <path> instances=<n>
 //   PING                          OK pong
 //   Anything else                 ERR <diagnostic>
@@ -62,10 +68,10 @@
 #include <vector>
 
 #include "ingest/pcap_reader.h"
-#include "metrics/serve_counters.h"
 #include "serve/checkpoint.h"
 #include "sketch/registry.h"
 #include "sketch/topk_algorithm.h"
+#include "telemetry/telemetry.h"
 
 namespace hk {
 
@@ -111,7 +117,6 @@ class ServeCore {
   // to sequence "after ingest" assertions.
   void DrainIngest();
 
-  ServeCounters& counters() { return counters_; }
   const ServeOptions& options() const { return options_; }
   std::vector<std::string> InstanceNames() const;
   uint64_t PacketsApplied(const std::string& name) const;
@@ -136,6 +141,12 @@ class ServeCore {
     std::atomic<bool> stop_ingest{false};
     std::atomic<bool> ingest_done{false};
     std::string ingest_error;  // set by the ingest thread before ingest_done
+
+    // instance="<name>" series, registered when the source attaches.
+    telemetry::Counter* tm_packets = nullptr;
+    telemetry::Counter* tm_bytes = nullptr;
+    telemetry::Counter* tm_malformed = nullptr;
+    telemetry::Counter* tm_source_wait_us = nullptr;
   };
 
   // map_mu_ guards the map shape (create/drop/lookup); per-instance mu
@@ -153,14 +164,32 @@ class ServeCore {
   std::string CmdTopK(const std::vector<std::string>& args);
   std::string CmdPoint(const std::vector<std::string>& args);
   std::string CmdStats(const std::vector<std::string>& args);
+  std::string CmdMetrics(const std::vector<std::string>& args);
   std::string CmdCheckpoint();
+  std::string Dispatch(const std::string& verb, const std::vector<std::string>& args);
+  std::string Err(const std::string& what);
 
   ServeOptions options_;
-  ServeCounters counters_;
   mutable std::mutex map_mu_;
   std::map<std::string, std::unique_ptr<Instance>> instances_;
   // Serializes whole-manifest writes (protocol CHECKPOINT vs the timer).
   std::mutex checkpoint_mu_;
+
+  // Daemon-wide series; the per-verb pair is registered eagerly for every
+  // known verb so METRICS lists the full catalog before any traffic.
+  struct VerbMetrics {
+    telemetry::Counter* requests = nullptr;
+    telemetry::Histogram* latency_us = nullptr;
+  };
+  std::map<std::string, VerbMetrics> verb_metrics_;
+  telemetry::Counter* tm_commands_;
+  telemetry::Counter* tm_errors_;
+  telemetry::Counter* tm_exact_queries_;
+  telemetry::Counter* tm_relaxed_queries_;
+  telemetry::Counter* tm_checkpoints_;
+  telemetry::Counter* tm_checkpoint_failures_;
+  telemetry::Counter* tm_instances_recovered_;
+  telemetry::Histogram* tm_burst_packets_;
 };
 
 // Parse "key=5tuple|pair|src" / "bytes" attach arguments into a binding.

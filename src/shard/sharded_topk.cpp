@@ -86,6 +86,12 @@ void ShardedTopK::InitShards(std::vector<std::unique_ptr<TopKAlgorithm>> inners)
   if (options_.threaded && (options_.ring_capacity < 1 || options_.drain_burst < 1)) {
     throw std::invalid_argument("ShardedTopK: ring= and burst= must be >= 1");
   }
+  if (options_.threaded) {
+    tm_ring_highwater_ = telemetry::Registry::Get().GetGauge(
+        "hk_ring_occupancy_highwater",
+        "Deepest producer-observed queue depth of any single worker ring",
+        "ring=\"sharded\"");
+  }
   shards_.reserve(inners.size());
   for (auto& inner : inners) {
     auto shard = std::make_unique<Shard>();
@@ -122,7 +128,9 @@ void ShardedTopK::PushRun(Shard& shard, std::span<const FlowId> ids, const uint6
   // Count before pushing: the producer is the only thread that observes
   // its own not-yet-pushed packets, so Flush() from the producer thread
   // can never miss one.
-  shard.queued.fetch_add(ids.size(), std::memory_order_relaxed);
+  const uint64_t depth =
+      shard.queued.fetch_add(ids.size(), std::memory_order_relaxed) + ids.size();
+  tm_ring_highwater_->MaxTo(static_cast<int64_t>(depth));
   for (size_t i = 0; i < ids.size(); ++i) {
     const Packet packet{ids[i], weights != nullptr ? weights[i] : 1};
     size_t spins = 0;  // per packet: a successful push resets the backoff

@@ -53,6 +53,7 @@
 #include "shard/partition.h"
 #include "sketch/registry.h"
 #include "sketch/topk_algorithm.h"
+#include "telemetry/telemetry.h"
 
 namespace hk {
 
@@ -169,6 +170,9 @@ class ShardedTopK : public TopKAlgorithm {
 
   ShardedTopKOptions options_;
   ShardPartitioner partitioner_;
+  // High-water mark of any single shard ring's queued depth (threaded mode;
+  // stays 0 in synchronous mode where nothing queues).
+  telemetry::Gauge* tm_ring_highwater_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stop_{false};

@@ -7,6 +7,17 @@ namespace hk {
 
 LazyTopKStore::LazyTopKStore(size_t capacity) : capacity_(capacity), values_(capacity) {
   heap_.reserve(capacity);
+  telemetry::Registry& registry = telemetry::Registry::Get();
+  tm_admissions_ = registry.GetCounter("hk_store_admissions_total",
+                                       "Flows admitted into a top-k candidate store",
+                                       "store=\"lazy\"");
+  tm_evictions_ = registry.GetCounter("hk_store_evictions_total",
+                                      "Minimum flows expelled to make room for an admission",
+                                      "store=\"lazy\"");
+  tm_root_resyncs_ = registry.GetCounter(
+      "hk_store_root_resyncs_total",
+      "Lazy-heap root refreshes (stale minimum re-synced before it was trusted)",
+      "store=\"lazy\"");
 }
 
 void LazyTopKStore::Insert(FlowId id, uint64_t count) {
@@ -14,6 +25,7 @@ void LazyTopKStore::Insert(FlowId id, uint64_t count) {
   values_.Insert(id, count);
   heap_.push_back({id, count});
   SiftUp(heap_.size() - 1);
+  tm_admissions_->Add();
 }
 
 void LazyTopKStore::ReplaceMin(FlowId id, uint64_t count) {
@@ -26,6 +38,8 @@ void LazyTopKStore::ReplaceMin(FlowId id, uint64_t count) {
   // The sift may have surfaced an entry whose count was raised while it sat
   // below the root; let the next MinCount() re-verify.
   root_stale_ = true;
+  tm_admissions_->Add();
+  tm_evictions_->Add();
 }
 
 void LazyTopKStore::FixRoot() const {
@@ -39,6 +53,7 @@ void LazyTopKStore::FixRoot() const {
     }
     heap_[0].count = fresh;
     SiftDown(0);
+    tm_root_resyncs_->Add();
   }
   root_stale_ = false;
 }

@@ -43,6 +43,7 @@
 #include "common/flow_key.h"
 #include "common/hash.h"
 #include "common/slab.h"
+#include "telemetry/telemetry.h"
 
 namespace hk {
 
@@ -230,6 +231,11 @@ class LazyTopKStore {
   mutable std::vector<FlowCount> heap_;
   mutable bool root_stale_ = false;
   FlowSlotMap values_;
+
+  // store="lazy" series (the concurrent store reports store="concurrent").
+  telemetry::Counter* tm_admissions_;
+  telemetry::Counter* tm_evictions_;
+  telemetry::Counter* tm_root_resyncs_;
 };
 
 }  // namespace hk

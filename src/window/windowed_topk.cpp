@@ -77,6 +77,12 @@ WindowedTopK::WindowedTopK(const WindowedTopKOptions& options, const SketchDefau
   for (size_t i = 1; i < options_.window_epochs; ++i) {
     slots_.push_back(MakeSlot());
   }
+  telemetry::Registry& registry = telemetry::Registry::Get();
+  tm_rotations_ = registry.GetCounter(
+      "hk_window_rotations_total",
+      "Epoch ring rotations (packet-count trips and explicit Rotate() calls)");
+  tm_snapshot_us_ = registry.GetHistogram(
+      "hk_window_snapshot_us", "Sliding-window merge-and-rescore query latency (microseconds)");
 }
 
 std::unique_ptr<TopKAlgorithm> WindowedTopK::MakeSlot() const {
@@ -93,6 +99,7 @@ void WindowedTopK::Rotate() {
   // fresh is the instant its contents age out of every answer.
   current_ = (current_ + 1) % slots_.size();
   slots_[current_] = MakeSlot();
+  tm_rotations_->Add();
 }
 
 void WindowedTopK::CountPackets(uint64_t packets) {
@@ -187,6 +194,7 @@ std::vector<FlowCount> WindowedTopK::MergedWindow(size_t k, size_t* tracked) con
 }
 
 QueryResult WindowedTopK::Snapshot(const QueryOptions& options) {
+  const telemetry::ScopedTimer timer(tm_snapshot_us_);
   Flush();
   // Sum of the slots' report sizes, not the merged size: the union
   // truncates to k but each epoch's sketch tracks its own candidates.

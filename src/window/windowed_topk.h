@@ -62,6 +62,7 @@
 
 #include "sketch/registry.h"
 #include "sketch/topk_algorithm.h"
+#include "telemetry/telemetry.h"
 
 namespace hk {
 
@@ -153,6 +154,9 @@ class WindowedTopK : public TopKAlgorithm {
   size_t current_ = 0;     // ring index of the filling epoch
   uint64_t epoch_ = 0;     // completed epochs
   uint64_t in_epoch_ = 0;  // packets in the filling epoch
+
+  telemetry::Counter* tm_rotations_;
+  telemetry::Histogram* tm_snapshot_us_;  // merge-and-rescore latency
 };
 
 }  // namespace hk

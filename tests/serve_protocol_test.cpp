@@ -4,6 +4,7 @@
 // transport end to end over loopback.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstdint>
@@ -16,6 +17,7 @@
 #include "serve/line_server.h"
 #include "serve/net.h"
 #include "serve/serve_core.h"
+#include "telemetry/telemetry.h"
 #include "trace/generators.h"
 #include "trace/oracle.h"
 
@@ -64,11 +66,17 @@ std::vector<std::string> Lines(const std::string& response) {
 }
 
 TEST(ServeProtocol, PingAndUnknown) {
+  // The registry is process-global and cumulative, so assert on deltas.
+  const uint64_t errors_before =
+      telemetry::Registry::Get().SumCounter("hk_serve_errors_total");
   ServeCore core(SmallOptions());
   EXPECT_EQ(core.Execute("PING"), "OK pong\n");
   EXPECT_EQ(core.Execute("FROB x").rfind("ERR ", 0), 0u);
   EXPECT_EQ(core.Execute("").rfind("ERR ", 0), 0u);
-  EXPECT_GE(core.counters().errors.load(), 2u);
+  if (telemetry::Registry::Enabled()) {  // counters frozen under HK_TELEMETRY=off
+    EXPECT_GE(telemetry::Registry::Get().SumCounter("hk_serve_errors_total") - errors_before,
+              2u);
+  }
 }
 
 TEST(ServeProtocol, CreateListDrop) {
@@ -176,8 +184,10 @@ TEST(ServeProtocol, RelaxedTopKOnConcurrentInstance) {
   std::snprintf(expect, sizeof(expect), "FLOW %llx",
                 static_cast<unsigned long long>(truth[0].id));
   EXPECT_EQ(lines[0].rfind(expect, 0), 0u) << lines[0];
-  EXPECT_GE(core.counters().relaxed_queries.load(), 1u);
-  EXPECT_GE(core.counters().exact_queries.load(), 1u);
+  if (telemetry::Registry::Enabled()) {  // counters frozen under HK_TELEMETRY=off
+    EXPECT_GE(telemetry::Registry::Get().SumCounter("hk_serve_relaxed_queries_total"), 1u);
+    EXPECT_GE(telemetry::Registry::Get().SumCounter("hk_serve_exact_queries_total"), 1u);
+  }
 }
 
 TEST(ServeProtocol, RelaxedDegradesToExactOnSynchronousSketch) {
@@ -318,6 +328,77 @@ TEST(LineServerTest, StopUnblocksPendingReads) {
   ASSERT_GE(fd, 0) << err;
   server.Stop();
   ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// ReadLineEx status discrimination (the PR 10 framing bugfix): a clean
+// close, a mid-line death, and an error must come back as three different
+// statuses - the old bool collapsed them and the server could not count
+// protocol errors.
+
+TEST(ReadLineExTest, DistinguishesEofTruncatedAndLine) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::string carry;
+  std::string line;
+
+  // A complete line followed by a half line, then the writer hangs up.
+  ASSERT_TRUE(WriteAll(sv[0], "PING\r\nTOP", 9));
+  ::close(sv[0]);
+  EXPECT_EQ(ReadLineEx(sv[1], &carry, &line), ReadLineStatus::kLine);
+  EXPECT_EQ(line, "PING");  // CR stripped
+  EXPECT_EQ(ReadLineEx(sv[1], &carry, &line), ReadLineStatus::kTruncated);
+  ::close(sv[1]);
+
+  // Clean close with nothing buffered is a polite goodbye.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  carry.clear();
+  ::close(sv[0]);
+  EXPECT_EQ(ReadLineEx(sv[1], &carry, &line), ReadLineStatus::kEof);
+  ::close(sv[1]);
+
+  // recv on a closed fd is kError, not a disconnect.
+  EXPECT_EQ(ReadLineEx(sv[1], &carry, &line), ReadLineStatus::kError);
+}
+
+// A client dribbling one byte at a time must still be served: ReadLineEx
+// keeps accumulating through short reads instead of treating them as
+// closes. Its mid-line death afterwards must register as a protocol error.
+TEST(LineServerTest, ByteAtATimeClientAndTruncationTelemetry) {
+  ServeCore core(SmallOptions());
+  LineServer server(core);
+  std::string err;
+  ASSERT_TRUE(server.Start(0, &err)) << err;
+  const uint64_t proto_errors_before =
+      telemetry::Registry::Get().SumCounter("hk_serve_protocol_errors_total");
+
+  const int fd = ConnectTcp("127.0.0.1", server.port(), &err);
+  ASSERT_GE(fd, 0) << err;
+  const std::string request = "PING\n";
+  for (char byte : request) {  // TCP_NODELAY: each byte is its own segment
+    ASSERT_TRUE(WriteAll(fd, &byte, 1));
+  }
+  std::string carry;
+  std::string line;
+  ASSERT_TRUE(ReadLine(fd, &carry, &line));
+  EXPECT_EQ(line, "OK pong");
+
+  // Die mid-request: bytes on the wire, no newline, then hang up.
+  ASSERT_TRUE(WriteAll(fd, "TOPK 1", 6));
+  ::close(fd);
+  // The connection thread notices the truncation on its next read; poll
+  // the counter rather than racing it. With telemetry off (runtime switch
+  // or -DHK_TELEMETRY=OFF) the counter never moves - nothing to assert.
+  if (telemetry::Registry::Enabled()) {
+    uint64_t proto_errors_after = proto_errors_before;
+    for (int i = 0; i < 200 && proto_errors_after == proto_errors_before; ++i) {
+      ::usleep(10 * 1000);
+      proto_errors_after =
+          telemetry::Registry::Get().SumCounter("hk_serve_protocol_errors_total");
+    }
+    EXPECT_GE(proto_errors_after, proto_errors_before + 1);
+  }
+  server.Stop();
 }
 
 }  // namespace

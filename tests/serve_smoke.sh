@@ -68,6 +68,55 @@ grep -q "^FLOW " "$WORK/topk_before.txt"
 query "CHECKPOINT" | grep -q "^OK checkpoint "
 [ -f "$CKPT" ] || { echo "checkpoint file not written"; exit 1; }
 
+echo "== METRICS: exposition sanity, layer coverage, monotone counters =="
+# Concurrent and Window instances so those layers' series register too
+# (constructors register eagerly - the names show before any traffic).
+query "CREATE conc Concurrent:threads=2,inner=HK-Minimum" | grep -qx "OK created conc"
+query "CREATE win Window:w=4,epoch=2000,inner=HK-Minimum" | grep -qx "OK created win"
+
+"$HK_CLI" metrics --port "$PORT" > "$WORK/metrics1.txt"
+# Valid exposition: every line is a comment or an hk_-prefixed sample.
+if grep -qvE '^(# (HELP|TYPE) hk_|hk_)' "$WORK/metrics1.txt"; then
+  echo "malformed exposition line:"; grep -vE '^(# (HELP|TYPE) hk_|hk_)' "$WORK/metrics1.txt"
+  exit 1
+fi
+NAMES="$(grep -c '^# TYPE hk_' "$WORK/metrics1.txt")"
+[ "$NAMES" -ge 15 ] || { echo "only $NAMES metric names (need >= 15)"; exit 1; }
+# Every layer contributes at least one name: sketch core, summary stores,
+# the shared-slab front-end, the worker rings, windowing, ingest, serve.
+for prefix in hk_core_ hk_store_ hk_concurrent_ hk_ring_ hk_window_ hk_ingest_ hk_serve_; do
+  grep -q "^# TYPE $prefix" "$WORK/metrics1.txt" || {
+    echo "no $prefix* metric registered"; exit 1; }
+done
+# The filter argument narrows by name prefix.
+"$HK_CLI" metrics --port "$PORT" hk_serve_ > "$WORK/metrics_filtered.txt"
+grep -q '^hk_serve_' "$WORK/metrics_filtered.txt"
+if grep -q '^hk_core_' "$WORK/metrics_filtered.txt"; then
+  echo "filter leaked non-matching series"; exit 1
+fi
+
+# Second scrape after more ingest traffic: every *_total counter present
+# in both scrapes must be monotone, and the campus packet counter must
+# have moved (the conc instance replays the same fixture).
+query "ATTACH conc $FIXTURE key=5tuple" | grep -qx "OK attached conc"
+for _ in $(seq 1 100); do
+  if query "STATS conc" | grep -q "STAT ingest_done 1"; then break; fi
+  sleep 0.1
+done
+"$HK_CLI" metrics --port "$PORT" > "$WORK/metrics2.txt"
+awk 'NR==FNR { if ($1 ~ /_total(\{|$)/ && $1 !~ /^#/) before[$1] = $2; next }
+     ($1 in before) && $2 + 0 < before[$1] + 0 {
+       print "counter went backwards: " $1 " " before[$1] " -> " $2; bad = 1 }
+     END { exit bad }' "$WORK/metrics1.txt" "$WORK/metrics2.txt" || {
+  echo "counters not monotone across scrapes"; exit 1; }
+P1="$(sed -n 's/^hk_ingest_packets_total{instance="conc"} //p' "$WORK/metrics2.txt")"
+[ -n "$P1" ] && [ "$P1" -gt 0 ] || { echo "conc ingest counter never moved"; exit 1; }
+query "DROP conc" | grep -qx "OK dropped conc"
+query "DROP win" | grep -qx "OK dropped win"
+# A periodic checkpoint may have captured the extra instances; rewrite the
+# manifest so the recovery section below still sees exactly one.
+query "CHECKPOINT" | grep -q "^OK checkpoint "
+
 echo "== SIGKILL the daemon =="
 kill -9 "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
